@@ -1,0 +1,178 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! Unlike `micro.rs`, these report **virtual time** (via `iter_custom`):
+//! each measurement runs a complete simulated job and yields the virtual
+//! duration the configuration produced, so the numbers are directly
+//! comparable to the paper's seconds.
+//!
+//! Ablated choices:
+//! * remote-invoker group size (the paper settled on 100);
+//! * direct-spawn client thread count;
+//! * serialized-function blob size (cost of shipping fat closures);
+//! * client status poll interval;
+//! * warm vs cold container pools (second job on the same executor).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rustwren_core::{SimCloud, SizedFn, SpawnStrategy, TaskCtx, Value};
+use rustwren_sim::NetworkProfile;
+use rustwren_workloads::compute;
+
+const TASKS: usize = 60;
+
+fn run_job(cloud: &SimCloud, strategy: SpawnStrategy, poll: Duration) -> Duration {
+    let cloud2 = cloud.clone();
+    cloud.run(move || {
+        let t0 = rustwren_sim::now();
+        let exec = cloud2
+            .executor()
+            .spawn(strategy)
+            .poll_interval(poll)
+            .build()
+            .expect("executor");
+        exec.map(
+            compute::COMPUTE_FN,
+            (0..TASKS).map(|_| compute::input(10.0)),
+        )
+        .expect("map");
+        exec.get_result().expect("results");
+        rustwren_sim::now() - t0
+    })
+}
+
+fn fresh_cloud(seed: u64) -> SimCloud {
+    let cloud = SimCloud::builder()
+        .seed(seed)
+        .client_network(NetworkProfile::wan())
+        .build();
+    compute::register(&cloud);
+    cloud
+}
+
+fn custom<F: FnMut() -> Duration>(c: &mut Criterion, group: &str, id: String, mut f: F) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function(BenchmarkId::from_parameter(id), |b| {
+        b.iter_custom(|iters| (0..iters).map(|_| f()).sum());
+    });
+    g.finish();
+}
+
+fn ablate_group_size(c: &mut Criterion) {
+    for group_size in [TASKS, 20, 10, 5] {
+        custom(
+            c,
+            "invoker_group_size",
+            format!("group={group_size}"),
+            move || {
+                let cloud = fresh_cloud(1);
+                run_job(
+                    &cloud,
+                    SpawnStrategy::RemoteInvoker {
+                        group_size,
+                        invoker_threads: 2,
+                    },
+                    Duration::from_millis(500),
+                )
+            },
+        );
+    }
+}
+
+fn ablate_client_threads(c: &mut Criterion) {
+    for threads in [1usize, 5, 16] {
+        custom(
+            c,
+            "direct_client_threads",
+            format!("threads={threads}"),
+            move || {
+                let cloud = fresh_cloud(2);
+                run_job(
+                    &cloud,
+                    SpawnStrategy::Direct {
+                        client_threads: threads,
+                    },
+                    Duration::from_millis(500),
+                )
+            },
+        );
+    }
+}
+
+fn ablate_code_size(c: &mut Criterion) {
+    for kb in [8u64, 1024, 4096] {
+        custom(c, "func_blob_size", format!("{kb}KB"), move || {
+            let cloud = fresh_cloud(3);
+            cloud.register_fn(
+                "fat",
+                SizedFn::new(
+                    |ctx: &TaskCtx, v: Value| {
+                        ctx.charge(Duration::from_secs(10));
+                        Ok(v)
+                    },
+                    kb * 1024,
+                ),
+            );
+            let cloud2 = cloud.clone();
+            cloud.run(move || {
+                let t0 = rustwren_sim::now();
+                let exec = cloud2.executor().build().expect("executor");
+                exec.map("fat", (0..TASKS).map(Value::from)).expect("map");
+                exec.get_result().expect("results");
+                rustwren_sim::now() - t0
+            })
+        });
+    }
+}
+
+fn ablate_poll_interval(c: &mut Criterion) {
+    for ms in [100u64, 500, 2000] {
+        custom(c, "poll_interval", format!("{ms}ms"), move || {
+            let cloud = fresh_cloud(4);
+            run_job(
+                &cloud,
+                SpawnStrategy::Direct { client_threads: 5 },
+                Duration::from_millis(ms),
+            )
+        });
+    }
+}
+
+fn ablate_warm_pool(c: &mut Criterion) {
+    for second_job in [false, true] {
+        let id = if second_job {
+            "warm(second job)"
+        } else {
+            "cold(first job)"
+        };
+        custom(c, "container_pool", id.to_owned(), move || {
+            let cloud = fresh_cloud(5);
+            let first = run_job(
+                &cloud,
+                SpawnStrategy::Direct { client_threads: 5 },
+                Duration::from_millis(500),
+            );
+            if !second_job {
+                return first;
+            }
+            run_job(
+                &cloud,
+                SpawnStrategy::Direct { client_threads: 5 },
+                Duration::from_millis(500),
+            )
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    ablate_group_size,
+    ablate_client_threads,
+    ablate_code_size,
+    ablate_poll_interval,
+    ablate_warm_pool
+);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks of the substrate hot paths: the wire codec,
+//! the partitioner, raw object-store operations, the tone analyzer and the
+//! virtual-time kernel. These measure *wall* time of the implementation
+//! itself (the experiment binaries measure *virtual* time).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rustwren_core::partition::{partition_objects, DiscoveredObject};
+use rustwren_core::wire::Value;
+use rustwren_sim::Kernel;
+use rustwren_store::{ObjectMeta, ObjectStore};
+use rustwren_workloads::tone;
+
+fn sample_value() -> Value {
+    let points: Vec<Value> = (0..100)
+        .map(|i| {
+            Value::map()
+                .with("lat", 40.0 + i as f64 * 0.001)
+                .with("lon", -74.0 - i as f64 * 0.001)
+                .with("tone", if i % 3 == 0 { "positive" } else { "negative" })
+        })
+        .collect();
+    Value::map()
+        .with("group", "new-york.csv")
+        .with("comments", 100i64)
+        .with("points", Value::List(points))
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let v = sample_value();
+    let encoded = v.encode();
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_tone_result", |b| b.iter(|| v.encode()));
+    g.bench_function("decode_tone_result", |b| {
+        b.iter(|| Value::decode(&encoded).expect("valid"))
+    });
+    g.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let objects: Vec<DiscoveredObject> = rustwren_workloads::airbnb::CITIES
+        .iter()
+        .map(|(name, size, _, _)| DiscoveredObject {
+            bucket: "reviews".into(),
+            meta: ObjectMeta {
+                key: format!("{name}.csv"),
+                size: *size,
+                logical_size: *size,
+                etag: 0,
+                last_modified: rustwren_sim::SimInstant::ZERO,
+            },
+        })
+        .collect();
+    c.bench_function("partition_33_cities_at_2MB", |b| {
+        b.iter(|| {
+            let parts = partition_objects(&objects, Some(2 << 20));
+            assert_eq!(parts.len(), 923);
+            parts
+        })
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    let store = ObjectStore::new(&kernel);
+    store.create_bucket("b").expect("fresh bucket");
+    let payload = Bytes::from(vec![7u8; 64 * 1024]);
+    let mut g = c.benchmark_group("store");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("put_64k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store
+                .put("b", &format!("k{}", i % 128), payload.clone())
+                .expect("put")
+        })
+    });
+    store.put("b", "get-target", payload.clone()).expect("put");
+    g.bench_function("get_64k", |b| {
+        b.iter(|| store.get("b", "get-target").expect("get"))
+    });
+    g.bench_function("range_4k_of_64k", |b| {
+        b.iter(|| {
+            store
+                .get_range("b", "get-target", 1000, 5096)
+                .expect("range")
+        })
+    });
+    g.finish();
+}
+
+fn bench_tone(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    let store = ObjectStore::new(&kernel);
+    rustwren_workloads::airbnb::generate(&store, "reviews", 1 << 12, 1);
+    let data = store.get("reviews", "amsterdam.csv").expect("generated");
+    let mut g = c.benchmark_group("tone");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("analyze_city_sample", |b| {
+        b.iter(|| tone::analyze_lines(&data))
+    });
+    g.finish();
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("kernel_spawn_join_100", |b| {
+        b.iter_batched(
+            Kernel::new,
+            |kernel| {
+                kernel.run("client", || {
+                    let hs: Vec<_> = (0..100)
+                        .map(|i| {
+                            rustwren_sim::spawn(format!("t{i}"), || {
+                                rustwren_sim::sleep(std::time::Duration::from_millis(5));
+                            })
+                        })
+                        .collect();
+                    for h in hs {
+                        h.join();
+                    }
+                });
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_partitioner,
+    bench_store,
+    bench_tone,
+    bench_kernel
+);
+criterion_main!(benches);

@@ -1,0 +1,255 @@
+//! `demo` — interactive showcase CLI for the rustwren stack.
+//!
+//! ```text
+//! cargo run --release -p rustwren-bench --bin demo -- <scenario> [flags]
+//!
+//! scenarios:
+//!   map        parallel map of add-7 over N integers
+//!   mapreduce  tone analysis over the synthetic Airbnb dataset
+//!   shuffle    word count with a hash-partitioned shuffle stage
+//!   sort       nested-parallel mergesort
+//!   pi         Monte-Carlo π estimation
+//!
+//! flags:
+//!   --tasks N          parallel tasks / inputs        (default 100)
+//!   --network wan|lan  client network position        (default wan)
+//!   --spawn direct|massive|auto                       (default auto)
+//!   --seed N           deterministic seed             (default 42)
+//! ```
+
+use rustwren_core::{
+    DataSource, MapReduceOpts, ShuffleOpts, SimCloud, SpawnStrategy, TaskCtx, Value,
+};
+use rustwren_sim::NetworkProfile;
+use rustwren_workloads::{airbnb, mergesort, montecarlo, tone};
+
+#[derive(Debug)]
+struct Args {
+    scenario: String,
+    tasks: usize,
+    network: NetworkProfile,
+    spawn: SpawnStrategy,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: demo <map|mapreduce|shuffle|sort|pi> [--tasks N] [--network wan|lan] \
+         [--spawn direct|massive|auto] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let Some(scenario) = argv.next() else { usage() };
+    let mut args = Args {
+        scenario,
+        tasks: 100,
+        network: NetworkProfile::wan(),
+        spawn: SpawnStrategy::Auto { threshold: 50 },
+        seed: 42,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--tasks" => args.tasks = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--network" => {
+                args.network = match value().as_str() {
+                    "wan" => NetworkProfile::wan(),
+                    "lan" => NetworkProfile::lan(),
+                    _ => usage(),
+                }
+            }
+            "--spawn" => {
+                args.spawn = match value().as_str() {
+                    "direct" => SpawnStrategy::default(),
+                    "massive" => SpawnStrategy::massive(),
+                    "auto" => SpawnStrategy::Auto { threshold: 50 },
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cloud = SimCloud::builder()
+        .seed(args.seed)
+        .client_network(args.network.clone())
+        .build();
+    println!(
+        "cloud: client {} | spawn {:?} | seed {}",
+        args.network, args.spawn, args.seed
+    );
+    match args.scenario.as_str() {
+        "map" => demo_map(&cloud, &args),
+        "mapreduce" => demo_mapreduce(&cloud, &args),
+        "shuffle" => demo_shuffle(&cloud, &args),
+        "sort" => demo_sort(&cloud, &args),
+        "pi" => demo_pi(&cloud, &args),
+        _ => usage(),
+    }
+    let stats = cloud.functions().stats();
+    println!(
+        "\nplatform: {} invocations, {} cold starts, {} warm starts, {} throttled",
+        stats.submitted, stats.cold_starts, stats.warm_starts, stats.throttled
+    );
+    println!("virtual time: {}", cloud.kernel().now());
+}
+
+fn demo_map(cloud: &SimCloud, args: &Args) {
+    cloud.register_fn("add7", |_ctx: &TaskCtx, v: Value| {
+        Ok(Value::Int(v.as_i64().ok_or("int")? + 7))
+    });
+    let (n, spawn) = (args.tasks, args.spawn.clone());
+    let cloud2 = cloud.clone();
+    let results = cloud.run(move || {
+        let exec = cloud2.executor().spawn(spawn).build().expect("executor");
+        exec.map("add7", (0..n as i64).map(Value::from))
+            .expect("map");
+        exec.get_result().expect("results")
+    });
+    println!(
+        "map: {} results, first {:?}, last {:?}",
+        results.len(),
+        results[0],
+        results[results.len() - 1]
+    );
+}
+
+fn demo_mapreduce(cloud: &SimCloud, args: &Args) {
+    let dataset = airbnb::generate(cloud.store(), "reviews", 1 << 13, args.seed);
+    tone::register(cloud);
+    let spawn = args.spawn.clone();
+    let cloud2 = cloud.clone();
+    let results = cloud.run(move || {
+        let exec = cloud2.executor().spawn(spawn).build().expect("executor");
+        exec.map_reduce(
+            tone::TONE_MAP_FN,
+            DataSource::bucket(&dataset.bucket),
+            tone::TONE_REDUCE_FN,
+            MapReduceOpts {
+                chunk_size: Some(32 << 20),
+                reducer_one_per_object: true,
+            },
+        )
+        .expect("map_reduce");
+        exec.get_result().expect("results")
+    });
+    println!("mapreduce: {} city tone maps rendered", results.len());
+    for city in results.iter().take(5) {
+        println!(
+            "  {:<16} {:>5} good / {:>5} neutral / {:>5} bad",
+            city.get("city").and_then(Value::as_str).unwrap_or("?"),
+            city.get("positive").and_then(Value::as_i64).unwrap_or(0),
+            city.get("neutral").and_then(Value::as_i64).unwrap_or(0),
+            city.get("negative").and_then(Value::as_i64).unwrap_or(0),
+        );
+    }
+}
+
+fn demo_shuffle(cloud: &SimCloud, args: &Args) {
+    cloud.register_fn("tokenize", |_ctx: &TaskCtx, v: Value| {
+        let n = v.as_i64().ok_or("int")?;
+        // Synthesize a tiny "document" per task.
+        let words = ["cloud", "function", "serverless", "data", "wren"];
+        Ok(Value::List(
+            (0..20)
+                .map(|i| {
+                    Value::map()
+                        .with("k", words[((n + i) % 5) as usize])
+                        .with("v", 1i64)
+                })
+                .collect(),
+        ))
+    });
+    cloud.register_fn("count", |_ctx: &TaskCtx, v: Value| {
+        let groups = v.get("groups").and_then(Value::as_map).ok_or("groups")?;
+        Ok(Value::Map(
+            groups
+                .iter()
+                .map(|(k, vals)| {
+                    (
+                        k.clone(),
+                        Value::Int(vals.as_list().map_or(0, |l| l.len()) as i64),
+                    )
+                })
+                .collect(),
+        ))
+    });
+    let (n, spawn) = (args.tasks, args.spawn.clone());
+    let cloud2 = cloud.clone();
+    let results = cloud.run(move || {
+        let exec = cloud2.executor().spawn(spawn).build().expect("executor");
+        exec.map_shuffle_reduce(
+            "tokenize",
+            DataSource::Values((0..n as i64).map(Value::from).collect()),
+            "count",
+            ShuffleOpts {
+                reducers: 4,
+                chunk_size: None,
+            },
+        )
+        .expect("shuffle");
+        exec.get_result().expect("results")
+    });
+    println!("shuffle: word counts across {} reducers:", results.len());
+    for (r, counts) in results.iter().enumerate() {
+        let words: Vec<String> = counts
+            .as_map()
+            .map(|m| m.iter().map(|(k, v)| format!("{k}={v}")).collect())
+            .unwrap_or_default();
+        println!("  reducer {r}: {}", words.join(", "));
+    }
+}
+
+fn demo_sort(cloud: &SimCloud, args: &Args) {
+    mergesort::register(cloud);
+    let n = (args.tasks as u64).max(4) * 1_000;
+    let cloud2 = cloud.clone();
+    let seed = args.seed;
+    let (len, secs) = cloud.run(move || {
+        let t0 = rustwren_sim::now();
+        let exec = cloud2.executor().build().expect("executor");
+        exec.call_async(mergesort::MERGESORT_FN, mergesort::input(seed, n, 2))
+            .expect("call_async");
+        let results = exec.get_result().expect("results");
+        let sorted = mergesort::decode_i64s(results[0].as_bytes().expect("bytes"));
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        (sorted.len(), (rustwren_sim::now() - t0).as_secs_f64())
+    });
+    println!("sort: {len} integers sorted by 7 functions (depth 2) in {secs:.1}s virtual");
+}
+
+fn demo_pi(cloud: &SimCloud, args: &Args) {
+    montecarlo::register(cloud);
+    let (n, spawn, seed) = (args.tasks, args.spawn.clone(), args.seed);
+    let cloud2 = cloud.clone();
+    let results = cloud.run(move || {
+        let exec = cloud2.executor().spawn(spawn).build().expect("executor");
+        exec.map_reduce(
+            montecarlo::PI_SAMPLE_FN,
+            DataSource::Values(
+                (0..n as u64)
+                    .map(|i| montecarlo::input(seed.wrapping_add(i), 100_000))
+                    .collect(),
+            ),
+            montecarlo::PI_COMBINE_FN,
+            MapReduceOpts::default(),
+        )
+        .expect("map_reduce");
+        exec.get_result().expect("results")
+    });
+    let pi = montecarlo::estimate_from(&results[0]).expect("estimate");
+    let samples = results[0].req_i64("samples").unwrap_or(0);
+    println!(
+        "pi: {pi:.6} from {samples} samples across {n} functions (true π = {:.6}, error {:+.6})",
+        std::f64::consts::PI,
+        pi - std::f64::consts::PI
+    );
+}

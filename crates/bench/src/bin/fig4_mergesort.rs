@@ -1,0 +1,101 @@
+//! Fig 4 — Dynamic composability: parallel mergesort.
+//!
+//! Sorts arrays of N ∈ [500 K, 25 M] integers with function-recursion-tree
+//! depths d = 0..=4 (2^d leaf functions, nested parallelism per §4.4). The
+//! paper's findings, which this binary reproduces as a table of execution
+//! times: sort time grows linearly in N; larger depths win for larger
+//! workloads; improvements flatten beyond d = 3 because function-spawning
+//! overhead starts to dominate.
+//!
+//! Run: `cargo run --release -p rustwren-bench --bin fig4_mergesort`
+
+use rustwren_bench::{fmt_secs, BenchArgs, Table};
+use rustwren_core::{SimCloud, Value};
+use rustwren_sim::NetworkProfile;
+use rustwren_workloads::mergesort;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (sizes, depths): (Vec<u64>, Vec<u32>) = if args.smoke {
+        (vec![20_000, 50_000], vec![0, 1, 2])
+    } else {
+        (
+            vec![500_000, 1_000_000, 5_000_000, 10_000_000, 25_000_000],
+            vec![0, 1, 2, 3, 4],
+        )
+    };
+
+    println!("== Fig 4: mergesort execution time vs N, by function-tree depth d ==\n");
+    let mut header: Vec<String> = vec!["N".to_owned()];
+    header.extend(depths.iter().map(|d| format!("d={d}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for &n in &sizes {
+        let mut cells = vec![format_n(n)];
+        let mut times = Vec::new();
+        for &d in &depths {
+            let secs = run_sort(args.seed, n, d);
+            times.push(secs);
+            cells.push(fmt_secs(secs));
+        }
+        rows.push(times);
+        table.row(&cells);
+    }
+    println!("{table}");
+    println!("(paper shape: linear in N; deeper trees help at large N; gains flatten past d=3)");
+
+    // Sanity summary like the paper's discussion.
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        let small_best = best_depth(&depths, first);
+        let large_best = best_depth(&depths, last);
+        println!("\nbest depth at N={}: d={small_best}", format_n(sizes[0]));
+        println!(
+            "best depth at N={}: d={large_best}",
+            format_n(*sizes.last().expect("non-empty"))
+        );
+    }
+}
+
+fn run_sort(seed: u64, n: u64, depth: u32) -> f64 {
+    let cloud = SimCloud::builder()
+        .seed(seed)
+        .client_network(NetworkProfile::wan())
+        .build();
+    mergesort::register(&cloud);
+    let cloud2 = cloud.clone();
+    cloud.run(move || {
+        let t0 = rustwren_sim::now();
+        let exec = cloud2.executor().build().expect("executor");
+        exec.call_async(mergesort::MERGESORT_FN, mergesort::input(seed, n, depth))
+            .expect("call_async");
+        let results = exec.get_result().expect("results");
+        let sorted =
+            mergesort::decode_i64s(results[0].as_bytes().expect("mergesort returns bytes"));
+        assert_eq!(sorted.len() as u64, n, "all elements sorted");
+        assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "output must be sorted"
+        );
+        drop::<Vec<Value>>(results);
+        (rustwren_sim::now() - t0).as_secs_f64()
+    })
+}
+
+fn best_depth(depths: &[u32], times: &[f64]) -> u32 {
+    depths
+        .iter()
+        .zip(times)
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(d, _)| *d)
+        .expect("non-empty")
+}
+
+fn format_n(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else {
+        format!("{}K", n / 1_000)
+    }
+}

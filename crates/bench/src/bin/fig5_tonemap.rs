@@ -1,0 +1,74 @@
+//! Fig 5 — the rendered tone map (qualitative).
+//!
+//! Runs the §6.4 MapReduce over a subset of cities and writes each city's
+//! SVG tone map (green = good, blue = neutral, red = bad comments) to
+//! `target/fig5/`. The New York map corresponds to the paper's Fig 5.
+//!
+//! Run: `cargo run --release -p rustwren-bench --bin fig5_tonemap`
+
+use std::fs;
+use std::path::PathBuf;
+
+use rustwren_bench::BenchArgs;
+use rustwren_core::{DataSource, MapReduceOpts, ObjectRef, SimCloud, SpawnStrategy, Value};
+use rustwren_sim::NetworkProfile;
+use rustwren_workloads::{airbnb, tone};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let cities: Vec<&str> = if args.smoke {
+        vec!["new-york"]
+    } else {
+        vec!["new-york", "amsterdam", "barcelona", "san-francisco"]
+    };
+    let scale = if args.smoke { 1 << 14 } else { 256 };
+
+    let cloud = SimCloud::builder()
+        .seed(args.seed)
+        .client_network(NetworkProfile::wan())
+        .build();
+    let dataset = airbnb::generate(cloud.store(), "reviews", scale, args.seed);
+    tone::register(&cloud);
+
+    let keys: Vec<ObjectRef> = cities
+        .iter()
+        .map(|c| ObjectRef::new(dataset.bucket.clone(), airbnb::AirbnbDataset::key(c)))
+        .collect();
+
+    let cloud2 = cloud.clone();
+    let results = cloud.run(move || {
+        let exec = cloud2
+            .executor()
+            .spawn(SpawnStrategy::massive())
+            .build()
+            .expect("executor");
+        exec.map_reduce(
+            tone::TONE_MAP_FN,
+            DataSource::Keys(keys),
+            tone::TONE_REDUCE_FN,
+            MapReduceOpts {
+                chunk_size: Some(8 << 20),
+                reducer_one_per_object: true,
+            },
+        )
+        .expect("map_reduce");
+        exec.get_result().expect("results")
+    });
+
+    let out_dir = PathBuf::from("target/fig5");
+    fs::create_dir_all(&out_dir).expect("create output dir");
+    println!("== Fig 5: tone maps (green good / blue neutral / red bad) ==\n");
+    for city in results {
+        let name = city.get("city").and_then(Value::as_str).expect("city name");
+        let svg = city.get("svg").and_then(Value::as_str).expect("svg");
+        let pos = city.get("positive").and_then(Value::as_i64).unwrap_or(0);
+        let neu = city.get("neutral").and_then(Value::as_i64).unwrap_or(0);
+        let neg = city.get("negative").and_then(Value::as_i64).unwrap_or(0);
+        let path = out_dir.join(format!("{}.svg", name.trim_end_matches(".csv")));
+        fs::write(&path, svg).expect("write svg");
+        println!(
+            "{name}: {pos} good / {neu} neutral / {neg} bad (sampled) -> {}",
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! §5.1 — Massive Function Spawning: invocation-time table.
+//!
+//! Reproduces the numbers quoted in the paper's text: spawning 1,000
+//! functions takes ~8 s from a low-latency network, ~40 s from a
+//! high-latency one, ~20 s through a single remote invoker function, and
+//! ~8 s with grouped remote invokers (100 invocations per group).
+//!
+//! Run: `cargo run --release -p rustwren-bench --bin sec51_invocation`
+
+use rustwren_bench::{fmt_secs, BenchArgs, Table};
+use rustwren_core::stats::JobReport;
+use rustwren_core::{SimCloud, SpawnStrategy};
+use rustwren_sim::NetworkProfile;
+use rustwren_workloads::compute;
+
+struct Scenario {
+    name: &'static str,
+    paper: &'static str,
+    client: NetworkProfile,
+    strategy: SpawnStrategy,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let n = args.scaled(1_000, 60);
+    let task_secs = 50.0;
+
+    let scenarios = [
+        Scenario {
+            name: "LAN client, direct",
+            paper: "~8s",
+            client: NetworkProfile::lan(),
+            strategy: SpawnStrategy::Direct { client_threads: 5 },
+        },
+        Scenario {
+            name: "WAN client, direct",
+            paper: "~40s",
+            client: NetworkProfile::wan(),
+            strategy: SpawnStrategy::Direct { client_threads: 5 },
+        },
+        Scenario {
+            name: "WAN client, single remote invoker",
+            paper: "~20s",
+            client: NetworkProfile::wan(),
+            strategy: SpawnStrategy::RemoteInvoker {
+                group_size: n,
+                invoker_threads: 2,
+            },
+        },
+        Scenario {
+            name: "WAN client, invoker groups of 100",
+            paper: "~8s",
+            client: NetworkProfile::wan(),
+            strategy: SpawnStrategy::RemoteInvoker {
+                group_size: args.scaled(100, 10),
+                invoker_threads: 2,
+            },
+        },
+    ];
+
+    println!("== §5.1 Massive Function Spawning: {n} invocations of a {task_secs}s task ==\n");
+    let mut table = Table::new(&["Scenario", "Paper", "Invocation phase", "Total job"]);
+
+    for s in scenarios {
+        let (report, start) =
+            run_scenario(&args, s.client.clone(), s.strategy.clone(), n, task_secs);
+        table.row(&[
+            s.name.to_owned(),
+            s.paper.to_owned(),
+            fmt_secs(report.invocation_phase(start).as_secs_f64()),
+            fmt_secs(report.total(start).as_secs_f64()),
+        ]);
+    }
+    println!("{table}");
+    println!("(invocation phase = time until all {n} functions are up and running)");
+}
+
+fn run_scenario(
+    args: &BenchArgs,
+    client: NetworkProfile,
+    strategy: SpawnStrategy,
+    n: usize,
+    task_secs: f64,
+) -> (JobReport, rustwren_sim::SimInstant) {
+    // The invoker activations count against the namespace limit too; the
+    // paper notes the 1,000 default "can be increased if needed".
+    let mut platform = rustwren_faas::PlatformConfig::default();
+    platform.concurrency_limit = n + n / 10 + 50;
+    platform.cluster_containers = platform.concurrency_limit + 200;
+    let cloud = SimCloud::builder()
+        .seed(args.seed)
+        .platform(platform)
+        .client_network(client)
+        .build();
+    compute::register(&cloud);
+    let cloud2 = cloud.clone();
+    let start = cloud.run(move || {
+        let t0 = rustwren_sim::now();
+        let exec = cloud2.executor().spawn(strategy).build().expect("executor");
+        exec.map(
+            compute::COMPUTE_FN,
+            (0..n).map(|_| compute::input(task_secs)),
+        )
+        .expect("map");
+        exec.get_result().expect("results");
+        t0
+    });
+    let records: Vec<_> = cloud
+        .functions()
+        .records()
+        .into_iter()
+        .filter(|r| r.action.starts_with("rustwren-agent@"))
+        .collect();
+    let report = JobReport::from_records(&records).expect("agents ran");
+    assert_eq!(report.count, n, "every function must have run");
+    (report, start)
+}

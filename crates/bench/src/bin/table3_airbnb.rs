@@ -1,0 +1,146 @@
+//! Table 3 — the real MapReduce job: Airbnb tone analysis (§6.4).
+//!
+//! Generates the synthetic 33-city / 1.9 GB (logical) review dataset, runs
+//! the sequential notebook baseline, then sweeps `map_reduce` chunk sizes
+//! 64→2 MB with `reducer_one_per_object` (one reducer renders each city's
+//! tone map) and massive function spawning, printing concurrency and
+//! speedup next to the paper's Table 3.
+//!
+//! Run: `cargo run --release -p rustwren-bench --bin table3_airbnb`
+
+use rustwren_bench::{fmt_secs, BenchArgs, Table};
+use rustwren_core::{DataSource, MapReduceOpts, SimCloud, SpawnStrategy, Value};
+use rustwren_faas::PlatformConfig;
+use rustwren_sim::NetworkProfile;
+use rustwren_workloads::{airbnb, baseline, tone};
+
+const MB: u64 = 1 << 20;
+
+/// Paper's Table 3: (chunk MB, executors, exec seconds, speedup).
+const PAPER: [(u64, u64, f64, f64); 6] = [
+    (64, 47, 471.0, 10.95),
+    (32, 72, 297.0, 17.37),
+    (16, 129, 181.0, 28.51),
+    (8, 242, 112.0, 46.07),
+    (4, 471, 63.0, 81.90),
+    (2, 923, 38.0, 135.79),
+];
+
+fn main() {
+    let args = BenchArgs::parse();
+    let chunks: Vec<u64> = if args.smoke {
+        vec![64, 16]
+    } else {
+        PAPER.iter().map(|p| p.0).collect()
+    };
+    let scale = if args.smoke { 1 << 14 } else { 512 };
+
+    println!("== Table 3: Airbnb tone-analysis MapReduce ==");
+    println!(
+        "   (33 cities, {:.2} GB logical, {} comments in the paper)\n",
+        airbnb::AirbnbDataset::total_logical_size() as f64 / 1e9,
+        airbnb::TOTAL_COMMENTS
+    );
+
+    // Sequential baseline (Table 3, row 1).
+    let seq_cloud = make_cloud(args.seed, 1_100);
+    let dataset = airbnb::generate(seq_cloud.store(), "reviews", scale, args.seed);
+    let seq_cloud2 = seq_cloud.clone();
+    let dataset2 = dataset.clone();
+    let (summaries, seq_elapsed) = seq_cloud
+        .run(move || baseline::sequential_tone_analysis(&seq_cloud2, &dataset2).expect("baseline"));
+    let seq_secs = seq_elapsed.as_secs_f64();
+    let comments: u64 = summaries.iter().map(|s| s.comments).sum();
+    println!(
+        "sequential baseline: {} (paper: 5160s = 1h26m), {} sampled comments analyzed\n",
+        fmt_secs(seq_secs),
+        comments
+    );
+
+    let mut table = Table::new(&[
+        "Chunk",
+        "Executors",
+        "Paper exec.",
+        "Measured exec.",
+        "Paper speedup",
+        "Measured speedup",
+    ]);
+    table.row(&[
+        "sequential".into(),
+        "0".into(),
+        "5160s".into(),
+        fmt_secs(seq_secs),
+        "1x (base)".into(),
+        "1x (base)".into(),
+    ]);
+
+    for &chunk in &chunks {
+        let paper = PAPER.iter().find(|p| p.0 == chunk).expect("known chunk");
+        let (executors, secs) = run_chunk(args.seed, scale, chunk * MB);
+        table.row(&[
+            format!("{chunk}MB"),
+            format!("{executors} (paper {})", paper.1),
+            fmt_secs(paper.2),
+            fmt_secs(secs),
+            format!("{:.2}x", paper.3),
+            format!("{:.2}x", seq_secs / secs),
+        ]);
+    }
+    println!("{table}");
+    println!("(executors = map-phase function executors; one reducer per city renders its map)");
+}
+
+fn make_cloud(seed: u64, concurrency: usize) -> SimCloud {
+    let platform = PlatformConfig {
+        concurrency_limit: concurrency,
+        cluster_containers: concurrency + 200,
+        ..PlatformConfig::default()
+    };
+    SimCloud::builder()
+        .seed(seed)
+        .platform(platform)
+        .client_network(NetworkProfile::wan())
+        .build()
+}
+
+fn run_chunk(seed: u64, scale: u64, chunk_bytes: u64) -> (usize, f64) {
+    let cloud = make_cloud(seed, 1_100);
+    let dataset = airbnb::generate(cloud.store(), "reviews", scale, seed);
+    tone::register(&cloud);
+    let cloud2 = cloud.clone();
+    cloud.run(move || {
+        let t0 = rustwren_sim::now();
+        let exec = cloud2
+            .executor()
+            .spawn(SpawnStrategy::massive())
+            .build()
+            .expect("executor");
+        exec.map_reduce(
+            tone::TONE_MAP_FN,
+            DataSource::bucket(&dataset.bucket),
+            tone::TONE_REDUCE_FN,
+            MapReduceOpts {
+                chunk_size: Some(chunk_bytes),
+                reducer_one_per_object: true,
+            },
+        )
+        .expect("map_reduce");
+        let results = exec.get_result().expect("results");
+        assert_eq!(results.len(), 33, "one tone map per city");
+        for city in &results {
+            let svg = city.get("svg").and_then(Value::as_str).expect("svg result");
+            assert!(svg.starts_with("<svg"), "reducer rendered a map");
+        }
+        let secs = (rustwren_sim::now() - t0).as_secs_f64();
+        // Map executors = agent activations minus the 33 reducers, counted
+        // from the partitioner directly:
+        let executors = cloud2
+            .functions()
+            .records()
+            .iter()
+            .filter(|r| r.action.starts_with("rustwren-agent@"))
+            .count()
+            - 33;
+        (executors, secs)
+    })
+}

@@ -1,0 +1,96 @@
+//! Smoke tests: every experiment binary runs end-to-end in `--smoke` mode
+//! and prints the expected report skeleton. This keeps the harness itself
+//! under test.
+
+use std::process::Command;
+
+fn run_smoke(bin: &str) -> String {
+    let output = Command::new(bin)
+        .arg("--smoke")
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(
+        output.status.success(),
+        "{bin} --smoke failed:\n{}\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn sec51_smoke() {
+    let out = run_smoke(env!("CARGO_BIN_EXE_sec51_invocation"));
+    assert!(out.contains("Massive Function Spawning"));
+    assert!(out.contains("LAN client, direct"));
+    assert!(out.contains("invoker groups"));
+}
+
+#[test]
+fn fig2_smoke() {
+    let out = run_smoke(env!("CARGO_BIN_EXE_fig2_spawning"));
+    assert!(out.contains("Fig 2"));
+    assert!(out.contains("Massive function spawning"));
+    assert!(out.contains('#'), "concurrency chart missing");
+}
+
+#[test]
+fn fig3_smoke() {
+    let out = run_smoke(env!("CARGO_BIN_EXE_fig3_elasticity"));
+    assert!(out.contains("Fig 3"));
+    assert!(out.contains("yes"), "full concurrency not reached:\n{out}");
+    assert!(
+        !out.contains("NO ("),
+        "some workload failed to reach target:\n{out}"
+    );
+}
+
+#[test]
+fn fig4_smoke() {
+    let out = run_smoke(env!("CARGO_BIN_EXE_fig4_mergesort"));
+    assert!(out.contains("Fig 4"));
+    assert!(out.contains("d=2"));
+    assert!(out.contains("best depth"));
+}
+
+#[test]
+fn table3_smoke() {
+    let out = run_smoke(env!("CARGO_BIN_EXE_table3_airbnb"));
+    assert!(out.contains("Table 3"));
+    assert!(out.contains("sequential baseline"));
+    assert!(out.contains("paper 47"), "64MB row missing:\n{out}");
+}
+
+#[test]
+fn fig5_smoke() {
+    let out = run_smoke(env!("CARGO_BIN_EXE_fig5_tonemap"));
+    assert!(out.contains("Fig 5"));
+    assert!(out.contains("new-york"));
+    assert!(std::path::Path::new("target/fig5/new-york.svg").exists());
+}
+
+#[test]
+fn demo_runs_every_scenario() {
+    for scenario in ["map", "shuffle", "pi", "sort"] {
+        let output = Command::new(env!("CARGO_BIN_EXE_demo"))
+            .args([scenario, "--tasks", "12", "--network", "lan"])
+            .output()
+            .expect("spawn demo");
+        assert!(
+            output.status.success(),
+            "demo {scenario} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let out = String::from_utf8_lossy(&output.stdout);
+        assert!(out.contains("virtual time:"), "demo {scenario}:\n{out}");
+    }
+}
+
+#[test]
+fn demo_rejects_bad_flags() {
+    let output = Command::new(env!("CARGO_BIN_EXE_demo"))
+        .args(["map", "--bogus"])
+        .output()
+        .expect("spawn demo");
+    assert!(!output.status.success());
+}

@@ -1,0 +1,130 @@
+//! Executor configuration.
+
+use std::time::Duration;
+
+use rustwren_faas::DEFAULT_RUNTIME;
+
+/// How the client turns a list of tasks into cloud invocations (§5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpawnStrategy {
+    /// The client issues every invocation itself over its own network, from
+    /// a small thread pool — the original PyWren behaviour. Slow from a
+    /// high-latency network.
+    Direct {
+        /// Concurrent client-side invocation threads.
+        client_threads: usize,
+    },
+    /// *Massive function spawning*: the client invokes a handful of remote
+    /// invoker functions, each of which issues a group of invocations from
+    /// inside the cloud over the low-latency internal network.
+    RemoteInvoker {
+        /// Invocations per remote invoker function (the paper settled on
+        /// groups of 100).
+        group_size: usize,
+        /// Concurrent invocation streams inside each invoker container
+        /// (bounded by one container's CPU).
+        invoker_threads: usize,
+    },
+    /// Per-job choice — the paper's "mechanism … can be enabled and
+    /// disabled as needed": jobs of at least `threshold` tasks use
+    /// [`massive`](SpawnStrategy::massive) spawning, smaller jobs spawn
+    /// directly (the invoker round trip isn't worth it for a handful of
+    /// functions).
+    Auto {
+        /// Minimum task count that enables massive spawning.
+        threshold: usize,
+    },
+}
+
+impl SpawnStrategy {
+    /// The paper's final massive-spawning configuration: groups of 100.
+    pub fn massive() -> SpawnStrategy {
+        SpawnStrategy::RemoteInvoker {
+            group_size: 100,
+            invoker_threads: 2,
+        }
+    }
+
+    /// Resolves this strategy for a job of `tasks` tasks ([`Auto`] picks
+    /// between direct and massive; concrete strategies return themselves).
+    ///
+    /// [`Auto`]: SpawnStrategy::Auto
+    pub fn resolve_for(&self, tasks: usize) -> SpawnStrategy {
+        match self {
+            SpawnStrategy::Auto { threshold } => {
+                if tasks >= *threshold {
+                    SpawnStrategy::massive()
+                } else {
+                    SpawnStrategy::default()
+                }
+            }
+            concrete => concrete.clone(),
+        }
+    }
+}
+
+impl Default for SpawnStrategy {
+    fn default() -> SpawnStrategy {
+        SpawnStrategy::Direct { client_threads: 5 }
+    }
+}
+
+/// Configuration of one [`crate::Executor`] instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorConfig {
+    /// Runtime image for this executor's functions (the paper's
+    /// `ibm_cf_executor(runtime='matplotlib')` knob).
+    pub runtime: String,
+    /// Bucket where jobs, statuses and results are staged.
+    pub storage_bucket: String,
+    /// Invocation strategy.
+    pub spawn: SpawnStrategy,
+    /// How often `wait`/`get_result` poll COS for statuses.
+    pub poll_interval: Duration,
+    /// How often an in-cloud reducer polls COS for its map inputs.
+    pub reduce_poll_interval: Duration,
+    /// Seed individualizing this executor's jitter/failure stream.
+    pub seed: u64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> ExecutorConfig {
+        ExecutorConfig {
+            runtime: DEFAULT_RUNTIME.to_owned(),
+            storage_bucket: "rustwren-runtime".to_owned(),
+            spawn: SpawnStrategy::default(),
+            poll_interval: Duration::from_millis(500),
+            reduce_poll_interval: Duration::from_millis(1000),
+            seed: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_runtime_matches_platform_default() {
+        assert_eq!(ExecutorConfig::default().runtime, DEFAULT_RUNTIME);
+    }
+
+    #[test]
+    fn default_strategy_is_direct() {
+        assert_eq!(
+            SpawnStrategy::default(),
+            SpawnStrategy::Direct { client_threads: 5 }
+        );
+    }
+
+    #[test]
+    fn massive_uses_groups_of_100() {
+        assert_eq!(
+            SpawnStrategy::massive(),
+            SpawnStrategy::RemoteInvoker {
+                group_size: 100,
+                invoker_threads: 2
+            }
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Typed conversions over the wire [`Value`]: ergonomic, checked mappings
+//! between Rust types and the dynamic payloads functions exchange.
+//!
+//! `From<T> for Value` covers the encoding direction for primitives;
+//! [`FromValue`] adds the checked decoding direction plus containers, and
+//! [`Executor::map_typed`] / [`Executor::get_typed_results`] wire both into
+//! the executor API so callers keep native types end to end.
+
+use std::collections::BTreeMap;
+
+use crate::error::{PywrenError, Result};
+use crate::executor::Executor;
+use crate::future::ResponseFuture;
+use crate::wire::Value;
+
+/// Checked extraction of a Rust value from a wire [`Value`].
+pub trait FromValue: Sized {
+    /// Converts, describing any mismatch.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the expected shape.
+    fn from_value(v: &Value) -> std::result::Result<Self, String>;
+}
+
+impl FromValue for Value {
+    fn from_value(v: &Value) -> std::result::Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+impl FromValue for i64 {
+    fn from_value(v: &Value) -> std::result::Result<Self, String> {
+        v.as_i64().ok_or_else(|| format!("expected int, got {v}"))
+    }
+}
+
+impl FromValue for f64 {
+    fn from_value(v: &Value) -> std::result::Result<Self, String> {
+        v.as_f64().ok_or_else(|| format!("expected float, got {v}"))
+    }
+}
+
+impl FromValue for bool {
+    fn from_value(v: &Value) -> std::result::Result<Self, String> {
+        v.as_bool().ok_or_else(|| format!("expected bool, got {v}"))
+    }
+}
+
+impl FromValue for String {
+    fn from_value(v: &Value) -> std::result::Result<Self, String> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| format!("expected string, got {v}"))
+    }
+}
+
+impl FromValue for Vec<u8> {
+    fn from_value(v: &Value) -> std::result::Result<Self, String> {
+        v.as_bytes()
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| format!("expected bytes, got {v}"))
+    }
+}
+
+impl<T: FromValue> FromValue for Vec<T> {
+    fn from_value(v: &Value) -> std::result::Result<Self, String> {
+        v.as_list()
+            .ok_or_else(|| format!("expected list, got {v}"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(v: &Value) -> std::result::Result<Self, String> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: FromValue> FromValue for BTreeMap<String, T> {
+    fn from_value(v: &Value) -> std::result::Result<Self, String> {
+        v.as_map()
+            .ok_or_else(|| format!("expected map, got {v}"))?
+            .iter()
+            .map(|(k, item)| Ok((k.clone(), T::from_value(item)?)))
+            .collect()
+    }
+}
+
+impl Executor {
+    /// Typed [`map`](Executor::map): inputs convert into [`Value`]s on the
+    /// way out.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`map`](Executor::map).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rustwren_core::{SimCloud, TaskCtx, Value};
+    ///
+    /// let cloud = SimCloud::builder().build();
+    /// cloud.register_fn("add7", |_: &TaskCtx, v: Value| {
+    ///     Ok(Value::Int(v.as_i64().ok_or("int")? + 7))
+    /// });
+    /// let results: Vec<i64> = cloud.run(|| {
+    ///     let exec = cloud.executor().build()?;
+    ///     exec.map_typed("add7", [3i64, 6, 9])?;
+    ///     exec.get_typed_results()
+    /// })?;
+    /// assert_eq!(results, vec![10, 13, 16]);
+    /// # Ok::<(), rustwren_core::PywrenError>(())
+    /// ```
+    pub fn map_typed<T>(
+        &self,
+        func: &str,
+        inputs: impl IntoIterator<Item = T>,
+    ) -> Result<Vec<ResponseFuture>>
+    where
+        T: Into<Value>,
+    {
+        self.map(func, inputs.into_iter().map(Into::into))
+    }
+
+    /// Typed [`get_result`](Executor::get_result): every collected value is
+    /// converted to `R`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`get_result`](Executor::get_result), plus a
+    /// [`PywrenError::Task`] describing the first conversion mismatch.
+    pub fn get_typed_results<R: FromValue>(&self) -> Result<Vec<R>> {
+        self.get_result()?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                R::from_value(v).map_err(|message| PywrenError::Task {
+                    task: format!("result #{i}"),
+                    message,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_convert_both_ways() {
+        assert_eq!(i64::from_value(&Value::Int(5)), Ok(5));
+        assert_eq!(f64::from_value(&Value::Float(1.5)), Ok(1.5));
+        assert_eq!(f64::from_value(&Value::Int(2)), Ok(2.0));
+        assert_eq!(bool::from_value(&Value::Bool(true)), Ok(true));
+        assert_eq!(String::from_value(&Value::from("x")), Ok("x".to_owned()));
+        assert_eq!(
+            Vec::<u8>::from_value(&Value::bytes(vec![1, 2])),
+            Ok(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn mismatches_name_the_expected_type() {
+        let err = i64::from_value(&Value::from("nope")).unwrap_err();
+        assert!(err.contains("expected int"), "{err}");
+        let err = Vec::<i64>::from_value(&Value::Int(1)).unwrap_err();
+        assert!(err.contains("expected list"), "{err}");
+    }
+
+    #[test]
+    fn containers_convert_recursively() {
+        let v = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(Vec::<i64>::from_value(&v), Ok(vec![1, 2]));
+        // One bad element fails the whole container.
+        let v = Value::List(vec![Value::Int(1), Value::from("x")]);
+        assert!(Vec::<i64>::from_value(&v).is_err());
+
+        let m = Value::map().with("a", 1i64).with("b", 2i64);
+        let map = BTreeMap::<String, i64>::from_value(&m).expect("converts");
+        assert_eq!(map["a"], 1);
+        assert_eq!(map["b"], 2);
+    }
+
+    #[test]
+    fn option_treats_null_as_none() {
+        assert_eq!(Option::<i64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<i64>::from_value(&Value::Int(4)), Ok(Some(4)));
+        assert!(Option::<i64>::from_value(&Value::from("x")).is_err());
+    }
+
+    #[test]
+    fn typed_results_surface_conversion_errors() {
+        let cloud = crate::SimCloud::builder().build();
+        cloud.register_fn("stringy", |_: &crate::TaskCtx, _v: Value| {
+            Ok(Value::from("not a number"))
+        });
+        cloud.run(|| {
+            let exec = cloud.executor().build().unwrap();
+            exec.map_typed("stringy", [1i64]).unwrap();
+            let err = exec.get_typed_results::<i64>().unwrap_err();
+            assert!(matches!(err, PywrenError::Task { .. }));
+        });
+    }
+}

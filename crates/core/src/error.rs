@@ -1,0 +1,133 @@
+//! IBM-PyWren error types.
+
+use std::error::Error;
+use std::fmt;
+
+use rustwren_faas::InvokeError;
+use rustwren_store::StoreError;
+
+use crate::wire::WireError;
+
+/// Error returned by executor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PywrenError {
+    /// The function name was never registered with the cloud.
+    UnknownFunction(String),
+    /// Storage operation failed.
+    Storage(StoreError),
+    /// Function invocation failed.
+    Invoke(InvokeError),
+    /// A payload could not be decoded.
+    Wire(WireError),
+    /// A remote task finished with an application error.
+    Task {
+        /// The failing task's identifier, e.g. `"job-3/task-17"`.
+        task: String,
+        /// The error message the user function (or agent) produced.
+        message: String,
+    },
+    /// `get_result`/`wait` exceeded its timeout.
+    Timeout {
+        /// Tasks that had completed when the timeout fired.
+        done: usize,
+        /// Tasks still pending.
+        pending: usize,
+    },
+    /// A data source matched no objects (empty bucket, missing keys).
+    EmptyDataSource(String),
+}
+
+impl fmt::Display for PywrenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PywrenError::UnknownFunction(name) => {
+                write!(
+                    f,
+                    "unknown function `{name}` (register it on the cloud first)"
+                )
+            }
+            PywrenError::Storage(e) => write!(f, "storage error: {e}"),
+            PywrenError::Invoke(e) => write!(f, "invocation error: {e}"),
+            PywrenError::Wire(e) => write!(f, "payload decode error: {e}"),
+            PywrenError::Task { task, message } => write!(f, "task {task} failed: {message}"),
+            PywrenError::Timeout { done, pending } => {
+                write!(
+                    f,
+                    "timed out with {done} task(s) done and {pending} pending"
+                )
+            }
+            PywrenError::EmptyDataSource(what) => {
+                write!(f, "data source matched no objects: {what}")
+            }
+        }
+    }
+}
+
+impl Error for PywrenError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PywrenError::Storage(e) => Some(e),
+            PywrenError::Invoke(e) => Some(e),
+            PywrenError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for PywrenError {
+    fn from(e: StoreError) -> PywrenError {
+        PywrenError::Storage(e)
+    }
+}
+
+impl From<InvokeError> for PywrenError {
+    fn from(e: InvokeError) -> PywrenError {
+        PywrenError::Invoke(e)
+    }
+}
+
+impl From<WireError> for PywrenError {
+    fn from(e: WireError) -> PywrenError {
+        PywrenError::Wire(e)
+    }
+}
+
+/// Convenience alias for executor results.
+pub type Result<T> = std::result::Result<T, PywrenError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = PywrenError::Task {
+            task: "job-1/task-2".into(),
+            message: "bad csv".into(),
+        };
+        assert_eq!(e.to_string(), "task job-1/task-2 failed: bad csv");
+        assert!(PywrenError::Timeout {
+            done: 3,
+            pending: 7
+        }
+        .to_string()
+        .contains("3"));
+    }
+
+    #[test]
+    fn source_chains_to_substrate_errors() {
+        let e = PywrenError::Storage(StoreError::NoSuchBucket("b".into()));
+        assert!(e.source().is_some());
+        assert!(PywrenError::UnknownFunction("f".into()).source().is_none());
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let e: PywrenError = StoreError::NoSuchBucket("b".into()).into();
+        assert!(matches!(e, PywrenError::Storage(_)));
+        let e: PywrenError = InvokeError::Throttled { limit: 10 }.into();
+        assert!(matches!(e, PywrenError::Invoke(_)));
+        let e: PywrenError = WireError::UnexpectedEof.into();
+        assert!(matches!(e, PywrenError::Wire(_)));
+    }
+}

@@ -1,0 +1,835 @@
+//! The executor: IBM-PyWren's first-citizen object (§4.1–§4.2).
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use rustwren_faas::FaasClient;
+use rustwren_sim::hash::hash2;
+use rustwren_sim::NetworkProfile;
+use rustwren_store::CosClient;
+
+use crate::cloud::SimCloud;
+use crate::config::{ExecutorConfig, SpawnStrategy};
+use crate::error::{PywrenError, Result};
+use crate::future::{ResponseFuture, WaitPolicy};
+use crate::invoker::{agent_action_name, deploy_agent, spawn_tasks};
+use crate::job::{func_key, AgentPayload, TaskSpec};
+use crate::partition::{discover, partition_objects, DataSource};
+use crate::wire::Value;
+
+/// Client threads used to upload task inputs to COS before invocation.
+const UPLOAD_THREADS: usize = 64;
+
+/// Options for [`Executor::map_reduce`] (§4.3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapReduceOpts {
+    /// Split objects into chunks of this many (logical) bytes; `None` means
+    /// one partition per object ("data object granularity").
+    pub chunk_size: Option<u64>,
+    /// Run one reducer per source object key — the paper's
+    /// `reducer_one_per_object=True`, a `reduceByKey`-like mode.
+    pub reducer_one_per_object: bool,
+}
+
+/// Options for [`Executor::map_shuffle_reduce`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShuffleOpts {
+    /// Number of parallel reducers (each owns a hash slice of the keys).
+    pub reducers: usize,
+    /// Chunk size for splitting storage objects; `None` = per object.
+    pub chunk_size: Option<u64>,
+}
+
+impl Default for ShuffleOpts {
+    fn default() -> ShuffleOpts {
+        ShuffleOpts {
+            reducers: 4,
+            chunk_size: None,
+        }
+    }
+}
+
+/// Options for [`Executor::get_result_with`].
+#[derive(Clone, Default)]
+pub struct GetResultOpts {
+    /// Give up after this much virtual time.
+    pub timeout: Option<Duration>,
+    /// Progress callback `(done, total)`, the library's "progress bar".
+    pub progress: Option<Arc<dyn Fn(usize, usize) + Send + Sync>>,
+}
+
+impl fmt::Debug for GetResultOpts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GetResultOpts")
+            .field("timeout", &self.timeout)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+struct ExecInner {
+    cloud: SimCloud,
+    config: ExecutorConfig,
+    exec_id: String,
+    agent_action: String,
+    job_seq: AtomicU64,
+    pending: parking_lot::Mutex<Vec<ResponseFuture>>,
+    /// job id → function name, for re-invoking failed tasks.
+    job_funcs: parking_lot::Mutex<std::collections::HashMap<u64, String>>,
+    cos: CosClient,
+    faas: FaasClient,
+}
+
+/// An IBM-PyWren executor bound to one runtime and one network position.
+/// Cheap to clone; clones share the pending-futures set.
+///
+/// Mirrors the paper's Table 2 API: [`call_async`](Executor::call_async),
+/// [`map`](Executor::map), [`map_reduce`](Executor::map_reduce),
+/// [`wait`](Executor::wait), [`get_result`](Executor::get_result).
+#[derive(Clone)]
+pub struct Executor {
+    inner: Arc<ExecInner>,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("exec_id", &self.inner.exec_id)
+            .field("runtime", &self.inner.config.runtime)
+            .field("pending", &self.inner.pending.lock().len())
+            .finish()
+    }
+}
+
+/// Builder returned by [`SimCloud::executor`].
+#[derive(Debug)]
+pub struct ExecutorBuilder {
+    cloud: SimCloud,
+    config: ExecutorConfig,
+    net: Option<NetworkProfile>,
+}
+
+impl ExecutorBuilder {
+    pub(crate) fn new(cloud: SimCloud) -> ExecutorBuilder {
+        ExecutorBuilder {
+            cloud,
+            config: ExecutorConfig::default(),
+            net: None,
+        }
+    }
+
+    /// Selects the runtime image (the paper's
+    /// `ibm_cf_executor(runtime='matplotlib')`).
+    pub fn runtime(mut self, runtime: impl Into<String>) -> ExecutorBuilder {
+        self.config.runtime = runtime.into();
+        self
+    }
+
+    /// Selects the invocation strategy.
+    pub fn spawn(mut self, spawn: SpawnStrategy) -> ExecutorBuilder {
+        self.config.spawn = spawn;
+        self
+    }
+
+    /// Sets the client-side status poll interval.
+    pub fn poll_interval(mut self, interval: Duration) -> ExecutorBuilder {
+        self.config.poll_interval = interval;
+        self
+    }
+
+    /// Sets the bucket where jobs are staged.
+    pub fn storage_bucket(mut self, bucket: impl Into<String>) -> ExecutorBuilder {
+        self.config.storage_bucket = bucket.into();
+        self
+    }
+
+    /// Overrides the executor's network position (defaults to the cloud's
+    /// client network; in-cloud executors use the data-center profile).
+    pub fn network(mut self, net: NetworkProfile) -> ExecutorBuilder {
+        self.net = Some(net);
+        self
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: ExecutorConfig) -> ExecutorBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Builds the executor, deploying the agent action for its runtime.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the runtime image is unknown to the Docker registry.
+    pub fn build(self) -> Result<Executor> {
+        deploy_agent(&self.cloud, &self.config.runtime)?;
+        self.cloud
+            .store()
+            .ensure_bucket(&self.config.storage_bucket);
+        let exec_id = self.cloud.next_exec_id();
+        let net = self
+            .net
+            .unwrap_or_else(|| self.cloud.client_network().clone());
+        let seed = hash2(self.cloud.inner.seed, hash2(0xE0EC, exec_id.len() as u64));
+        let cos = CosClient::new(self.cloud.store(), net.clone(), seed);
+        let faas = FaasClient::new(self.cloud.functions(), net, hash2(seed, 0xFA));
+        let agent_action = agent_action_name(&self.config.runtime);
+        Ok(Executor {
+            inner: Arc::new(ExecInner {
+                cloud: self.cloud,
+                config: self.config,
+                exec_id,
+                agent_action,
+                job_seq: AtomicU64::new(1),
+                pending: parking_lot::Mutex::new(Vec::new()),
+                job_funcs: parking_lot::Mutex::new(std::collections::HashMap::new()),
+                cos,
+                faas,
+            }),
+        })
+    }
+}
+
+impl Executor {
+    /// This executor's unique id (tracks its objects in COS).
+    pub fn exec_id(&self) -> &str {
+        &self.inner.exec_id
+    }
+
+    /// The executor's configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.inner.config
+    }
+
+    /// The cloud this executor targets.
+    pub fn cloud(&self) -> &SimCloud {
+        &self.inner.cloud
+    }
+
+    /// Runs one function asynchronously (§4.2 `call_async`). Non-blocking:
+    /// returns a future tracked by this executor.
+    ///
+    /// # Errors
+    ///
+    /// Unknown function, storage errors while staging, or invocation errors.
+    pub fn call_async(&self, func: &str, input: Value) -> Result<ResponseFuture> {
+        let futures = self.run_job(func, vec![TaskSpec::Value(input)])?;
+        let fut = futures
+            .into_iter()
+            .next()
+            .expect("one task yields one future");
+        self.inner.pending.lock().push(fut.clone());
+        Ok(fut)
+    }
+
+    /// Runs one function per input value in parallel (§4.2 `map`).
+    /// Non-blocking.
+    ///
+    /// # Errors
+    ///
+    /// Unknown function, storage errors while staging, or invocation errors.
+    pub fn map(
+        &self,
+        func: &str,
+        inputs: impl IntoIterator<Item = Value>,
+    ) -> Result<Vec<ResponseFuture>> {
+        let specs: Vec<TaskSpec> = inputs.into_iter().map(TaskSpec::Value).collect();
+        let futures = self.run_job(func, specs)?;
+        self.inner.pending.lock().extend(futures.iter().cloned());
+        Ok(futures)
+    }
+
+    /// Runs a MapReduce flow (§4.2–§4.3): discovers and partitions `source`,
+    /// maps `map_func` over every partition, then runs `reduce_func` over
+    /// the partial results — one reducer in total, or one per source object
+    /// with [`MapReduceOpts::reducer_one_per_object`]. Non-blocking; the
+    /// returned (and tracked) futures are the *reducer* outputs.
+    ///
+    /// # Errors
+    ///
+    /// Unknown functions, discovery/staging storage errors, or invocation
+    /// errors.
+    pub fn map_reduce(
+        &self,
+        map_func: &str,
+        source: DataSource,
+        reduce_func: &str,
+        opts: MapReduceOpts,
+    ) -> Result<Vec<ResponseFuture>> {
+        self.map_reduce_inner(map_func, source, reduce_func, opts, None)
+    }
+
+    fn map_reduce_inner(
+        &self,
+        map_func: &str,
+        source: DataSource,
+        reduce_func: &str,
+        opts: MapReduceOpts,
+        extra: Option<Value>,
+    ) -> Result<Vec<ResponseFuture>> {
+        // Map phase.
+        let (map_specs, groups): (Vec<TaskSpec>, Vec<String>) = match &source {
+            DataSource::Values(values) => (
+                values.iter().cloned().map(TaskSpec::Value).collect(),
+                values.iter().map(|_| String::new()).collect(),
+            ),
+            _ => {
+                let objects = discover(&self.inner.cos, &source)?;
+                let parts = partition_objects(&objects, opts.chunk_size);
+                let groups = parts.iter().map(|p| p.key.clone()).collect();
+                (parts.into_iter().map(TaskSpec::Partition).collect(), groups)
+            }
+        };
+        let map_futures = self.run_job_with_extra(map_func, map_specs, extra)?;
+
+        // Reduce phase.
+        let poll = self.inner.config.reduce_poll_interval;
+        let reduce_specs: Vec<TaskSpec> = if opts.reducer_one_per_object {
+            let mut seen: Vec<String> = Vec::new();
+            for g in &groups {
+                if !seen.contains(g) {
+                    seen.push(g.clone());
+                }
+            }
+            seen.into_iter()
+                .map(|g| TaskSpec::Reduce {
+                    deps: map_futures
+                        .iter()
+                        .zip(&groups)
+                        .filter(|(_, fg)| **fg == g)
+                        .map(|(f, _)| f.clone())
+                        .collect(),
+                    group: Some(g),
+                    poll,
+                })
+                .collect()
+        } else {
+            vec![TaskSpec::Reduce {
+                deps: map_futures.clone(),
+                group: None,
+                poll,
+            }]
+        };
+        let reduce_futures = self.run_job(reduce_func, reduce_specs)?;
+        self.inner
+            .pending
+            .lock()
+            .extend(reduce_futures.iter().cloned());
+        Ok(reduce_futures)
+    }
+
+    /// [`map_reduce`](Executor::map_reduce) with per-job *extra data*: the
+    /// entries of `extra` (a map value) are merged into every map task's
+    /// input. This is how iterative algorithms ship small mutable state —
+    /// e.g. the current k-means centroids — alongside the partitioned
+    /// dataset, without re-uploading the data each round.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`map_reduce`](Executor::map_reduce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra` is not a [`Value::Map`].
+    pub fn map_reduce_with_extra(
+        &self,
+        map_func: &str,
+        source: DataSource,
+        reduce_func: &str,
+        opts: MapReduceOpts,
+        extra: Value,
+    ) -> Result<Vec<ResponseFuture>> {
+        assert!(extra.as_map().is_some(), "extra must be a map value");
+        self.map_reduce_inner(map_func, source, reduce_func, opts, Some(extra))
+    }
+
+    /// Runs a MapReduce flow **with a shuffle stage**: `map_func` runs once
+    /// per input/partition and must return a list of `{"k": key, "v":
+    /// value}` pairs; the agents hash-partition those pairs into
+    /// `opts.reducers` COS objects; then `opts.reducers` parallel reducers
+    /// each receive `{"index", "groups": {key: [values…]}}` for their share
+    /// of the key space. Non-blocking; the tracked futures are the reducer
+    /// outputs, in reducer-index order.
+    ///
+    /// This is the storage-based shuffle that §2 of the paper singles out
+    /// as the open challenge of serverless MapReduce (the approach
+    /// Corral/Lambada take: stage the exchange through object storage).
+    ///
+    /// # Errors
+    ///
+    /// Unknown functions, discovery/staging storage errors, or invocation
+    /// errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.reducers` is zero.
+    pub fn map_shuffle_reduce(
+        &self,
+        map_func: &str,
+        source: DataSource,
+        reduce_func: &str,
+        opts: ShuffleOpts,
+    ) -> Result<Vec<ResponseFuture>> {
+        assert!(opts.reducers > 0, "shuffle needs at least one reducer");
+        let inner_specs: Vec<TaskSpec> = match &source {
+            DataSource::Values(values) => values.iter().cloned().map(TaskSpec::Value).collect(),
+            _ => {
+                let objects = discover(&self.inner.cos, &source)?;
+                partition_objects(&objects, opts.chunk_size)
+                    .into_iter()
+                    .map(TaskSpec::Partition)
+                    .collect()
+            }
+        };
+        let map_specs: Vec<TaskSpec> = inner_specs
+            .into_iter()
+            .map(|inner| TaskSpec::ShuffleMap {
+                inner: Box::new(inner),
+                reducers: opts.reducers,
+            })
+            .collect();
+        let map_futures = self.run_job(map_func, map_specs)?;
+
+        let poll = self.inner.config.reduce_poll_interval;
+        let reduce_specs: Vec<TaskSpec> = (0..opts.reducers)
+            .map(|index| TaskSpec::ShuffleReduce {
+                deps: map_futures.clone(),
+                index,
+                poll,
+            })
+            .collect();
+        let reduce_futures = self.run_job(reduce_func, reduce_specs)?;
+        self.inner
+            .pending
+            .lock()
+            .extend(reduce_futures.iter().cloned());
+        Ok(reduce_futures)
+    }
+
+    /// Stages one job (function blob + per-task inputs) and fires its
+    /// invocations with the configured spawn strategy.
+    fn run_job(&self, func: &str, specs: Vec<TaskSpec>) -> Result<Vec<ResponseFuture>> {
+        self.run_job_with_extra(func, specs, None)
+    }
+
+    fn run_job_with_extra(
+        &self,
+        func: &str,
+        specs: Vec<TaskSpec>,
+        extra: Option<Value>,
+    ) -> Result<Vec<ResponseFuture>> {
+        let registry = self.inner.cloud.registry();
+        let Some(f) = registry.get(func) else {
+            return Err(PywrenError::UnknownFunction(func.to_owned()));
+        };
+        let job_id = self.inner.job_seq.fetch_add(1, Ordering::Relaxed);
+        self.inner.job_funcs.lock().insert(job_id, func.to_owned());
+        let bucket = &self.inner.config.storage_bucket;
+        let exec_id = &self.inner.exec_id;
+
+        // 1. Stage the "serialized function" once per job.
+        self.inner.cos.put(
+            bucket,
+            &func_key(exec_id, job_id),
+            Bytes::from(vec![0u8; f.code_size() as usize]),
+        )?;
+
+        // 2. Stage the per-task inputs from a client upload pool.
+        let payloads: Vec<AgentPayload> = (0..specs.len() as u32)
+            .map(|task| AgentPayload {
+                bucket: bucket.clone(),
+                exec_id: exec_id.clone(),
+                job_id,
+                task,
+                func_name: func.to_owned(),
+            })
+            .collect();
+        let uploads: Vec<(String, Bytes)> = payloads
+            .iter()
+            .zip(&specs)
+            .map(|(p, s)| {
+                let mut desc = s.to_value();
+                if let Some(extra) = &extra {
+                    desc = desc.with("extra", extra.clone());
+                }
+                (format!("{}/input", p.future().task_prefix()), desc.encode())
+            })
+            .collect();
+        self.parallel_upload(uploads)?;
+
+        // 3. Invoke.
+        let futures: Vec<ResponseFuture> = payloads.iter().map(AgentPayload::future).collect();
+        spawn_tasks(
+            &self.inner.faas,
+            &self.inner.config.spawn,
+            &self.inner.agent_action,
+            payloads,
+        )?;
+        Ok(futures)
+    }
+
+    fn parallel_upload(&self, uploads: Vec<(String, Bytes)>) -> Result<()> {
+        if uploads.is_empty() {
+            return Ok(());
+        }
+        let threads = UPLOAD_THREADS.min(uploads.len());
+        let mut chunks: Vec<Vec<(String, Bytes)>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, u) in uploads.into_iter().enumerate() {
+            chunks[i % threads].push(u);
+        }
+        let bucket = self.inner.config.storage_bucket.clone();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(t, chunk)| {
+                let cos = self.inner.cos.clone();
+                let bucket = bucket.clone();
+                rustwren_sim::spawn(format!("upload-{t}"), move || {
+                    for (key, data) in chunk {
+                        cos.put(&bucket, &key, data)?;
+                    }
+                    Ok::<(), rustwren_store::StoreError>(())
+                })
+            })
+            .collect();
+        let mut first_err = None;
+        for h in handles {
+            if let Err(e) = h.join() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+
+    /// Polls which of `futures` have a status object in COS. One LIST per
+    /// distinct job prefix; listed keys are matched against a precomputed
+    /// status-key index so polling stays cheap at thousands of tasks.
+    fn poll_done(&self, futures: &[ResponseFuture]) -> Result<HashSet<ResponseFuture>> {
+        let mut prefixes: Vec<(String, String)> = Vec::new();
+        let mut by_status_key: std::collections::HashMap<String, &ResponseFuture> =
+            std::collections::HashMap::with_capacity(futures.len());
+        for f in futures {
+            let p = (f.bucket().to_owned(), f.job_prefix());
+            if !prefixes.contains(&p) {
+                prefixes.push(p);
+            }
+            by_status_key.insert(f.status_key(), f);
+        }
+        let mut done = HashSet::new();
+        for (bucket, prefix) in prefixes {
+            let listed = self.inner.cos.list(&bucket, &prefix)?;
+            for meta in listed {
+                if let Some(f) = by_status_key.get(&meta.key) {
+                    done.insert((*f).clone());
+                }
+            }
+        }
+        Ok(done)
+    }
+
+    /// Splits the tracked futures into `(done, pending)` under `policy`
+    /// (§4.2 `wait`): `Always` returns immediately; `AnyCompleted` blocks
+    /// until at least one task is done; `AllCompleted` blocks until all are.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors from status polling.
+    pub fn wait(&self, policy: WaitPolicy) -> Result<(Vec<ResponseFuture>, Vec<ResponseFuture>)> {
+        let tracked: Vec<ResponseFuture> = self.inner.pending.lock().clone();
+        if tracked.is_empty() {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        loop {
+            let done = self.poll_done(&tracked)?;
+            let satisfied = match policy {
+                WaitPolicy::Always => true,
+                WaitPolicy::AnyCompleted => !done.is_empty(),
+                WaitPolicy::AllCompleted => done.len() == tracked.len(),
+            };
+            if satisfied {
+                let (d, p) = tracked.into_iter().partition(|f| done.contains(f));
+                return Ok((d, p));
+            }
+            rustwren_sim::sleep(self.inner.config.poll_interval);
+        }
+    }
+
+    /// Collects the results of every tracked future, in submission order,
+    /// then clears the tracked set (§4.2 `get_result`). Composition-aware:
+    /// results that are future-sets (returned by in-cloud executors) are
+    /// awaited transparently.
+    ///
+    /// # Errors
+    ///
+    /// [`PywrenError::Task`] if any task failed, storage errors from
+    /// polling/fetching.
+    pub fn get_result(&self) -> Result<Vec<Value>> {
+        self.get_result_with(GetResultOpts::default())
+    }
+
+    /// [`get_result`](Executor::get_result) with a timeout and/or progress
+    /// callback.
+    ///
+    /// # Errors
+    ///
+    /// Additionally [`PywrenError::Timeout`] if the deadline passes.
+    pub fn get_result_with(&self, opts: GetResultOpts) -> Result<Vec<Value>> {
+        let futures: Vec<ResponseFuture> = std::mem::take(&mut *self.inner.pending.lock());
+        self.resolve(&futures, &opts)
+    }
+
+    /// Resolves an explicit set of futures (used by composition and tests).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`get_result_with`](Executor::get_result_with).
+    pub fn resolve(&self, futures: &[ResponseFuture], opts: &GetResultOpts) -> Result<Vec<Value>> {
+        if futures.is_empty() {
+            return Ok(Vec::new());
+        }
+        let deadline = opts.timeout.map(|t| self.inner.cloud.kernel().now() + t);
+        loop {
+            let done = self.poll_done(futures)?;
+            if let Some(cb) = &opts.progress {
+                cb(done.len(), futures.len());
+            }
+            if done.len() == futures.len() {
+                break;
+            }
+            if let Some(d) = deadline {
+                if self.inner.cloud.kernel().now() >= d {
+                    return Err(PywrenError::Timeout {
+                        done: done.len(),
+                        pending: futures.len() - done.len(),
+                    });
+                }
+            }
+            rustwren_sim::sleep(self.inner.config.poll_interval);
+        }
+
+        // Download results with a client thread pool, as the Python client
+        // does — serial WAN fetches would dwarf the job itself at scale.
+        let n = futures.len();
+        if n == 1 {
+            return Ok(vec![self.fetch_result(&futures[0], opts)?]);
+        }
+        let threads = n.min(UPLOAD_THREADS);
+        let mut chunks: Vec<Vec<(usize, ResponseFuture)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, f) in futures.iter().enumerate() {
+            chunks[i % threads].push((i, f.clone()));
+        }
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(t, chunk)| {
+                let exec = self.clone();
+                let opts = opts.clone();
+                rustwren_sim::spawn(format!("results-{t}"), move || {
+                    chunk
+                        .into_iter()
+                        .map(|(i, f)| exec.fetch_result(&f, &opts).map(|v| (i, v)))
+                        .collect::<Result<Vec<_>>>()
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<Value>> = vec![None; n];
+        let mut first_err = None;
+        for h in handles {
+            match h.join() {
+                Ok(pairs) => {
+                    for (i, v) in pairs {
+                        slots[i] = Some(v);
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every index fetched"))
+            .collect())
+    }
+
+    /// Fetches one completed task's result, following future-set markers.
+    fn fetch_result(&self, f: &ResponseFuture, opts: &GetResultOpts) -> Result<Value> {
+        let status_raw = self.inner.cos.get(f.bucket(), &f.status_key())?;
+        let status = Value::decode(&status_raw)?;
+        let state = status.req_str("state").map_err(|m| PywrenError::Task {
+            task: f.label(),
+            message: m,
+        })?;
+        if state != "done" {
+            return Err(PywrenError::Task {
+                task: f.label(),
+                message: status
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown error")
+                    .to_owned(),
+            });
+        }
+        let raw = self.inner.cos.get(f.bucket(), &f.result_key())?;
+        let value = Value::decode(&raw)?;
+        match ResponseFuture::set_from_value(&value) {
+            Ok(Some(subfutures)) => {
+                // Composition-aware: transparently await the sub-job. A
+                // single-future set (e.g. one sequence stage) yields its
+                // bare value; fan-outs yield the list.
+                let mut sub = self.resolve(&subfutures, opts)?;
+                if sub.len() == 1 {
+                    Ok(sub.pop().expect("len checked"))
+                } else {
+                    Ok(Value::List(sub))
+                }
+            }
+            Ok(None) => Ok(value),
+            Err(m) => Err(PywrenError::Task {
+                task: f.label(),
+                message: format!("malformed future set: {m}"),
+            }),
+        }
+    }
+
+    /// Number of futures currently tracked for `get_result`.
+    pub fn pending_count(&self) -> usize {
+        self.inner.pending.lock().len()
+    }
+
+    /// Deletes every COS object this executor staged (function blobs,
+    /// inputs, statuses, results, shuffle partitions) — PyWren's `clean()`.
+    /// Returns how many objects were removed. Pending futures are cleared;
+    /// resolving previously returned futures afterwards will fail.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors from listing or deleting.
+    pub fn clean(&self) -> Result<usize> {
+        let bucket = &self.inner.config.storage_bucket;
+        let prefix = format!("jobs/{}/", self.inner.exec_id);
+        let keys: Vec<String> = self
+            .inner
+            .cos
+            .list(bucket, &prefix)?
+            .into_iter()
+            .map(|m| m.key)
+            .collect();
+        for key in &keys {
+            self.inner.cos.delete(bucket, key)?;
+        }
+        self.inner.pending.lock().clear();
+        Ok(keys.len())
+    }
+
+    /// Re-invokes tasks of this executor (e.g. after a
+    /// [`PywrenError::Task`] from `get_result`): their staged inputs are
+    /// still in COS, so the agents simply run again, overwriting the old
+    /// status and result. The futures are tracked again for `get_result`.
+    ///
+    /// # Errors
+    ///
+    /// [`PywrenError::UnknownFunction`] for futures from other executors
+    /// (their job → function mapping is unknown here), storage errors while
+    /// clearing old statuses, or invocation errors.
+    pub fn reinvoke(&self, futures: &[ResponseFuture]) -> Result<()> {
+        let mut payloads = Vec::with_capacity(futures.len());
+        for f in futures {
+            let func_name = self
+                .inner
+                .job_funcs
+                .lock()
+                .get(&f.job_id())
+                .cloned()
+                .ok_or_else(|| {
+                    PywrenError::UnknownFunction(format!(
+                        "job {} was not submitted by this executor",
+                        f.job_id()
+                    ))
+                })?;
+            // Clear stale completion markers so polling sees the rerun.
+            self.inner.cos.delete(f.bucket(), &f.status_key())?;
+            self.inner.cos.delete(f.bucket(), &f.result_key())?;
+            payloads.push(AgentPayload {
+                bucket: f.bucket().to_owned(),
+                exec_id: f.exec_id().to_owned(),
+                job_id: f.job_id(),
+                task: f.task(),
+                func_name,
+            });
+        }
+        spawn_tasks(
+            &self.inner.faas,
+            &self.inner.config.spawn,
+            &self.inner.agent_action,
+            payloads,
+        )?;
+        self.inner.pending.lock().extend(futures.iter().cloned());
+        Ok(())
+    }
+
+    /// Fetches the execution metadata the agents recorded in each task's
+    /// status object ("some metadata about the status of the invocations,
+    /// such as execution times, are stored back in COS" — §4.2). The tasks
+    /// must have completed.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors, or [`PywrenError::Task`] for statuses that are
+    /// missing or malformed.
+    pub fn task_timings(&self, futures: &[ResponseFuture]) -> Result<Vec<TaskTiming>> {
+        futures
+            .iter()
+            .map(|f| {
+                let raw = self.inner.cos.get(f.bucket(), &f.status_key())?;
+                let status = Value::decode(&raw)?;
+                let field = |k: &str| {
+                    status
+                        .get(k)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| PywrenError::Task {
+                            task: f.label(),
+                            message: format!("status missing field `{k}`"),
+                        })
+                };
+                Ok(TaskTiming {
+                    task: f.label(),
+                    start_secs: field("start")?,
+                    end_secs: field("end")?,
+                    succeeded: status.get("state").and_then(Value::as_str) == Some("done"),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Per-task execution metadata recovered from a status object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskTiming {
+    /// Task label, e.g. `"e1/2/t00003"`.
+    pub task: String,
+    /// Virtual time the function body started, in seconds.
+    pub start_secs: f64,
+    /// Virtual time the function body ended, in seconds.
+    pub end_secs: f64,
+    /// Whether the task reported success.
+    pub succeeded: bool,
+}
+
+impl TaskTiming {
+    /// Execution duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        (self.end_secs - self.start_secs).max(0.0)
+    }
+}

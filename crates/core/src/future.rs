@@ -1,0 +1,192 @@
+//! Response futures and wait policies (Table 2 of the paper).
+
+use crate::wire::Value;
+
+/// Marker key identifying a result value that is really a set of futures
+/// produced by an in-cloud executor (dynamic composition, §4.4).
+pub const FUTURES_MARKER: &str = "__rustwren_futures__";
+
+/// A handle to one remote task's eventual status and result in COS.
+///
+/// Futures are plain descriptors — (bucket, executor id, job id, task index)
+/// — so they can be encoded into a [`Value`], returned from a cloud
+/// function, and resolved by any client. This is what makes IBM-PyWren's
+/// composability work: `get_result()` transparently follows futures returned
+/// by other functions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResponseFuture {
+    bucket: String,
+    exec_id: String,
+    job_id: u64,
+    task: u32,
+}
+
+impl ResponseFuture {
+    /// Creates a future descriptor.
+    pub fn new(bucket: &str, exec_id: &str, job_id: u64, task: u32) -> ResponseFuture {
+        ResponseFuture {
+            bucket: bucket.to_owned(),
+            exec_id: exec_id.to_owned(),
+            job_id,
+            task,
+        }
+    }
+
+    /// Bucket holding this task's objects.
+    pub fn bucket(&self) -> &str {
+        &self.bucket
+    }
+
+    /// The owning executor's id.
+    pub fn exec_id(&self) -> &str {
+        &self.exec_id
+    }
+
+    /// The job this task belongs to.
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// Task index within the job.
+    pub fn task(&self) -> u32 {
+        self.task
+    }
+
+    /// Key prefix shared by all of this job's tasks.
+    pub fn job_prefix(&self) -> String {
+        format!("jobs/{}/{}/", self.exec_id, self.job_id)
+    }
+
+    /// Key prefix of this task's objects.
+    pub fn task_prefix(&self) -> String {
+        format!("jobs/{}/{}/t{:05}", self.exec_id, self.job_id, self.task)
+    }
+
+    /// Key of this task's status object.
+    pub fn status_key(&self) -> String {
+        format!("{}/status", self.task_prefix())
+    }
+
+    /// Key of this task's result object.
+    pub fn result_key(&self) -> String {
+        format!("{}/result", self.task_prefix())
+    }
+
+    /// Human-readable label for error messages, e.g. `"e1/j2/t00003"`.
+    pub fn label(&self) -> String {
+        format!("{}/{}/t{:05}", self.exec_id, self.job_id, self.task)
+    }
+
+    /// Encodes the descriptor for shipping inside a result value.
+    pub fn to_value(&self) -> Value {
+        Value::map()
+            .with("bucket", self.bucket.as_str())
+            .with("exec", self.exec_id.as_str())
+            .with("job", self.job_id as i64)
+            .with("task", i64::from(self.task))
+    }
+
+    /// Decodes a descriptor previously produced by
+    /// [`to_value`](ResponseFuture::to_value).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed field.
+    pub fn from_value(v: &Value) -> Result<ResponseFuture, String> {
+        Ok(ResponseFuture {
+            bucket: v.req_str("bucket")?.to_owned(),
+            exec_id: v.req_str("exec")?.to_owned(),
+            job_id: v.req_i64("job")? as u64,
+            task: v.req_i64("task")? as u32,
+        })
+    }
+
+    /// Wraps a set of futures into the marker value recognized by
+    /// `get_result()` (composition-aware result collection).
+    pub fn set_to_value(futures: &[ResponseFuture]) -> Value {
+        Value::map().with(
+            FUTURES_MARKER,
+            Value::List(futures.iter().map(ResponseFuture::to_value).collect()),
+        )
+    }
+
+    /// If `v` is a futures marker, decodes the contained futures.
+    ///
+    /// # Errors
+    ///
+    /// A message if the marker is present but malformed.
+    pub fn set_from_value(v: &Value) -> Result<Option<Vec<ResponseFuture>>, String> {
+        let Some(list) = v.get(FUTURES_MARKER) else {
+            return Ok(None);
+        };
+        let items = list.as_list().ok_or("futures marker is not a list")?;
+        let futures = items
+            .iter()
+            .map(ResponseFuture::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Some(futures))
+    }
+}
+
+/// When [`crate::Executor::wait`] should unblock (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaitPolicy {
+    /// Check availability right now and return immediately.
+    Always,
+    /// Block until at least one *pending* task completes.
+    AnyCompleted,
+    /// Block until every task completes.
+    #[default]
+    AllCompleted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn future() -> ResponseFuture {
+        ResponseFuture::new("bkt", "e3", 2, 17)
+    }
+
+    #[test]
+    fn keys_are_stable() {
+        let f = future();
+        assert_eq!(f.job_prefix(), "jobs/e3/2/");
+        assert_eq!(f.status_key(), "jobs/e3/2/t00017/status");
+        assert_eq!(f.result_key(), "jobs/e3/2/t00017/result");
+        assert_eq!(f.label(), "e3/2/t00017");
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let f = future();
+        assert_eq!(ResponseFuture::from_value(&f.to_value()), Ok(f));
+    }
+
+    #[test]
+    fn from_value_rejects_malformed() {
+        assert!(ResponseFuture::from_value(&Value::map()).is_err());
+        assert!(ResponseFuture::from_value(&Value::Int(3)).is_err());
+    }
+
+    #[test]
+    fn futures_set_roundtrip() {
+        let futures = vec![future(), ResponseFuture::new("bkt", "e3", 2, 18)];
+        let v = ResponseFuture::set_to_value(&futures);
+        assert_eq!(ResponseFuture::set_from_value(&v), Ok(Some(futures)));
+    }
+
+    #[test]
+    fn non_marker_values_are_not_future_sets() {
+        assert_eq!(ResponseFuture::set_from_value(&Value::Int(5)), Ok(None));
+        assert_eq!(
+            ResponseFuture::set_from_value(&Value::map().with("x", 1i64)),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn default_wait_policy_is_all_completed() {
+        assert_eq!(WaitPolicy::default(), WaitPolicy::AllCompleted);
+    }
+}

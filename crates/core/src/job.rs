@@ -1,0 +1,513 @@
+//! Job staging and the in-cloud function agent.
+//!
+//! A *job* is one `call_async`/`map`/`map_reduce` submission. The client
+//! stages into COS, per job: one **function blob** (the modeled serialized
+//! user code) and one **input object** per task; it then invokes the agent
+//! action once per task with a small descriptor payload. The agent — the
+//! code that runs inside every IBM-PyWren container — downloads the blob
+//! and input, executes the user function from the registry, and writes a
+//! **result** and a **status** object back to COS, which the client polls.
+//!
+//! COS layout (per executor `e`, job `j`, task `n`):
+//!
+//! ```text
+//! jobs/e/j/func            the function blob
+//! jobs/e/j/t00000/input    task input descriptor
+//! jobs/e/j/t00000/result   encoded result value (on success)
+//! jobs/e/j/t00000/status   {"state": "done"|"error", timings…}
+//! ```
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Weak;
+use std::time::Duration;
+
+use bytes::Bytes;
+use rustwren_faas::{ActionError, ActivationCtx};
+use rustwren_store::CosClient;
+
+use crate::cloud::{CloudInner, SimCloud};
+use crate::future::ResponseFuture;
+use crate::partition::{read_aligned, Partition};
+use crate::task::TaskCtx;
+use crate::wire::Value;
+
+/// Key of a job's function blob.
+pub(crate) fn func_key(exec_id: &str, job_id: u64) -> String {
+    format!("jobs/{exec_id}/{job_id}/func")
+}
+
+/// The small payload carried by each agent invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct AgentPayload {
+    pub bucket: String,
+    pub exec_id: String,
+    pub job_id: u64,
+    pub task: u32,
+    pub func_name: String,
+}
+
+impl AgentPayload {
+    pub(crate) fn encode(&self) -> Bytes {
+        Value::map()
+            .with("bucket", self.bucket.as_str())
+            .with("exec", self.exec_id.as_str())
+            .with("job", self.job_id as i64)
+            .with("task", i64::from(self.task))
+            .with("func", self.func_name.as_str())
+            .encode()
+    }
+
+    pub(crate) fn decode(raw: &[u8]) -> Result<AgentPayload, String> {
+        let v = Value::decode(raw).map_err(|e| e.to_string())?;
+        Ok(AgentPayload {
+            bucket: v.req_str("bucket")?.to_owned(),
+            exec_id: v.req_str("exec")?.to_owned(),
+            job_id: v.req_i64("job")? as u64,
+            task: v.req_i64("task")? as u32,
+            func_name: v.req_str("func")?.to_owned(),
+        })
+    }
+
+    pub(crate) fn future(&self) -> ResponseFuture {
+        ResponseFuture::new(&self.bucket, &self.exec_id, self.job_id, self.task)
+    }
+}
+
+/// Task input descriptors, stored as the task's `input` object.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TaskSpec {
+    /// A plain value (the `map()` path).
+    Value(Value),
+    /// A storage partition the agent must fetch and align (`map_reduce`).
+    Partition(Partition),
+    /// A reduce task: wait for `deps`, gather their results.
+    Reduce {
+        deps: Vec<ResponseFuture>,
+        group: Option<String>,
+        poll: Duration,
+    },
+    /// A shuffling map task: run the inner spec's function, then hash-
+    /// partition its `(key, value)` output pairs into `reducers` COS
+    /// objects (`…/shuffle-R`).
+    ShuffleMap {
+        inner: Box<TaskSpec>,
+        reducers: usize,
+    },
+    /// A shuffle-reduce task: wait for the map `deps`, read every map's
+    /// `shuffle-{index}` object, group pairs by key, and hand the groups to
+    /// the reduce function.
+    ShuffleReduce {
+        deps: Vec<ResponseFuture>,
+        index: usize,
+        poll: Duration,
+    },
+}
+
+impl TaskSpec {
+    pub(crate) fn to_value(&self) -> Value {
+        match self {
+            TaskSpec::Value(v) => Value::map().with("kind", "value").with("value", v.clone()),
+            TaskSpec::Partition(p) => Value::map()
+                .with("kind", "partition")
+                .with("part", p.to_value()),
+            TaskSpec::Reduce { deps, group, poll } => {
+                let group_v = group
+                    .as_deref()
+                    .map_or(Value::Null, |g| Value::Str(g.to_owned()));
+                Value::map()
+                    .with("kind", "reduce")
+                    .with(
+                        "deps",
+                        Value::List(deps.iter().map(ResponseFuture::to_value).collect()),
+                    )
+                    .with("group", group_v)
+                    .with("poll_ms", poll.as_millis() as i64)
+            }
+            TaskSpec::ShuffleMap { inner, reducers } => Value::map()
+                .with("kind", "shuffle-map")
+                .with("inner", inner.to_value())
+                .with("reducers", *reducers as i64),
+            TaskSpec::ShuffleReduce { deps, index, poll } => Value::map()
+                .with("kind", "shuffle-reduce")
+                .with(
+                    "deps",
+                    Value::List(deps.iter().map(ResponseFuture::to_value).collect()),
+                )
+                .with("index", *index as i64)
+                .with("poll_ms", poll.as_millis() as i64),
+        }
+    }
+}
+
+/// Key of one map task's shuffle partition for reducer `r`.
+pub(crate) fn shuffle_key(task_prefix: &str, r: usize) -> String {
+    format!("{task_prefix}/shuffle-{r:04}")
+}
+
+/// Stable reducer assignment for a shuffle key.
+pub(crate) fn shuffle_bucket_of(key: &str, reducers: usize) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-ish fold, then mix
+    for b in key.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (rustwren_sim::hash::mix64(h) % reducers.max(1) as u64) as usize
+}
+
+/// Builds a status object body.
+pub(crate) fn status_value(state: &str, error: Option<&str>, start: f64, end: f64) -> Value {
+    let mut v = Value::map()
+        .with("state", state)
+        .with("start", start)
+        .with("end", end);
+    if let Some(e) = error {
+        v = v.with("error", e);
+    }
+    v
+}
+
+/// The agent body: runs inside every IBM-PyWren function container.
+pub(crate) fn run_agent(
+    cloud: &Weak<CloudInner>,
+    ctx: &ActivationCtx,
+    raw_payload: Bytes,
+) -> Result<Bytes, ActionError> {
+    let inner = cloud
+        .upgrade()
+        .ok_or_else(|| ActionError("cloud was torn down".into()))?;
+    let cloud = SimCloud::from_inner(inner);
+    let payload =
+        AgentPayload::decode(&raw_payload).map_err(|e| ActionError(format!("bad payload: {e}")))?;
+    let cos = ctx.cos_client();
+    let fut = payload.future();
+    let started = ctx.now().as_secs_f64();
+
+    let outcome = execute_task(&cloud, ctx, &cos, &payload);
+
+    let ended = ctx.now().as_secs_f64();
+    // Best-effort status/result write: the client's wait() relies on it.
+    match &outcome {
+        Ok(result) => {
+            cos.put(&payload.bucket, &fut.result_key(), result.encode())
+                .map_err(|e| ActionError(format!("writing result: {e}")))?;
+            cos.put(
+                &payload.bucket,
+                &fut.status_key(),
+                status_value("done", None, started, ended).encode(),
+            )
+            .map_err(|e| ActionError(format!("writing status: {e}")))?;
+            Ok(Bytes::from_static(b"ok"))
+        }
+        Err(msg) => {
+            cos.put(
+                &payload.bucket,
+                &fut.status_key(),
+                status_value("error", Some(msg), started, ended).encode(),
+            )
+            .map_err(|e| ActionError(format!("writing status: {e}")))?;
+            Err(ActionError(msg.clone()))
+        }
+    }
+}
+
+fn execute_task(
+    cloud: &SimCloud,
+    ctx: &ActivationCtx,
+    cos: &CosClient,
+    payload: &AgentPayload,
+) -> Result<Value, String> {
+    let fut = payload.future();
+    // Download the "pickled" function, as the real agent does.
+    let _code = cos
+        .get(&payload.bucket, &func_key(&payload.exec_id, payload.job_id))
+        .map_err(|e| format!("fetching function: {e}"))?;
+    let input_raw = cos
+        .get(&payload.bucket, &format!("{}/input", fut.task_prefix()))
+        .map_err(|e| format!("fetching input: {e}"))?;
+    let desc = Value::decode(&input_raw).map_err(|e| format!("decoding input: {e}"))?;
+
+    let func = cloud
+        .registry()
+        .get(&payload.func_name)
+        .ok_or_else(|| format!("function `{}` not registered", payload.func_name))?;
+    let task_ctx = TaskCtx::new(ctx.clone(), cloud.clone());
+    let call = |input: Value| -> Result<Value, String> {
+        match panic::catch_unwind(AssertUnwindSafe(|| func.call(&task_ctx, input))) {
+            Ok(result) => result,
+            Err(p) => Err(format!("function panicked: {}", panic_text(&p))),
+        }
+    };
+
+    match desc.req_str("kind")? {
+        "shuffle-map" => {
+            let reducers = desc.req_i64("reducers")?.max(1) as usize;
+            let inner = desc.get("inner").ok_or("missing field `inner`")?;
+            let input = build_input(ctx, cos, inner)?;
+            let output = call(input)?;
+            write_shuffle_partitions(cos, payload, &fut, output, reducers)
+        }
+        "shuffle-reduce" => {
+            let input = build_shuffle_reduce_input(ctx, cos, &desc)?;
+            call(input)
+        }
+        _ => {
+            let input = build_input(ctx, cos, &desc)?;
+            call(input)
+        }
+    }
+}
+
+/// Hash-partitions a shuffling map task's `(key, value)` pairs into one COS
+/// object per reducer; returns the summary stored as the task result.
+fn write_shuffle_partitions(
+    cos: &CosClient,
+    payload: &AgentPayload,
+    fut: &ResponseFuture,
+    output: Value,
+    reducers: usize,
+) -> Result<Value, String> {
+    let pairs = output
+        .as_list()
+        .ok_or("shuffle map functions must return a list of {k, v} pairs")?;
+    let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); reducers];
+    for pair in pairs {
+        let key = pair.req_str("k")?;
+        buckets[shuffle_bucket_of(key, reducers)].push(pair.clone());
+    }
+    let total = pairs.len();
+    for (r, bucket) in buckets.into_iter().enumerate() {
+        cos.put(
+            &payload.bucket,
+            &shuffle_key(&fut.task_prefix(), r),
+            Value::List(bucket).encode(),
+        )
+        .map_err(|e| format!("writing shuffle partition {r}: {e}"))?;
+    }
+    Ok(Value::map()
+        .with("pairs", total as i64)
+        .with("reducers", reducers as i64))
+}
+
+/// Gathers one reducer's shuffle partitions from every map task and groups
+/// the pairs by key.
+fn build_shuffle_reduce_input(
+    ctx: &ActivationCtx,
+    cos: &CosClient,
+    desc: &Value,
+) -> Result<Value, String> {
+    let deps = desc
+        .req_list("deps")?
+        .iter()
+        .map(ResponseFuture::from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    let index = desc.req_i64("index")?.max(0) as usize;
+    let poll = Duration::from_millis(desc.req_i64("poll_ms")?.max(1) as u64);
+    wait_for_deps(ctx, cos, &deps, poll)?;
+
+    let mut groups: std::collections::BTreeMap<String, Value> = std::collections::BTreeMap::new();
+    for d in &deps {
+        let raw = cos
+            .get(d.bucket(), &shuffle_key(&d.task_prefix(), index))
+            .map_err(|e| format!("fetching shuffle partition: {e}"))?;
+        let pairs = Value::decode(&raw).map_err(|e| format!("decoding shuffle data: {e}"))?;
+        for pair in pairs.as_list().ok_or("shuffle object must hold a list")? {
+            let k = pair.req_str("k")?;
+            let v = pair.get("v").cloned().unwrap_or(Value::Null);
+            match groups
+                .entry(k.to_owned())
+                .or_insert_with(|| Value::List(Vec::new()))
+            {
+                Value::List(items) => items.push(v),
+                _ => unreachable!("groups only hold lists"),
+            }
+        }
+    }
+    Ok(Value::map()
+        .with("index", index as i64)
+        .with("groups", Value::Map(groups)))
+}
+
+/// Materializes the user function's input from the task descriptor,
+/// merging any job-level `extra` entries into map-shaped inputs.
+fn build_input(ctx: &ActivationCtx, cos: &CosClient, desc: &Value) -> Result<Value, String> {
+    let input = build_input_base(ctx, cos, desc)?;
+    let Some(extra) = desc.get("extra").and_then(Value::as_map) else {
+        return Ok(input);
+    };
+    match input {
+        Value::Map(mut m) => {
+            for (k, v) in extra {
+                m.entry(k.clone()).or_insert_with(|| v.clone());
+            }
+            Ok(Value::Map(m))
+        }
+        other => Ok(Value::map()
+            .with("value", other)
+            .with("extra", Value::Map(extra.clone()))),
+    }
+}
+
+fn build_input_base(ctx: &ActivationCtx, cos: &CosClient, desc: &Value) -> Result<Value, String> {
+    match desc.req_str("kind")? {
+        "value" => Ok(desc.get("value").cloned().unwrap_or(Value::Null)),
+        "partition" => {
+            let part = Partition::from_value(desc.get("part").ok_or("missing field `part`")?)?;
+            let data = read_aligned(cos, &part).map_err(|e| e.to_string())?;
+            Ok(part
+                .to_value()
+                .with("group", part.key.as_str())
+                .with("data", Value::bytes(data.to_vec())))
+        }
+        "reduce" => {
+            let deps = desc
+                .req_list("deps")?
+                .iter()
+                .map(ResponseFuture::from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            let poll = Duration::from_millis(desc.req_i64("poll_ms")?.max(1) as u64);
+            let group = desc.get("group").cloned().unwrap_or(Value::Null);
+
+            wait_for_deps(ctx, cos, &deps, poll)?;
+
+            let mut results = Vec::with_capacity(deps.len());
+            for d in &deps {
+                let status_raw = cos
+                    .get(d.bucket(), &d.status_key())
+                    .map_err(|e| format!("fetching dep status: {e}"))?;
+                let status =
+                    Value::decode(&status_raw).map_err(|e| format!("decoding dep status: {e}"))?;
+                if status.req_str("state")? != "done" {
+                    let msg = status
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown error");
+                    return Err(format!("map task {} failed: {msg}", d.label()));
+                }
+                let result_raw = cos
+                    .get(d.bucket(), &d.result_key())
+                    .map_err(|e| format!("fetching dep result: {e}"))?;
+                results.push(Value::decode(&result_raw).map_err(|e| format!("decoding dep: {e}"))?);
+            }
+            Ok(Value::map()
+                .with("group", group)
+                .with("results", Value::List(results)))
+        }
+        other => Err(format!("unknown task kind `{other}`")),
+    }
+}
+
+/// "The reduce function will wait for all the partial results before
+/// processing them" (§4.3): poll COS until every dependency has a status.
+fn wait_for_deps(
+    ctx: &ActivationCtx,
+    cos: &CosClient,
+    deps: &[ResponseFuture],
+    poll: Duration,
+) -> Result<(), String> {
+    // One LIST per distinct job prefix covers all dependencies cheaply;
+    // precompute the wanted status keys so each poll is a set intersection.
+    let mut prefixes: Vec<(&str, String)> = Vec::new();
+    let mut wanted: std::collections::HashSet<String> =
+        std::collections::HashSet::with_capacity(deps.len());
+    for d in deps {
+        let p = (d.bucket(), d.job_prefix());
+        if !prefixes.iter().any(|q| q.0 == p.0 && q.1 == p.1) {
+            prefixes.push(p);
+        }
+        wanted.insert(d.status_key());
+    }
+    loop {
+        let mut done = 0usize;
+        for (bucket, prefix) in &prefixes {
+            let listed = cos
+                .list(bucket, prefix)
+                .map_err(|e| format!("listing statuses: {e}"))?;
+            for meta in listed {
+                if wanted.contains(&meta.key) {
+                    done += 1;
+                }
+            }
+        }
+        if done >= deps.len() {
+            return Ok(());
+        }
+        if ctx.remaining() < poll {
+            return Err(format!(
+                "reducer ran out of time waiting for {}/{} map results",
+                done,
+                deps.len()
+            ));
+        }
+        rustwren_sim::sleep(poll);
+    }
+}
+
+fn panic_text(p: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agent_payload_roundtrip() {
+        let p = AgentPayload {
+            bucket: "b".into(),
+            exec_id: "e1".into(),
+            job_id: 4,
+            task: 9,
+            func_name: "tone".into(),
+        };
+        assert_eq!(AgentPayload::decode(&p.encode()), Ok(p));
+    }
+
+    #[test]
+    fn agent_payload_decode_rejects_garbage() {
+        assert!(AgentPayload::decode(b"nonsense").is_err());
+        assert!(AgentPayload::decode(&Value::map().with("bucket", "b").encode()).is_err());
+    }
+
+    #[test]
+    fn task_specs_encode_their_kind() {
+        let v = TaskSpec::Value(Value::Int(5)).to_value();
+        assert_eq!(v.req_str("kind"), Ok("value"));
+        let p = TaskSpec::Partition(Partition {
+            bucket: "b".into(),
+            key: "k".into(),
+            start: 0,
+            end: 10,
+            index: 0,
+        })
+        .to_value();
+        assert_eq!(p.req_str("kind"), Ok("partition"));
+        let r = TaskSpec::Reduce {
+            deps: vec![ResponseFuture::new("b", "e", 1, 0)],
+            group: Some("nyc".into()),
+            poll: Duration::from_millis(500),
+        }
+        .to_value();
+        assert_eq!(r.req_str("kind"), Ok("reduce"));
+        assert_eq!(r.req_i64("poll_ms"), Ok(500));
+        assert_eq!(r.get("group").and_then(Value::as_str), Some("nyc"));
+    }
+
+    #[test]
+    fn status_value_carries_error() {
+        let s = status_value("error", Some("boom"), 1.0, 2.0);
+        assert_eq!(s.req_str("state"), Ok("error"));
+        assert_eq!(s.get("error").and_then(Value::as_str), Some("boom"));
+        let ok = status_value("done", None, 1.0, 2.0);
+        assert!(ok.get("error").is_none());
+    }
+
+    #[test]
+    fn func_key_layout() {
+        assert_eq!(func_key("e2", 7), "jobs/e2/7/func");
+    }
+}

@@ -1,0 +1,206 @@
+//! Timeline analysis of activation records.
+//!
+//! The paper's Fig 2 and Fig 3 plot "total concurrent invocations at each
+//! moment". This module reconstructs those series — and summary numbers
+//! like the invocation-phase duration — from the FaaS platform's
+//! [`ActivationRecord`]s.
+
+use std::time::Duration;
+
+use rustwren_faas::ActivationRecord;
+use rustwren_sim::SimInstant;
+
+/// One point of a concurrency-over-time series: `(seconds, running)`.
+pub type ConcurrencyPoint = (f64, usize);
+
+/// Builds the running-functions-over-time step series from execution spans.
+/// Points are emitted at every start/end breakpoint, sorted by time.
+pub fn concurrency_series(records: &[ActivationRecord]) -> Vec<ConcurrencyPoint> {
+    let mut events: Vec<(u64, i64)> = Vec::new();
+    for r in records {
+        if let (Some(s), Some(e)) = (r.started, r.ended) {
+            events.push((s.as_nanos(), 1));
+            events.push((e.as_nanos(), -1));
+        }
+    }
+    events.sort_unstable();
+    let mut series = Vec::with_capacity(events.len());
+    let mut level = 0i64;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && events[i].0 == t {
+            level += events[i].1;
+            i += 1;
+        }
+        series.push((t as f64 / 1e9, level.max(0) as usize));
+    }
+    series
+}
+
+/// Samples a concurrency series at fixed intervals (for plotting/printing).
+pub fn sample_series(
+    series: &[ConcurrencyPoint],
+    step: Duration,
+    until: f64,
+) -> Vec<ConcurrencyPoint> {
+    let step = step.as_secs_f64().max(1e-9);
+    let mut out = Vec::new();
+    let mut idx = 0;
+    let mut level = 0;
+    let mut t = 0.0;
+    while t <= until + step / 2.0 {
+        while idx < series.len() && series[idx].0 <= t {
+            level = series[idx].1;
+            idx += 1;
+        }
+        out.push((t, level));
+        t += step;
+    }
+    out
+}
+
+/// Peak simultaneous running functions.
+pub fn max_concurrency(records: &[ActivationRecord]) -> usize {
+    concurrency_series(records)
+        .into_iter()
+        .map(|(_, c)| c)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Summary of one job's spawning/execution timeline (Fig 2's phases).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobReport {
+    /// When the first invocation was accepted.
+    pub first_submit: SimInstant,
+    /// When the last invocation was accepted.
+    pub last_submit: SimInstant,
+    /// When the first function began executing.
+    pub first_start: SimInstant,
+    /// When the last function began executing — the end of the paper's
+    /// "invocation phase" (all functions up and running).
+    pub last_start: SimInstant,
+    /// When the last function finished — end of the experiment.
+    pub last_end: SimInstant,
+    /// Number of records summarized.
+    pub count: usize,
+    /// How many started in a cold container.
+    pub cold_starts: usize,
+}
+
+impl JobReport {
+    /// Builds a report over `records`, which must all have started and
+    /// ended. Returns `None` for an empty or unfinished set.
+    pub fn from_records(records: &[ActivationRecord]) -> Option<JobReport> {
+        let mut it = records
+            .iter()
+            .filter(|r| r.started.is_some() && r.ended.is_some());
+        let first = it.next()?;
+        let mut report = JobReport {
+            first_submit: first.submitted,
+            last_submit: first.submitted,
+            first_start: first.started.expect("filtered"),
+            last_start: first.started.expect("filtered"),
+            last_end: first.ended.expect("filtered"),
+            count: 1,
+            cold_starts: usize::from(first.cold_start),
+        };
+        for r in it {
+            let s = r.started.expect("filtered");
+            let e = r.ended.expect("filtered");
+            report.first_submit = report.first_submit.min(r.submitted);
+            report.last_submit = report.last_submit.max(r.submitted);
+            report.first_start = report.first_start.min(s);
+            report.last_start = report.last_start.max(s);
+            report.last_end = report.last_end.max(e);
+            report.count += 1;
+            report.cold_starts += usize::from(r.cold_start);
+        }
+        Some(report)
+    }
+
+    /// Duration of the invocation phase relative to `job_start`: time until
+    /// every function is up and running.
+    pub fn invocation_phase(&self, job_start: SimInstant) -> Duration {
+        self.last_start.duration_since(job_start)
+    }
+
+    /// Total experiment duration relative to `job_start`.
+    pub fn total(&self, job_start: SimInstant) -> Duration {
+        self.last_end.duration_since(job_start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustwren_faas::{ActivationId, Outcome, Phase};
+
+    fn record(submit: f64, start: f64, end: f64) -> ActivationRecord {
+        ActivationRecord {
+            id: ActivationId(1),
+            action: "f".into(),
+            submitted: SimInstant::from_nanos((submit * 1e9) as u64),
+            started: Some(SimInstant::from_nanos((start * 1e9) as u64)),
+            ended: Some(SimInstant::from_nanos((end * 1e9) as u64)),
+            phase: Phase::Done(Outcome::Success),
+            cold_start: true,
+            worker: Some(0),
+            result: None,
+            logs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn series_counts_overlaps() {
+        let records = vec![
+            record(0.0, 1.0, 5.0),
+            record(0.0, 2.0, 6.0),
+            record(0.0, 5.5, 7.0),
+        ];
+        let series = concurrency_series(&records);
+        assert_eq!(
+            series,
+            vec![(1.0, 1), (2.0, 2), (5.0, 1), (5.5, 2), (6.0, 1), (7.0, 0),]
+        );
+        assert_eq!(max_concurrency(&records), 2);
+    }
+
+    #[test]
+    fn simultaneous_start_end_nets_out() {
+        let records = vec![record(0.0, 1.0, 2.0), record(0.0, 2.0, 3.0)];
+        let series = concurrency_series(&records);
+        assert_eq!(series, vec![(1.0, 1), (2.0, 1), (3.0, 0)]);
+    }
+
+    #[test]
+    fn empty_records_give_empty_series() {
+        assert!(concurrency_series(&[]).is_empty());
+        assert_eq!(max_concurrency(&[]), 0);
+        assert!(JobReport::from_records(&[]).is_none());
+    }
+
+    #[test]
+    fn sampling_holds_last_level() {
+        let series = vec![(1.0, 1), (2.0, 3), (4.0, 0)];
+        let sampled = sample_series(&series, Duration::from_secs(1), 5.0);
+        assert_eq!(
+            sampled,
+            vec![(0.0, 0), (1.0, 1), (2.0, 3), (3.0, 3), (4.0, 0), (5.0, 0)]
+        );
+    }
+
+    #[test]
+    fn job_report_aggregates_extremes() {
+        let records = vec![record(0.5, 1.0, 5.0), record(0.7, 3.0, 4.0)];
+        let report = JobReport::from_records(&records).expect("non-empty");
+        assert_eq!(report.count, 2);
+        assert_eq!(report.cold_starts, 2);
+        assert_eq!(report.last_start.as_secs_f64(), 3.0);
+        assert_eq!(report.last_end.as_secs_f64(), 5.0);
+        let t0 = SimInstant::ZERO;
+        assert_eq!(report.invocation_phase(t0).as_secs_f64(), 3.0);
+        assert_eq!(report.total(t0).as_secs_f64(), 5.0);
+    }
+}

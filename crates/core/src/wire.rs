@@ -1,0 +1,599 @@
+//! The wire format: IBM-PyWren's "pickle".
+//!
+//! PyWren serializes user functions and data with Python's pickle and stages
+//! the bytes in COS. Rust cannot serialize closures, so the reproduction
+//! ships a *registry key* plus a self-describing [`Value`] — everything else
+//! about the payload path (encode → PUT → invoke → GET → decode → execute)
+//! is identical. The codec is a compact tagged binary format implemented
+//! from scratch so it can be tested and benchmarked as part of the system.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+
+/// Maximum nesting depth accepted by the decoder (guards against stack
+/// exhaustion on malformed input).
+const MAX_DEPTH: usize = 100;
+
+/// A dynamically-typed value, the unit of data exchanged between the client
+/// and function executors.
+///
+/// # Examples
+///
+/// ```
+/// use rustwren_core::wire::Value;
+///
+/// let v = Value::from(vec![Value::from(3i64), Value::from(6i64), Value::from(9i64)]);
+/// let bytes = v.encode();
+/// assert_eq!(Value::decode(&bytes)?, v);
+/// # Ok::<(), rustwren_core::wire::WireError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Value {
+    /// Absence of a value.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// A double-precision float.
+    Float(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// An ordered list.
+    List(Vec<Value>),
+    /// A string-keyed map with deterministic (sorted) iteration order.
+    Map(BTreeMap<String, Value>),
+}
+
+/// Error produced when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended mid-value.
+    UnexpectedEof,
+    /// Unknown type tag.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after the top-level value.
+    TrailingBytes(usize),
+    /// Nesting exceeded the decoder's depth limit.
+    TooDeep,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => f.write_str("unexpected end of input"),
+            WireError::BadTag(t) => write!(f, "unknown type tag {t:#04x}"),
+            WireError::BadUtf8 => f.write_str("invalid utf-8 in string value"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after value"),
+            WireError::TooDeep => write!(f, "nesting deeper than {MAX_DEPTH} levels"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_BYTES: u8 = 5;
+const TAG_LIST: u8 = 6;
+const TAG_MAP: u8 = 7;
+
+impl Value {
+    /// Builds a `Value::Bytes` (explicit to avoid ambiguity with lists).
+    pub fn bytes(data: impl Into<Vec<u8>>) -> Value {
+        Value::Bytes(data.into())
+    }
+
+    /// Builds an empty map value.
+    pub fn map() -> Value {
+        Value::Map(BTreeMap::new())
+    }
+
+    /// Inserts into a map value (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a map.
+    pub fn with(mut self, key: &str, value: impl Into<Value>) -> Value {
+        match &mut self {
+            Value::Map(m) => {
+                m.insert(key.to_owned(), value.into());
+            }
+            other => panic!("Value::with on non-map {other:?}"),
+        }
+        self
+    }
+
+    /// Serializes to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        Bytes::from(out)
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 2,
+            Value::Int(_) | Value::Float(_) => 9,
+            Value::Str(s) => 5 + s.len(),
+            Value::Bytes(b) => 5 + b.len(),
+            Value::List(v) => 5 + v.iter().map(Value::encoded_len).sum::<usize>(),
+            Value::Map(m) => {
+                5 + m
+                    .iter()
+                    .map(|(k, v)| 4 + k.len() + v.encoded_len())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(TAG_NULL),
+            Value::Bool(b) => {
+                out.push(TAG_BOOL);
+                out.push(u8::from(*b));
+            }
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(TAG_FLOAT);
+                out.extend_from_slice(&f.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                out.push(TAG_BYTES);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            Value::List(v) => {
+                out.push(TAG_LIST);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for item in v {
+                    item.encode_into(out);
+                }
+            }
+            Value::Map(m) => {
+                out.push(TAG_MAP);
+                out.extend_from_slice(&(m.len() as u32).to_le_bytes());
+                for (k, v) in m {
+                    out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                    out.extend_from_slice(k.as_bytes());
+                    v.encode_into(out);
+                }
+            }
+        }
+    }
+
+    /// Deserializes a value, requiring the input to be fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] on malformed input.
+    pub fn decode(data: &[u8]) -> Result<Value, WireError> {
+        let mut cursor = Cursor { data, pos: 0 };
+        let v = cursor.read_value(0)?;
+        if cursor.pos != data.len() {
+            return Err(WireError::TrailingBytes(data.len() - cursor.pos));
+        }
+        Ok(v)
+    }
+
+    // ---- accessors -------------------------------------------------------
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float, accepting `Int` with exact conversion.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The raw bytes, if this is a `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The map, if this is a `Map`.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks a key up in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.get(key))
+    }
+
+    // ---- checked extraction (for agent/task plumbing) --------------------
+
+    /// Extracts a required string field from a map value.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the missing/mistyped field.
+    pub fn req_str(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("missing or non-string field `{key}`"))
+    }
+
+    /// Extracts a required integer field from a map value.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the missing/mistyped field.
+    pub fn req_i64(&self, key: &str) -> Result<i64, String> {
+        self.get(key)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| format!("missing or non-int field `{key}`"))
+    }
+
+    /// Extracts a required list field from a map value.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the missing/mistyped field.
+    pub fn req_list(&self, key: &str) -> Result<&[Value], String> {
+        self.get(key)
+            .and_then(Value::as_list)
+            .ok_or_else(|| format!("missing or non-list field `{key}`"))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+            Value::List(v) => {
+                f.write_str("[")?;
+                for (i, item) in v.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Map(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{k:?}: {v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Value {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::List(v)
+    }
+}
+impl From<BTreeMap<String, Value>> for Value {
+    fn from(m: BTreeMap<String, Value>) -> Value {
+        Value::Map(m)
+    }
+}
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Value {
+        Value::List(iter.into_iter().collect())
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.pos + n > self.data.len() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn read_str(&mut self) -> Result<String, WireError> {
+        let len = self.read_u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn read_value(&mut self, depth: usize) -> Result<Value, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        match self.read_u8()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_BOOL => Ok(Value::Bool(self.read_u8()? != 0)),
+            TAG_INT => {
+                let b = self.take(8)?;
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(b);
+                Ok(Value::Int(i64::from_le_bytes(arr)))
+            }
+            TAG_FLOAT => {
+                let b = self.take(8)?;
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(b);
+                Ok(Value::Float(f64::from_le_bytes(arr)))
+            }
+            TAG_STR => Ok(Value::Str(self.read_str()?)),
+            TAG_BYTES => {
+                let len = self.read_u32()? as usize;
+                Ok(Value::Bytes(self.take(len)?.to_vec()))
+            }
+            TAG_LIST => {
+                let count = self.read_u32()? as usize;
+                let mut v = Vec::new();
+                for _ in 0..count {
+                    v.push(self.read_value(depth + 1)?);
+                }
+                Ok(Value::List(v))
+            }
+            TAG_MAP => {
+                let count = self.read_u32()? as usize;
+                let mut m = BTreeMap::new();
+                for _ in 0..count {
+                    let k = self.read_str()?;
+                    m.insert(k, self.read_value(depth + 1)?);
+                }
+                Ok(Value::Map(m))
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let enc = v.encode();
+        assert_eq!(Value::decode(&enc).expect("decodes"), v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(Value::Null);
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Bool(false));
+        roundtrip(Value::Int(-42));
+        roundtrip(Value::Int(i64::MAX));
+        roundtrip(Value::Float(3.25));
+        roundtrip(Value::Str("héllo wörld".into()));
+        roundtrip(Value::bytes(vec![0u8, 255, 7]));
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        roundtrip(
+            Value::map()
+                .with(
+                    "cities",
+                    Value::from(vec![Value::from("nyc"), Value::from("ams")]),
+                )
+                .with(
+                    "sizes",
+                    Value::from(vec![Value::from(1i64), Value::from(2i64)]),
+                )
+                .with("nested", Value::map().with("x", Value::Null)),
+        );
+    }
+
+    #[test]
+    fn empty_containers_roundtrip() {
+        roundtrip(Value::List(Vec::new()));
+        roundtrip(Value::map());
+        roundtrip(Value::Str(String::new()));
+        roundtrip(Value::Bytes(Vec::new()));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let enc = Value::from("hello").encode();
+        for cut in 0..enc.len() {
+            assert!(
+                Value::decode(&enc[..cut]).is_err(),
+                "decoded a truncation at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut enc = Value::Int(5).encode().to_vec();
+        enc.push(0);
+        assert_eq!(Value::decode(&enc), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        assert_eq!(Value::decode(&[0xAB]), Err(WireError::BadTag(0xAB)));
+    }
+
+    #[test]
+    fn decode_rejects_deep_nesting() {
+        // A list nested (MAX_DEPTH + 2) deep.
+        let mut enc = Vec::new();
+        for _ in 0..(MAX_DEPTH + 2) {
+            enc.push(TAG_LIST);
+            enc.extend_from_slice(&1u32.to_le_bytes());
+        }
+        enc.push(TAG_NULL);
+        assert_eq!(Value::decode(&enc), Err(WireError::TooDeep));
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8() {
+        let mut enc = vec![TAG_STR];
+        enc.extend_from_slice(&2u32.to_le_bytes());
+        enc.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(Value::decode(&enc), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(7).as_i64(), Some(7));
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::from("x").as_i64(), None);
+    }
+
+    #[test]
+    fn map_get_and_required_fields() {
+        let v = Value::map().with("name", "nyc").with("size", 10i64);
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("nyc"));
+        assert_eq!(v.req_str("name"), Ok("nyc"));
+        assert_eq!(v.req_i64("size"), Ok(10));
+        assert!(v.req_str("missing").is_err());
+        assert!(v.req_str("size").is_err());
+        assert!(v.req_list("name").is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Value::map().with("k", Value::from(vec![Value::Int(1), Value::Null]));
+        assert_eq!(v.to_string(), "{\"k\": [1, null]}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-map")]
+    fn with_on_non_map_panics() {
+        let _ = Value::Int(1).with("k", 2i64);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual() {
+        let v = Value::map()
+            .with("a", Value::from(vec![Value::Int(1), Value::from("xy")]))
+            .with("b", Value::bytes(vec![1, 2, 3]));
+        assert_eq!(v.encoded_len(), v.encode().len());
+    }
+}

@@ -1,0 +1,216 @@
+//! Tests of the storage-based shuffle stage (`map_shuffle_reduce`).
+
+use bytes::Bytes;
+use rustwren_core::{DataSource, ShuffleOpts, SimCloud, TaskCtx, Value};
+use rustwren_sim::NetworkProfile;
+use std::collections::BTreeMap;
+
+fn test_cloud() -> SimCloud {
+    SimCloud::builder()
+        .seed(21)
+        .client_network(NetworkProfile::lan())
+        .build()
+}
+
+/// Map: tokenize a text partition into (word, 1) pairs.
+fn register_wordcount(cloud: &SimCloud) {
+    cloud.register_fn("split-words", |_ctx: &TaskCtx, v: Value| {
+        let data = v.get("data").and_then(Value::as_bytes).ok_or("no data")?;
+        let text = std::str::from_utf8(data).map_err(|e| e.to_string())?;
+        Ok(Value::List(
+            text.split_whitespace()
+                .map(|w| Value::map().with("k", w).with("v", 1i64))
+                .collect(),
+        ))
+    });
+    cloud.register_fn("sum-groups", |_ctx: &TaskCtx, v: Value| {
+        let groups = v.get("groups").and_then(Value::as_map).ok_or("no groups")?;
+        Ok(Value::Map(
+            groups
+                .iter()
+                .map(|(word, ones)| {
+                    let count = ones.as_list().map_or(0, |l| l.len()) as i64;
+                    (word.clone(), Value::Int(count))
+                })
+                .collect(),
+        ))
+    });
+}
+
+fn stage_docs(cloud: &SimCloud) {
+    let store = cloud.store();
+    store.create_bucket("docs").unwrap();
+    store
+        .put(
+            "docs",
+            "a.txt",
+            Bytes::from_static(b"apple banana apple\ncherry banana apple\n"),
+        )
+        .unwrap();
+    store
+        .put(
+            "docs",
+            "b.txt",
+            Bytes::from_static(b"banana date\napple date\n"),
+        )
+        .unwrap();
+}
+
+fn merged_counts(results: &[Value]) -> BTreeMap<String, i64> {
+    let mut all = BTreeMap::new();
+    for r in results {
+        for (k, v) in r.as_map().expect("reducer returns a map") {
+            let prev = all.insert(k.clone(), v.as_i64().expect("count"));
+            assert!(prev.is_none(), "word {k} appeared in two reducers");
+        }
+    }
+    all
+}
+
+#[test]
+fn shuffle_wordcount_partitions_keys_across_reducers() {
+    let cloud = test_cloud();
+    register_wordcount(&cloud);
+    stage_docs(&cloud);
+    let results = cloud.run(|| {
+        let exec = cloud.executor().build()?;
+        exec.map_shuffle_reduce(
+            "split-words",
+            DataSource::bucket("docs"),
+            "sum-groups",
+            ShuffleOpts {
+                reducers: 3,
+                chunk_size: Some(16),
+            },
+        )?;
+        exec.get_result()
+    });
+    let results = results.unwrap();
+    assert_eq!(results.len(), 3, "one result per reducer");
+    let counts = merged_counts(&results);
+    let expected: BTreeMap<String, i64> = [("apple", 4), ("banana", 3), ("cherry", 1), ("date", 2)]
+        .into_iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect();
+    assert_eq!(counts, expected);
+}
+
+#[test]
+fn shuffle_over_values_source() {
+    let cloud = test_cloud();
+    cloud.register_fn("emit-mod", |_ctx: &TaskCtx, v: Value| {
+        let n = v.as_i64().ok_or("int")?;
+        Ok(Value::List(vec![Value::map()
+            .with("k", format!("mod{}", n % 3))
+            .with("v", n)]))
+    });
+    cloud.register_fn("sum-values", |_ctx: &TaskCtx, v: Value| {
+        let groups = v.get("groups").and_then(Value::as_map).ok_or("no groups")?;
+        Ok(Value::Map(
+            groups
+                .iter()
+                .map(|(k, vals)| {
+                    let sum: i64 = vals
+                        .as_list()
+                        .map_or(0, |l| l.iter().filter_map(Value::as_i64).sum());
+                    (k.clone(), Value::Int(sum))
+                })
+                .collect(),
+        ))
+    });
+    let results = cloud.run(|| {
+        let exec = cloud.executor().build()?;
+        exec.map_shuffle_reduce(
+            "emit-mod",
+            DataSource::Values((0..30).map(Value::from).collect()),
+            "sum-values",
+            ShuffleOpts {
+                reducers: 2,
+                chunk_size: None,
+            },
+        )?;
+        exec.get_result()
+    });
+    let counts = merged_counts(&results.unwrap());
+    // sum of 0..30 split by n % 3: mod0: 0+3+..+27 = 135, mod1: 145, mod2: 155
+    assert_eq!(counts["mod0"], 135);
+    assert_eq!(counts["mod1"], 145);
+    assert_eq!(counts["mod2"], 155);
+}
+
+#[test]
+fn shuffle_map_must_return_pairs() {
+    let cloud = test_cloud();
+    cloud.register_fn("bad-map", |_ctx: &TaskCtx, _v: Value| Ok(Value::Int(1)));
+    cloud.register_fn("any-reduce", |_ctx: &TaskCtx, v: Value| Ok(v));
+    cloud.run(|| {
+        let exec = cloud.executor().build().unwrap();
+        exec.map_shuffle_reduce(
+            "bad-map",
+            DataSource::Values(vec![Value::Null]),
+            "any-reduce",
+            ShuffleOpts {
+                reducers: 2,
+                chunk_size: None,
+            },
+        )
+        .unwrap();
+        let err = exec.get_result().unwrap_err();
+        assert!(
+            err.to_string().contains("pairs") || err.to_string().contains("failed"),
+            "unexpected error: {err}"
+        );
+    });
+}
+
+#[test]
+fn single_reducer_shuffle_sees_every_key() {
+    let cloud = test_cloud();
+    register_wordcount(&cloud);
+    stage_docs(&cloud);
+    let results = cloud.run(|| {
+        let exec = cloud.executor().build()?;
+        exec.map_shuffle_reduce(
+            "split-words",
+            DataSource::bucket("docs"),
+            "sum-groups",
+            ShuffleOpts {
+                reducers: 1,
+                chunk_size: None,
+            },
+        )?;
+        exec.get_result()
+    });
+    let results = results.unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(
+        results[0].as_map().unwrap().len(),
+        4,
+        "all four words in one reducer"
+    );
+}
+
+#[test]
+fn shuffle_is_deterministic() {
+    let run = || {
+        let cloud = test_cloud();
+        register_wordcount(&cloud);
+        stage_docs(&cloud);
+        cloud.run(|| {
+            let exec = cloud.executor().build().unwrap();
+            exec.map_shuffle_reduce(
+                "split-words",
+                DataSource::bucket("docs"),
+                "sum-groups",
+                ShuffleOpts {
+                    reducers: 3,
+                    chunk_size: Some(16),
+                },
+            )
+            .unwrap();
+            let r = exec.get_result().unwrap();
+            (r, rustwren_sim::now().as_nanos())
+        })
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,152 @@
+//! Activation identifiers, records and outcomes.
+//!
+//! Every invocation produces an *activation record*, like the OpenWhisk
+//! activations API: submit/start/end timestamps, cold-start flag, the worker
+//! that ran it, and the outcome. The benchmark harness reconstructs the
+//! paper's Figs 2–3 (concurrency over time, per-function execution spans)
+//! from these records.
+
+use std::fmt;
+
+use bytes::Bytes;
+use rustwren_sim::SimInstant;
+
+/// Unique identifier of one activation (invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActivationId(pub u64);
+
+impl fmt::Display for ActivationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Terminal state of an activation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The action returned successfully; its payload is in the record.
+    Success,
+    /// The action returned an application-level error.
+    Failed(String),
+    /// The action exceeded its execution time limit (600 s in the paper).
+    TimedOut,
+    /// The action panicked (developer error).
+    Crashed(String),
+}
+
+impl Outcome {
+    /// Whether this outcome is [`Outcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Success)
+    }
+}
+
+/// Lifecycle phase of an activation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Phase {
+    /// Accepted by the platform, waiting for a container.
+    Submitted,
+    /// Running inside a container.
+    Running,
+    /// Finished with the recorded [`Outcome`].
+    Done(Outcome),
+}
+
+/// One activation's record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationRecord {
+    /// The activation's id.
+    pub id: ActivationId,
+    /// Name of the invoked action.
+    pub action: String,
+    /// When the platform accepted the invocation.
+    pub submitted: SimInstant,
+    /// When the function body began executing (after container acquisition);
+    /// `None` while queued.
+    pub started: Option<SimInstant>,
+    /// When the function finished; `None` until done.
+    pub ended: Option<SimInstant>,
+    /// Current phase.
+    pub phase: Phase,
+    /// Whether a new container had to be started (cold start).
+    pub cold_start: bool,
+    /// Index of the worker host that ran the function.
+    pub worker: Option<usize>,
+    /// Result payload for successful activations.
+    pub result: Option<Bytes>,
+    /// Lines the action emitted via [`crate::ActivationCtx::log`], each
+    /// stamped with its virtual time.
+    pub logs: Vec<String>,
+}
+
+impl ActivationRecord {
+    /// Wall-to-wall duration from submission to completion, if done.
+    pub fn total_duration(&self) -> Option<std::time::Duration> {
+        self.ended.map(|e| e.duration_since(self.submitted))
+    }
+
+    /// Execution duration (start to end), if it ran to completion.
+    pub fn exec_duration(&self) -> Option<std::time::Duration> {
+        match (self.started, self.ended) {
+            (Some(s), Some(e)) => Some(e.duration_since(s)),
+            _ => None,
+        }
+    }
+
+    /// Whether the activation completed successfully.
+    pub fn is_success(&self) -> bool {
+        matches!(&self.phase, Phase::Done(o) if o.is_success())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn record() -> ActivationRecord {
+        ActivationRecord {
+            id: ActivationId(7),
+            action: "f".into(),
+            submitted: SimInstant::ZERO + Duration::from_secs(1),
+            started: Some(SimInstant::ZERO + Duration::from_secs(3)),
+            ended: Some(SimInstant::ZERO + Duration::from_secs(10)),
+            phase: Phase::Done(Outcome::Success),
+            cold_start: true,
+            worker: Some(2),
+            result: None,
+            logs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn id_displays_as_hex() {
+        assert_eq!(ActivationId(255).to_string(), "00000000000000ff");
+    }
+
+    #[test]
+    fn durations_derive_from_timestamps() {
+        let r = record();
+        assert_eq!(r.total_duration(), Some(Duration::from_secs(9)));
+        assert_eq!(r.exec_duration(), Some(Duration::from_secs(7)));
+    }
+
+    #[test]
+    fn pending_record_has_no_durations() {
+        let mut r = record();
+        r.started = None;
+        r.ended = None;
+        r.phase = Phase::Submitted;
+        assert_eq!(r.total_duration(), None);
+        assert_eq!(r.exec_duration(), None);
+        assert!(!r.is_success());
+    }
+
+    #[test]
+    fn outcome_success_detection() {
+        assert!(Outcome::Success.is_success());
+        assert!(!Outcome::TimedOut.is_success());
+        assert!(!Outcome::Failed("x".into()).is_success());
+        assert!(record().is_success());
+    }
+}

@@ -1,0 +1,267 @@
+//! The timed Cloud Functions client.
+//!
+//! [`FaasClient`] is how simulated actors reach the platform's REST API:
+//! each invocation request pays a network round trip (WAN for the laptop
+//! client, data-center latency for in-cloud callers like the remote invoker
+//! function) plus the control-plane overhead, and can fail or be throttled —
+//! in which case it retries with backoff, exactly the behaviour that makes
+//! WAN spawning slow in the paper's §5.1.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use rustwren_sim::hash::hash2;
+use rustwren_sim::NetworkProfile;
+
+use crate::activation::{ActivationId, ActivationRecord};
+use crate::error::InvokeError;
+use crate::platform::CloudFunctions;
+
+/// A virtual-time client for [`CloudFunctions`]. Cheap to clone.
+#[derive(Clone)]
+pub struct FaasClient {
+    platform: CloudFunctions,
+    net: NetworkProfile,
+    seed: u64,
+    seq: Arc<AtomicU64>,
+    max_attempts: u32,
+    max_throttle_attempts: u32,
+}
+
+impl fmt::Debug for FaasClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaasClient")
+            .field("net", &self.net)
+            .field("max_attempts", &self.max_attempts)
+            .finish()
+    }
+}
+
+impl FaasClient {
+    /// Creates a client reaching `platform` over `net`.
+    pub fn new(platform: &CloudFunctions, net: NetworkProfile, seed: u64) -> FaasClient {
+        FaasClient {
+            platform: platform.clone(),
+            net,
+            seed,
+            seq: Arc::new(AtomicU64::new(0)),
+            max_attempts: 5,
+            max_throttle_attempts: 200,
+        }
+    }
+
+    /// Sets how many attempts each invocation makes against *network
+    /// failures* before giving up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    pub fn with_max_attempts(mut self, attempts: u32) -> FaasClient {
+        assert!(attempts > 0, "max_attempts must be at least 1");
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Sets how many 429-throttled attempts each invocation tolerates
+    /// before giving up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    pub fn with_max_throttle_attempts(mut self, attempts: u32) -> FaasClient {
+        assert!(attempts > 0, "max_throttle_attempts must be at least 1");
+        self.max_throttle_attempts = attempts;
+        self
+    }
+
+    /// The platform this client talks to.
+    pub fn platform(&self) -> &CloudFunctions {
+        &self.platform
+    }
+
+    /// The network profile this client charges.
+    pub fn network(&self) -> &NetworkProfile {
+        &self.net
+    }
+
+    /// Invokes `action` asynchronously, charging one API round trip.
+    /// Retries transparently on network failure and throttling.
+    ///
+    /// Throttled (429) requests are retried much more patiently than failed
+    /// ones — up to 200 attempts with backoff capped at 2 s — because a full
+    /// namespace only drains when running functions finish, which for the
+    /// paper's 50–60 s tasks takes far longer than a network blip.
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::ActionNotFound`] immediately, or
+    /// [`InvokeError::Network`] / [`InvokeError::Throttled`] after
+    /// exhausting retries.
+    pub fn invoke(&self, action: &str, payload: Bytes) -> Result<ActivationId, InvokeError> {
+        let api_overhead = self.platform.config().api_overhead;
+        let mut net_attempts = 0;
+        let mut throttle_attempts = 0;
+        loop {
+            let token = hash2(self.seed, self.seq.fetch_add(1, Ordering::Relaxed));
+            rustwren_sim::sleep(self.net.request_cost(payload.len() as u64, token) + api_overhead);
+            if self.net.fails(token) {
+                net_attempts += 1;
+                if net_attempts >= self.max_attempts {
+                    return Err(InvokeError::Network {
+                        action: action.to_owned(),
+                        attempts: net_attempts,
+                    });
+                }
+                rustwren_sim::sleep(Duration::from_millis(40) * 2u32.pow(net_attempts - 1));
+                continue;
+            }
+            match self.platform.invoke(action, payload.clone()) {
+                Ok(id) => return Ok(id),
+                Err(e @ InvokeError::ActionNotFound(_)) => return Err(e),
+                Err(e @ InvokeError::Throttled { .. }) => {
+                    throttle_attempts += 1;
+                    if throttle_attempts >= self.max_throttle_attempts {
+                        return Err(e);
+                    }
+                    // 429: back off before retrying, as the PyWren client
+                    // does; capped so a drained slot is picked up quickly.
+                    let backoff =
+                        Duration::from_millis(250) * 2u32.pow(throttle_attempts.min(4) - 1);
+                    rustwren_sim::sleep(backoff.min(Duration::from_secs(2)));
+                }
+                Err(e @ InvokeError::Network { .. }) => return Err(e),
+            }
+        }
+    }
+
+    /// Invokes `action` and blocks (in virtual time) until it finishes,
+    /// charging a polling round trip for the result fetch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`invoke`](FaasClient::invoke).
+    pub fn invoke_blocking(
+        &self,
+        action: &str,
+        payload: Bytes,
+    ) -> Result<ActivationRecord, InvokeError> {
+        let id = self.invoke(action, payload)?;
+        let record = self.platform.wait(id);
+        let token = hash2(self.seed, self.seq.fetch_add(1, Ordering::Relaxed));
+        let result_len = record.result.as_ref().map_or(0, Bytes::len) as u64;
+        rustwren_sim::sleep(self.net.request_cost(result_len, token));
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionConfig;
+    use crate::platform::{ActivationCtx, PlatformConfig};
+    use rustwren_sim::Kernel;
+    use rustwren_store::ObjectStore;
+
+    fn setup(config: PlatformConfig) -> (Kernel, CloudFunctions) {
+        let kernel = Kernel::new();
+        let store = ObjectStore::new(&kernel);
+        let faas = CloudFunctions::new(&kernel, &store, config);
+        faas.register_action(
+            "echo",
+            ActionConfig::default(),
+            |_ctx: &ActivationCtx, p: Bytes| Ok(p),
+        )
+        .unwrap();
+        (kernel, faas)
+    }
+
+    #[test]
+    fn wan_invocation_costs_more_than_lan() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        let (wan_cost, lan_cost) = kernel.run("client", || {
+            let wan = FaasClient::new(&faas, NetworkProfile::wan(), 1);
+            let lan = FaasClient::new(&faas, NetworkProfile::lan(), 2);
+            let t0 = rustwren_sim::now();
+            wan.invoke("echo", Bytes::new()).unwrap();
+            let t1 = rustwren_sim::now();
+            lan.invoke("echo", Bytes::new()).unwrap();
+            let t2 = rustwren_sim::now();
+            (t1 - t0, t2 - t1)
+        });
+        assert!(wan_cost > lan_cost * 2, "wan={wan_cost:?} lan={lan_cost:?}");
+    }
+
+    #[test]
+    fn invoke_blocking_returns_completed_record() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        kernel.run("client", || {
+            let client = FaasClient::new(&faas, NetworkProfile::lan(), 1);
+            let r = client
+                .invoke_blocking("echo", Bytes::from_static(b"x"))
+                .unwrap();
+            assert!(r.is_success());
+            assert_eq!(r.result.unwrap().as_ref(), b"x");
+        });
+    }
+
+    #[test]
+    fn throttling_is_retried_until_capacity_frees() {
+        let cfg = PlatformConfig {
+            concurrency_limit: 2,
+            ..PlatformConfig::default()
+        };
+        let (kernel, faas) = setup(cfg);
+        faas.register_action(
+            "slow",
+            ActionConfig::default(),
+            |ctx: &ActivationCtx, _p: Bytes| {
+                ctx.charge(Duration::from_secs(2));
+                Ok(Bytes::new())
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let client = FaasClient::new(&faas, NetworkProfile::lan(), 1).with_max_attempts(30);
+            // 6 sequential-submit invocations through a limit of 2: the
+            // client's retry loop absorbs the 429s.
+            let ids: Vec<_> = (0..6)
+                .map(|_| client.invoke("slow", Bytes::new()).unwrap())
+                .collect();
+            for id in ids {
+                assert!(faas.wait(id).is_success());
+            }
+        });
+        assert!(faas.stats().throttled > 0, "expected some 429s");
+    }
+
+    #[test]
+    fn unknown_action_fails_fast_without_retry() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        kernel.run("client", || {
+            let client = FaasClient::new(&faas, NetworkProfile::lan(), 1);
+            assert_eq!(
+                client.invoke("ghost", Bytes::new()),
+                Err(InvokeError::ActionNotFound("ghost".into()))
+            );
+        });
+    }
+
+    #[test]
+    fn certain_network_failure_exhausts_attempts() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        kernel.run("client", || {
+            let client = FaasClient::new(&faas, NetworkProfile::lan().with_failure_rate(1.0), 1)
+                .with_max_attempts(3);
+            assert_eq!(
+                client.invoke("echo", Bytes::new()),
+                Err(InvokeError::Network {
+                    action: "echo".into(),
+                    attempts: 3
+                })
+            );
+        });
+    }
+}

@@ -1,0 +1,133 @@
+//! FaaS platform error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when submitting an invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvokeError {
+    /// No action registered under this name.
+    ActionNotFound(String),
+    /// The namespace hit its concurrent-invocation limit (HTTP 429 in
+    /// OpenWhisk). The caller should back off and retry.
+    Throttled {
+        /// The configured concurrency limit that was exceeded.
+        limit: usize,
+    },
+    /// The (simulated) network failed the request after all retries.
+    Network {
+        /// Action that was being invoked.
+        action: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvokeError::ActionNotFound(a) => write!(f, "action not found: {a}"),
+            InvokeError::Throttled { limit } => {
+                write!(
+                    f,
+                    "throttled: concurrent invocation limit of {limit} reached"
+                )
+            }
+            InvokeError::Network { action, attempts } => {
+                write!(
+                    f,
+                    "network failure invoking {action} after {attempts} attempt(s)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for InvokeError {}
+
+/// Error returned when registering an action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The requested runtime image is not in the Docker registry.
+    UnknownRuntime(String),
+    /// The requested memory exceeds the platform's per-function limit.
+    MemoryLimitExceeded {
+        /// Memory the action asked for.
+        requested_mb: u32,
+        /// Maximum the platform allows (512 MB in the paper).
+        limit_mb: u32,
+    },
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::UnknownRuntime(r) => {
+                write!(
+                    f,
+                    "unknown runtime image: {r} (push it to the registry first)"
+                )
+            }
+            RegisterError::MemoryLimitExceeded {
+                requested_mb,
+                limit_mb,
+            } => write!(
+                f,
+                "requested {requested_mb} MB exceeds the per-function limit of {limit_mb} MB"
+            ),
+        }
+    }
+}
+
+impl Error for RegisterError {}
+
+/// Error produced *by an action* while it runs (the user function failed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionError(pub String);
+
+impl fmt::Display for ActionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "action failed: {}", self.0)
+    }
+}
+
+impl Error for ActionError {}
+
+impl From<String> for ActionError {
+    fn from(msg: String) -> ActionError {
+        ActionError(msg)
+    }
+}
+
+impl From<&str> for ActionError {
+    fn from(msg: &str) -> ActionError {
+        ActionError(msg.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(
+            InvokeError::ActionNotFound("f".into()).to_string(),
+            "action not found: f"
+        );
+        assert!(InvokeError::Throttled { limit: 1000 }
+            .to_string()
+            .contains("1000"));
+        assert!(RegisterError::UnknownRuntime("x".into())
+            .to_string()
+            .contains("registry"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InvokeError>();
+        assert_send_sync::<RegisterError>();
+        assert_send_sync::<ActionError>();
+    }
+}

@@ -1,0 +1,1188 @@
+//! The Cloud Functions platform: scheduling, container pool, activations.
+//!
+//! Models the parts of IBM Cloud Functions (Apache OpenWhisk) the paper's
+//! experiments exercise:
+//!
+//! * a **container pool** over a fixed cluster capacity, with per-action
+//!   warm containers, cold starts, node-local image caches and first-pull
+//!   latency, idle expiry and LRU eviction;
+//! * a per-namespace **concurrent invocation limit** (1,000 by default,
+//!   increasable — the paper's Fig 3 runs 2,000) enforced with `429`-style
+//!   [`InvokeError::Throttled`] rejections;
+//! * the per-function **600 s execution limit** and **512 MB memory limit**;
+//! * **activation records** with submit/start/end timestamps, from which the
+//!   benchmark harness reconstructs the paper's concurrency timelines;
+//! * heterogeneous container performance (a deterministic per-container
+//!   speed factor), reproducing the execution-time variability visible in
+//!   the paper's Fig 3 ("some functions ran fast while others slow").
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rustwren_sim::hash::{hash2, unit_f64};
+use rustwren_sim::sync::Event;
+use rustwren_sim::{Kernel, NetworkProfile, SimInstant};
+use rustwren_store::{CosClient, ObjectStore};
+
+use crate::action::{Action, ActionConfig};
+use crate::activation::{ActivationId, ActivationRecord, Outcome, Phase};
+use crate::client::FaasClient;
+use crate::error::{InvokeError, RegisterError};
+use crate::runtime::DockerRegistry;
+
+/// Cluster-level configuration; the calibration constants behind every
+/// timing experiment. Defaults are calibrated once against the numbers the
+/// paper itself reports (see `EXPERIMENTS.md`) and then held fixed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformConfig {
+    /// Maximum concurrent activations per namespace (paper: 1,000 default,
+    /// "can be increased if needed").
+    pub concurrency_limit: usize,
+    /// Maximum invocations accepted per namespace per minute (OpenWhisk's
+    /// second throttle dimension). Defaults high enough not to interfere
+    /// with the paper's experiments (IBM raised limits on request).
+    pub invocations_per_minute: u64,
+    /// Total containers the cluster can host at once.
+    pub cluster_containers: usize,
+    /// Number of worker hosts (affects image-cache locality only).
+    pub workers: usize,
+    /// Time to start a fresh container (image already local).
+    pub cold_start: Duration,
+    /// Time to reuse a warm container.
+    pub warm_start: Duration,
+    /// Control-plane processing time per invocation request.
+    pub api_overhead: Duration,
+    /// Hard per-invocation execution limit (paper: 600 s).
+    pub max_exec_time: Duration,
+    /// Per-function memory limit in MB (paper: 512 MB).
+    pub memory_limit_mb: u32,
+    /// Idle warm containers are reclaimed after this long.
+    pub container_idle_timeout: Duration,
+    /// Per-worker image pull bandwidth in bytes/second.
+    pub pull_bandwidth: u64,
+    /// Containers run at a deterministic speed in
+    /// `[1 - speed_variation, 1 + speed_variation]`.
+    pub speed_variation: f64,
+    /// Network between functions and in-cloud services (COS, control plane).
+    pub internal_net: NetworkProfile,
+    /// Seed for all deterministic per-container/per-request draws.
+    pub seed: u64,
+    /// Price per GB-second of function execution (IBM Cloud Functions
+    /// charged $0.000017/GB-s at the time of the paper).
+    pub price_per_gb_second: f64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> PlatformConfig {
+        PlatformConfig {
+            concurrency_limit: 1_000,
+            invocations_per_minute: 1_000_000,
+            cluster_containers: 2_600,
+            workers: 120,
+            cold_start: Duration::from_millis(420),
+            warm_start: Duration::from_millis(8),
+            api_overhead: Duration::from_millis(40),
+            max_exec_time: Duration::from_secs(600),
+            memory_limit_mb: 512,
+            container_idle_timeout: Duration::from_secs(600),
+            pull_bandwidth: 200 * 1024 * 1024,
+            speed_variation: 0.12,
+            internal_net: NetworkProfile::datacenter(),
+            seed: 0xF00D,
+            price_per_gb_second: 0.000_017,
+        }
+    }
+}
+
+struct Container {
+    /// Unique container id, used to derive the deterministic speed factor.
+    #[allow(dead_code)]
+    id: u64,
+    action: String,
+    worker: usize,
+    /// Relative CPU speed; `charge(d)` takes `d / speed` of virtual time.
+    speed: f64,
+    last_used: SimInstant,
+}
+
+enum Handoff {
+    /// A warm container for the waiter's action.
+    Warm(Container),
+    /// Capacity was reserved; allocate a fresh container.
+    Capacity,
+}
+
+struct CapacityWaiter {
+    action: String,
+    slot: Arc<Mutex<Option<Handoff>>>,
+    event: Event,
+}
+
+struct PoolState {
+    total_containers: usize,
+    /// Start of the current rate window and invocations accepted in it.
+    rate_window_start: SimInstant,
+    rate_window_count: u64,
+    warm: HashMap<String, Vec<Container>>,
+    waiters: VecDeque<CapacityWaiter>,
+    inflight: usize,
+    worker_rr: usize,
+    worker_images: Vec<HashSet<String>>,
+    next_container_id: u64,
+    next_activation_id: u64,
+    stats: PlatformStats,
+}
+
+/// Aggregate statistics for one action; see
+/// [`CloudFunctions::action_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActionStats {
+    /// Total invocations accepted.
+    pub invocations: u64,
+    /// Completed successfully.
+    pub successes: u64,
+    /// Completed with an error, timeout or crash.
+    pub failures: u64,
+    /// Accepted but not yet finished.
+    pub in_flight: u64,
+    /// Started in a cold container.
+    pub cold_starts: u64,
+    /// Mean execution duration over completed activations.
+    pub mean_exec: Duration,
+}
+
+/// What a run would have cost for real: the "sub-second billing" the
+/// paper's introduction leads with. See [`CloudFunctions::billing_report`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BillingReport {
+    /// Completed activations billed.
+    pub activations: u64,
+    /// Total billed GB-seconds (memory × execution time, per activation).
+    pub gb_seconds: f64,
+    /// Estimated cost at [`PlatformConfig::price_per_gb_second`].
+    pub estimated_usd: f64,
+}
+
+/// Aggregate platform counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlatformStats {
+    /// Invocations accepted.
+    pub submitted: u64,
+    /// Invocations completed (any outcome).
+    pub completed: u64,
+    /// Invocations rejected with 429.
+    pub throttled: u64,
+    /// Containers started cold.
+    pub cold_starts: u64,
+    /// Warm container reuses.
+    pub warm_starts: u64,
+    /// Image pulls performed.
+    pub image_pulls: u64,
+    /// Activations that hit the execution time limit.
+    pub timeouts: u64,
+}
+
+struct RegisteredAction {
+    action: Arc<dyn Action>,
+    config: ActionConfig,
+}
+
+struct Inner {
+    kernel: Kernel,
+    store: ObjectStore,
+    config: PlatformConfig,
+    registry: DockerRegistry,
+    actions: Mutex<HashMap<String, Arc<RegisteredAction>>>,
+    pool: Mutex<PoolState>,
+    records: Mutex<HashMap<ActivationId, ActivationRecord>>,
+    completions: Mutex<HashMap<ActivationId, Event>>,
+}
+
+/// A simulated IBM Cloud Functions deployment. Cheap to clone.
+///
+/// # Examples
+///
+/// ```
+/// use rustwren_faas::{ActionConfig, CloudFunctions, PlatformConfig};
+/// use rustwren_sim::Kernel;
+/// use rustwren_store::ObjectStore;
+/// use bytes::Bytes;
+///
+/// let kernel = Kernel::new();
+/// let store = ObjectStore::new(&kernel);
+/// let faas = CloudFunctions::new(&kernel, &store, PlatformConfig::default());
+/// faas.register_action(
+///     "double",
+///     ActionConfig::default(),
+///     |_ctx: &rustwren_faas::ActivationCtx, payload: Bytes| {
+///         let n: u8 = payload[0];
+///         Ok(Bytes::from(vec![n * 2]))
+///     },
+/// )?;
+/// kernel.run("client", || {
+///     let id = faas.invoke("double", Bytes::from_static(&[21])).unwrap();
+///     let record = faas.wait(id);
+///     assert_eq!(record.result.unwrap()[0], 42);
+/// });
+/// # Ok::<(), rustwren_faas::RegisterError>(())
+/// ```
+#[derive(Clone)]
+pub struct CloudFunctions {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for CloudFunctions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pool = self.inner.pool.lock();
+        f.debug_struct("CloudFunctions")
+            .field("inflight", &pool.inflight)
+            .field("containers", &pool.total_containers)
+            .field("concurrency_limit", &self.inner.config.concurrency_limit)
+            .finish()
+    }
+}
+
+impl CloudFunctions {
+    /// Creates a platform over `kernel` whose functions can reach `store`.
+    pub fn new(kernel: &Kernel, store: &ObjectStore, config: PlatformConfig) -> CloudFunctions {
+        let workers = config.workers.max(1);
+        CloudFunctions {
+            inner: Arc::new(Inner {
+                kernel: kernel.clone(),
+                store: store.clone(),
+                registry: DockerRegistry::new(),
+                actions: Mutex::new(HashMap::new()),
+                pool: Mutex::new(PoolState {
+                    total_containers: 0,
+                    rate_window_start: SimInstant::ZERO,
+                    rate_window_count: 0,
+                    warm: HashMap::new(),
+                    waiters: VecDeque::new(),
+                    inflight: 0,
+                    worker_rr: 0,
+                    worker_images: vec![HashSet::new(); workers],
+                    next_container_id: 0,
+                    next_activation_id: 1,
+                    stats: PlatformStats::default(),
+                }),
+                records: Mutex::new(HashMap::new()),
+                completions: Mutex::new(HashMap::new()),
+                config,
+            }),
+        }
+    }
+
+    /// The Docker registry functions' runtimes are pulled from.
+    pub fn registry(&self) -> &DockerRegistry {
+        &self.inner.registry
+    }
+
+    /// The platform's configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.inner.config
+    }
+
+    /// The kernel this platform runs on.
+    pub fn kernel(&self) -> &Kernel {
+        &self.inner.kernel
+    }
+
+    /// The object store functions can reach.
+    pub fn store(&self) -> &ObjectStore {
+        &self.inner.store
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> PlatformStats {
+        self.inner.pool.lock().stats
+    }
+
+    /// Registers (deploys) an action under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegisterError::UnknownRuntime`] if the configured runtime image is
+    /// not in the registry; [`RegisterError::MemoryLimitExceeded`] if the
+    /// memory request exceeds the platform limit.
+    pub fn register_action<A>(
+        &self,
+        name: &str,
+        config: ActionConfig,
+        action: A,
+    ) -> Result<(), RegisterError>
+    where
+        A: Action + 'static,
+    {
+        if !self.inner.registry.contains(&config.runtime) {
+            return Err(RegisterError::UnknownRuntime(config.runtime.clone()));
+        }
+        if config.memory_mb > self.inner.config.memory_limit_mb {
+            return Err(RegisterError::MemoryLimitExceeded {
+                requested_mb: config.memory_mb,
+                limit_mb: self.inner.config.memory_limit_mb,
+            });
+        }
+        self.inner.actions.lock().insert(
+            name.to_owned(),
+            Arc::new(RegisteredAction {
+                action: Arc::new(action),
+                config,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Whether an action is registered.
+    pub fn has_action(&self, name: &str) -> bool {
+        self.inner.actions.lock().contains_key(name)
+    }
+
+    /// Submits an invocation (platform-side; no client network cost — use
+    /// [`FaasClient`] from simulated actors). Non-blocking: returns as soon
+    /// as the activation is accepted and scheduled.
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::ActionNotFound`] or [`InvokeError::Throttled`].
+    pub fn invoke(&self, action: &str, payload: Bytes) -> Result<ActivationId, InvokeError> {
+        let registered = self
+            .inner
+            .actions
+            .lock()
+            .get(action)
+            .cloned()
+            .ok_or_else(|| InvokeError::ActionNotFound(action.to_owned()))?;
+
+        let now = self.inner.kernel.now();
+        let id = {
+            let mut pool = self.inner.pool.lock();
+            if now.duration_since(pool.rate_window_start) >= Duration::from_secs(60) {
+                pool.rate_window_start = now;
+                pool.rate_window_count = 0;
+            }
+            if pool.rate_window_count >= self.inner.config.invocations_per_minute {
+                pool.stats.throttled += 1;
+                return Err(InvokeError::Throttled {
+                    limit: self.inner.config.invocations_per_minute as usize,
+                });
+            }
+            if pool.inflight >= self.inner.config.concurrency_limit {
+                pool.stats.throttled += 1;
+                return Err(InvokeError::Throttled {
+                    limit: self.inner.config.concurrency_limit,
+                });
+            }
+            pool.rate_window_count += 1;
+            pool.inflight += 1;
+            pool.stats.submitted += 1;
+            let id = ActivationId(pool.next_activation_id);
+            pool.next_activation_id += 1;
+            id
+        };
+
+        self.inner.records.lock().insert(
+            id,
+            ActivationRecord {
+                id,
+                action: action.to_owned(),
+                submitted: now,
+                started: None,
+                ended: None,
+                phase: Phase::Submitted,
+                cold_start: false,
+                worker: None,
+                result: None,
+                logs: Vec::new(),
+            },
+        );
+        self.inner
+            .completions
+            .lock()
+            .insert(id, Event::new(&self.inner.kernel));
+
+        let platform = self.clone();
+        let action = action.to_owned();
+        self.inner.kernel.spawn(format!("act-{id}"), move || {
+            platform.run_activation(id, &action, registered, payload);
+        });
+        Ok(id)
+    }
+
+    /// Blocks (in virtual time) until activation `id` completes and returns
+    /// its final record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never issued by this platform.
+    pub fn wait(&self, id: ActivationId) -> ActivationRecord {
+        let event = self
+            .inner
+            .completions
+            .lock()
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| panic!("unknown activation {id}"));
+        event.wait();
+        self.record(id).expect("record exists after completion")
+    }
+
+    /// Snapshot of an activation's record, if the id is known.
+    pub fn record(&self, id: ActivationId) -> Option<ActivationRecord> {
+        self.inner.records.lock().get(&id).cloned()
+    }
+
+    /// Whether the activation has finished.
+    pub fn is_done(&self, id: ActivationId) -> bool {
+        self.inner
+            .records
+            .lock()
+            .get(&id)
+            .is_some_and(|r| matches!(r.phase, Phase::Done(_)))
+    }
+
+    /// All activation records, sorted by id (submission order).
+    pub fn records(&self) -> Vec<ActivationRecord> {
+        let mut v: Vec<_> = self.inner.records.lock().values().cloned().collect();
+        v.sort_by_key(|r| r.id);
+        v
+    }
+
+    /// Activation records of one action, sorted by id — the equivalent of
+    /// `wsk activation list <action>`.
+    pub fn activations_for(&self, action: &str) -> Vec<ActivationRecord> {
+        let mut v: Vec<_> = self
+            .inner
+            .records
+            .lock()
+            .values()
+            .filter(|r| r.action == action)
+            .cloned()
+            .collect();
+        v.sort_by_key(|r| r.id);
+        v
+    }
+
+    /// Aggregate statistics for one action's completed activations.
+    pub fn action_stats(&self, action: &str) -> ActionStats {
+        let records = self.inner.records.lock();
+        let mut stats = ActionStats::default();
+        let mut total_exec = Duration::ZERO;
+        for r in records.values().filter(|r| r.action == action) {
+            stats.invocations += 1;
+            match &r.phase {
+                Phase::Done(o) => {
+                    if o.is_success() {
+                        stats.successes += 1;
+                    } else {
+                        stats.failures += 1;
+                    }
+                    if let Some(d) = r.exec_duration() {
+                        total_exec += d;
+                    }
+                }
+                _ => stats.in_flight += 1,
+            }
+            if r.cold_start {
+                stats.cold_starts += 1;
+            }
+        }
+        let done = stats.successes + stats.failures;
+        if done > 0 {
+            stats.mean_exec = total_exec / done as u32;
+        }
+        stats
+    }
+
+    /// Sums billed GB-seconds over all completed activations: each is
+    /// charged its configured memory for its execution duration, at
+    /// sub-second granularity — the billing model the paper's introduction
+    /// highlights.
+    pub fn billing_report(&self) -> BillingReport {
+        let actions = self.inner.actions.lock();
+        let records = self.inner.records.lock();
+        let mut report = BillingReport::default();
+        for r in records.values() {
+            let Some(exec) = r.exec_duration() else {
+                continue;
+            };
+            let memory_gb = actions
+                .get(&r.action)
+                .map_or(0.25, |a| f64::from(a.config.memory_mb) / 1024.0);
+            report.activations += 1;
+            report.gb_seconds += memory_gb * exec.as_secs_f64();
+        }
+        report.estimated_usd = report.gb_seconds * self.inner.config.price_per_gb_second;
+        report
+    }
+
+    fn append_log(&self, id: ActivationId, line: String) {
+        if let Some(r) = self.inner.records.lock().get_mut(&id) {
+            r.logs.push(line);
+        }
+    }
+
+    /// Current number of accepted-but-unfinished activations.
+    pub fn inflight(&self) -> usize {
+        self.inner.pool.lock().inflight
+    }
+
+    fn run_activation(
+        &self,
+        id: ActivationId,
+        action_name: &str,
+        registered: Arc<RegisteredAction>,
+        payload: Bytes,
+    ) {
+        let cfg = &self.inner.config;
+        let (container, cold, pull_bytes) = self.acquire_container(action_name, &registered);
+
+        if let Some(bytes) = pull_bytes {
+            rustwren_sim::sleep(Duration::from_secs_f64(
+                bytes as f64 / cfg.pull_bandwidth.max(1) as f64,
+            ));
+        }
+        rustwren_sim::sleep(if cold { cfg.cold_start } else { cfg.warm_start });
+
+        let started = self.inner.kernel.now();
+        {
+            let mut records = self.inner.records.lock();
+            let r = records.get_mut(&id).expect("record exists");
+            r.started = Some(started);
+            r.cold_start = cold;
+            r.worker = Some(container.worker);
+            r.phase = Phase::Running;
+        }
+
+        let timeout = registered.config.timeout.min(cfg.max_exec_time);
+        let ctx = ActivationCtx {
+            platform: self.clone(),
+            id,
+            action: action_name.to_owned(),
+            speed: container.speed,
+            started,
+            deadline: started + timeout,
+            worker: container.worker,
+        };
+        let invoke_result =
+            panic::catch_unwind(AssertUnwindSafe(|| registered.action.invoke(&ctx, payload)));
+        let ended = self.inner.kernel.now();
+
+        let (outcome, result) = match invoke_result {
+            Ok(Ok(bytes)) if ended <= ctx.deadline => (Outcome::Success, Some(bytes)),
+            Ok(Ok(_)) => (Outcome::TimedOut, None),
+            Ok(Err(_)) if ended > ctx.deadline => (Outcome::TimedOut, None),
+            Ok(Err(e)) => (Outcome::Failed(e.0), None),
+            Err(p) => (Outcome::Crashed(panic_message(&p)), None),
+        };
+
+        {
+            let mut records = self.inner.records.lock();
+            let r = records.get_mut(&id).expect("record exists");
+            r.ended = Some(ended);
+            r.result = result;
+            r.phase = Phase::Done(outcome.clone());
+        }
+        self.release_container(container);
+        {
+            let mut pool = self.inner.pool.lock();
+            pool.inflight -= 1;
+            pool.stats.completed += 1;
+            if matches!(outcome, Outcome::TimedOut) {
+                pool.stats.timeouts += 1;
+            }
+        }
+        let event = self
+            .inner
+            .completions
+            .lock()
+            .get(&id)
+            .cloned()
+            .expect("completion event exists");
+        event.fire();
+    }
+
+    /// Obtains a container: warm reuse, fresh allocation, LRU eviction, or
+    /// blocking until capacity frees up. Returns `(container, cold,
+    /// image_bytes_to_pull)`.
+    fn acquire_container(
+        &self,
+        action_name: &str,
+        registered: &RegisteredAction,
+    ) -> (Container, bool, Option<u64>) {
+        let cfg = &self.inner.config;
+        loop {
+            let waiter = {
+                let now = self.inner.kernel.now();
+                let mut pool = self.inner.pool.lock();
+                Self::expire_idle_locked(&mut pool, now, cfg.container_idle_timeout);
+
+                if let Some(c) = pool.warm.get_mut(action_name).and_then(|v| v.pop()) {
+                    pool.stats.warm_starts += 1;
+                    return (c, false, None);
+                }
+
+                let has_capacity = pool.total_containers < cfg.cluster_containers
+                    || Self::evict_lru_locked(&mut pool);
+                if has_capacity {
+                    pool.total_containers += 1;
+                    let (c, pull) = self.make_container_locked(&mut pool, action_name, registered);
+                    return (c, true, pull);
+                }
+
+                // Cluster is full of busy containers: wait for a handoff.
+                let waiter = CapacityWaiter {
+                    action: action_name.to_owned(),
+                    slot: Arc::new(Mutex::new(None)),
+                    event: Event::new(&self.inner.kernel),
+                };
+                let handle = (Arc::clone(&waiter.slot), waiter.event.clone());
+                pool.waiters.push_back(waiter);
+                handle
+            };
+            waiter.1.wait();
+            let handoff = waiter.0.lock().take();
+            match handoff {
+                Some(Handoff::Warm(c)) => {
+                    self.inner.pool.lock().stats.warm_starts += 1;
+                    return (c, false, None);
+                }
+                Some(Handoff::Capacity) => {
+                    // Capacity stays reserved (granter destroyed a container
+                    // without decrementing the total on our behalf).
+                    let mut pool = self.inner.pool.lock();
+                    let (c, pull) = self.make_container_locked(&mut pool, action_name, registered);
+                    return (c, true, pull);
+                }
+                None => continue, // spurious; re-enter the loop
+            }
+        }
+    }
+
+    fn make_container_locked(
+        &self,
+        pool: &mut PoolState,
+        action_name: &str,
+        registered: &RegisteredAction,
+    ) -> (Container, Option<u64>) {
+        let cfg = &self.inner.config;
+        let worker = pool.worker_rr % cfg.workers.max(1);
+        pool.worker_rr += 1;
+        let id = pool.next_container_id;
+        pool.next_container_id += 1;
+        pool.stats.cold_starts += 1;
+
+        let runtime = &registered.config.runtime;
+        let pull = if pool.worker_images[worker].contains(runtime) {
+            None
+        } else {
+            pool.worker_images[worker].insert(runtime.clone());
+            pool.stats.image_pulls += 1;
+            Some(
+                self.inner
+                    .registry
+                    .get(runtime)
+                    .map(|i| i.size_bytes)
+                    .unwrap_or(0),
+            )
+        };
+
+        let spread = cfg.speed_variation;
+        let speed = 1.0 - spread + 2.0 * spread * unit_f64(hash2(cfg.seed, id ^ 0xC0F_FEE));
+        (
+            Container {
+                id,
+                action: action_name.to_owned(),
+                worker,
+                speed,
+                last_used: self.inner.kernel.now(),
+            },
+            pull,
+        )
+    }
+
+    fn release_container(&self, mut container: Container) {
+        container.last_used = self.inner.kernel.now();
+        let mut pool = self.inner.pool.lock();
+        // Prefer a waiter for the same action (warm handoff)…
+        if let Some(idx) = pool
+            .waiters
+            .iter()
+            .position(|w| w.action == container.action)
+        {
+            let w = pool.waiters.remove(idx).expect("index valid");
+            *w.slot.lock() = Some(Handoff::Warm(container));
+            drop(pool);
+            w.event.fire();
+            return;
+        }
+        // …then any waiter (destroy this container, grant its capacity)…
+        if let Some(w) = pool.waiters.pop_front() {
+            *w.slot.lock() = Some(Handoff::Capacity);
+            drop(pool);
+            w.event.fire();
+            return;
+        }
+        // …otherwise idle in the warm pool.
+        pool.warm
+            .entry(container.action.clone())
+            .or_default()
+            .push(container);
+    }
+
+    fn expire_idle_locked(pool: &mut PoolState, now: SimInstant, idle_timeout: Duration) {
+        let mut reclaimed = 0;
+        for v in pool.warm.values_mut() {
+            let before = v.len();
+            v.retain(|c| now.duration_since(c.last_used) < idle_timeout);
+            reclaimed += before - v.len();
+        }
+        pool.total_containers -= reclaimed;
+    }
+
+    /// Destroys the least-recently-used idle container to make room.
+    /// Returns whether one was evicted (leaving `total_containers`
+    /// decremented, i.e. one slot free).
+    fn evict_lru_locked(pool: &mut PoolState) -> bool {
+        let mut oldest: Option<(&String, usize, SimInstant)> = None;
+        for (action, v) in &pool.warm {
+            for (i, c) in v.iter().enumerate() {
+                if oldest.is_none_or(|(_, _, t)| c.last_used < t) {
+                    oldest = Some((action, i, c.last_used));
+                }
+            }
+        }
+        if let Some((action, idx, _)) = oldest.map(|(a, i, t)| (a.clone(), i, t)) {
+            pool.warm
+                .get_mut(&action)
+                .expect("action present")
+                .remove(idx);
+            pool.total_containers -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn panic_message(p: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_owned()
+    }
+}
+
+/// Execution context handed to an [`Action`]: the function's view of the
+/// cloud from inside its container. Cloneable so frameworks can embed it in
+/// their own task contexts.
+#[derive(Clone)]
+pub struct ActivationCtx {
+    platform: CloudFunctions,
+    id: ActivationId,
+    action: String,
+    speed: f64,
+    started: SimInstant,
+    deadline: SimInstant,
+    worker: usize,
+}
+
+impl fmt::Debug for ActivationCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActivationCtx")
+            .field("id", &self.id)
+            .field("action", &self.action)
+            .field("worker", &self.worker)
+            .field("speed", &self.speed)
+            .finish()
+    }
+}
+
+impl ActivationCtx {
+    /// This activation's id.
+    pub fn activation_id(&self) -> ActivationId {
+        self.id
+    }
+
+    /// The name the action was invoked under.
+    pub fn action_name(&self) -> &str {
+        &self.action
+    }
+
+    /// Index of the worker host running this container.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimInstant {
+        self.platform.inner.kernel.now()
+    }
+
+    /// When this activation started executing.
+    pub fn started(&self) -> SimInstant {
+        self.started
+    }
+
+    /// Time left before the execution limit fires.
+    pub fn remaining(&self) -> Duration {
+        self.deadline.duration_since(self.now())
+    }
+
+    /// Charges `d` of modeled CPU work, scaled by this container's speed
+    /// factor (slower containers take proportionally longer — the Fig 3
+    /// variability).
+    pub fn charge(&self, d: Duration) {
+        rustwren_sim::sleep(d.div_f64(self.speed));
+    }
+
+    /// Appends a line to this activation's log (OpenWhisk captures stdout
+    /// into the activation record), stamped with the virtual time.
+    pub fn log(&self, message: impl AsRef<str>) {
+        let line = format!("[{}] {}", self.now(), message.as_ref());
+        self.platform.append_log(self.id, line);
+    }
+
+    /// A COS client over the in-cloud network, seeded per-activation.
+    pub fn cos_client(&self) -> CosClient {
+        CosClient::new(
+            &self.platform.inner.store,
+            self.platform.inner.config.internal_net.clone(),
+            hash2(self.platform.inner.config.seed, self.id.0),
+        )
+    }
+
+    /// A Cloud Functions client over the in-cloud network — the
+    /// composability hook: actions use this to spawn further functions.
+    pub fn faas_client(&self) -> FaasClient {
+        FaasClient::new(
+            &self.platform,
+            self.platform.inner.config.internal_net.clone(),
+            hash2(self.platform.inner.config.seed, self.id.0 ^ 0xFAA5),
+        )
+    }
+
+    /// The platform running this activation.
+    pub fn platform(&self) -> &CloudFunctions {
+        &self.platform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ActionError;
+
+    fn setup(config: PlatformConfig) -> (Kernel, CloudFunctions) {
+        let kernel = Kernel::new();
+        let store = ObjectStore::new(&kernel);
+        let faas = CloudFunctions::new(&kernel, &store, config);
+        (kernel, faas)
+    }
+
+    fn echo_action() -> impl Action {
+        |_ctx: &ActivationCtx, payload: Bytes| Ok(payload)
+    }
+
+    #[test]
+    fn invoke_unknown_action_errors() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        kernel.run("client", || {
+            assert_eq!(
+                faas.invoke("missing", Bytes::new()),
+                Err(InvokeError::ActionNotFound("missing".into()))
+            );
+        });
+    }
+
+    #[test]
+    fn register_with_unknown_runtime_errors() {
+        let (_kernel, faas) = setup(PlatformConfig::default());
+        let err = faas
+            .register_action("f", ActionConfig::with_runtime("ghost:1"), echo_action())
+            .unwrap_err();
+        assert_eq!(err, RegisterError::UnknownRuntime("ghost:1".into()));
+    }
+
+    #[test]
+    fn register_over_memory_limit_errors() {
+        let (_kernel, faas) = setup(PlatformConfig::default());
+        let err = faas
+            .register_action("f", ActionConfig::default().memory_mb(4096), echo_action())
+            .unwrap_err();
+        assert!(matches!(err, RegisterError::MemoryLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn echo_roundtrip_with_cold_start_timing() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        faas.register_action("echo", ActionConfig::default(), echo_action())
+            .unwrap();
+        kernel.run("client", || {
+            let id = faas.invoke("echo", Bytes::from_static(b"ping")).unwrap();
+            let r = faas.wait(id);
+            assert!(r.is_success());
+            assert_eq!(r.result.unwrap().as_ref(), b"ping");
+            assert!(r.cold_start);
+            // Cold start + image pull happened before execution.
+            let cfg = faas.config();
+            let pull = Duration::from_secs_f64(340.0 * 1024.0 * 1024.0 / cfg.pull_bandwidth as f64);
+            assert_eq!(
+                r.started.unwrap().duration_since(r.submitted),
+                pull + cfg.cold_start
+            );
+        });
+    }
+
+    #[test]
+    fn second_invocation_reuses_warm_container() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        faas.register_action("echo", ActionConfig::default(), echo_action())
+            .unwrap();
+        kernel.run("client", || {
+            let id1 = faas.invoke("echo", Bytes::new()).unwrap();
+            faas.wait(id1);
+            let id2 = faas.invoke("echo", Bytes::new()).unwrap();
+            let r2 = faas.wait(id2);
+            assert!(!r2.cold_start);
+        });
+        assert_eq!(faas.stats().cold_starts, 1);
+        assert_eq!(faas.stats().warm_starts, 1);
+        assert_eq!(faas.stats().image_pulls, 1);
+    }
+
+    #[test]
+    fn concurrency_limit_throttles() {
+        let cfg = PlatformConfig {
+            concurrency_limit: 5,
+            ..PlatformConfig::default()
+        };
+        let (kernel, faas) = setup(cfg);
+        faas.register_action(
+            "slow",
+            ActionConfig::default(),
+            |ctx: &ActivationCtx, _p: Bytes| {
+                ctx.charge(Duration::from_secs(60));
+                Ok(Bytes::new())
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let ids: Vec<_> = (0..5)
+                .map(|_| faas.invoke("slow", Bytes::new()).unwrap())
+                .collect();
+            assert_eq!(
+                faas.invoke("slow", Bytes::new()),
+                Err(InvokeError::Throttled { limit: 5 })
+            );
+            for id in ids {
+                faas.wait(id);
+            }
+            // After completion there is room again.
+            let id = faas.invoke("slow", Bytes::new()).unwrap();
+            faas.wait(id);
+        });
+        assert_eq!(faas.stats().throttled, 1);
+    }
+
+    #[test]
+    fn action_error_is_recorded() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        faas.register_action(
+            "bad",
+            ActionConfig::default(),
+            |_ctx: &ActivationCtx, _p: Bytes| -> Result<Bytes, ActionError> {
+                Err(ActionError("no such city".into()))
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let id = faas.invoke("bad", Bytes::new()).unwrap();
+            let r = faas.wait(id);
+            assert_eq!(r.phase, Phase::Done(Outcome::Failed("no such city".into())));
+            assert!(r.result.is_none());
+        });
+    }
+
+    #[test]
+    fn panic_in_action_is_contained() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        faas.register_action(
+            "crash",
+            ActionConfig::default(),
+            |_ctx: &ActivationCtx, _p: Bytes| -> Result<Bytes, ActionError> {
+                panic!("segfault simulation")
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let id = faas.invoke("crash", Bytes::new()).unwrap();
+            let r = faas.wait(id);
+            assert!(matches!(
+                r.phase,
+                Phase::Done(Outcome::Crashed(ref m)) if m.contains("segfault")
+            ));
+        });
+    }
+
+    #[test]
+    fn execution_time_limit_times_out() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        faas.register_action(
+            "tooslow",
+            ActionConfig::default().timeout(Duration::from_secs(10)),
+            |ctx: &ActivationCtx, _p: Bytes| {
+                ctx.charge(Duration::from_secs(60));
+                Ok(Bytes::new())
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let id = faas.invoke("tooslow", Bytes::new()).unwrap();
+            let r = faas.wait(id);
+            assert_eq!(r.phase, Phase::Done(Outcome::TimedOut));
+        });
+        assert_eq!(faas.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn cluster_capacity_queues_excess_invocations() {
+        let cfg = PlatformConfig {
+            cluster_containers: 2,
+            concurrency_limit: 100,
+            speed_variation: 0.0,
+            ..PlatformConfig::default()
+        };
+        let (kernel, faas) = setup(cfg);
+        faas.register_action(
+            "work",
+            ActionConfig::default(),
+            |ctx: &ActivationCtx, _p: Bytes| {
+                ctx.charge(Duration::from_secs(10));
+                Ok(Bytes::new())
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let ids: Vec<_> = (0..6)
+                .map(|_| faas.invoke("work", Bytes::new()).unwrap())
+                .collect();
+            for id in ids {
+                let r = faas.wait(id);
+                assert!(r.is_success());
+            }
+            // 6 tasks through 2 containers, 10s each: at least 30s of
+            // virtual time (plus starts).
+            assert!(rustwren_sim::now().as_secs_f64() >= 30.0);
+        });
+    }
+
+    #[test]
+    fn concurrent_functions_run_in_parallel() {
+        let cfg = PlatformConfig {
+            speed_variation: 0.0,
+            ..PlatformConfig::default()
+        };
+        let (kernel, faas) = setup(cfg);
+        faas.register_action(
+            "work",
+            ActionConfig::default(),
+            |ctx: &ActivationCtx, _p: Bytes| {
+                ctx.charge(Duration::from_secs(50));
+                Ok(Bytes::new())
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let ids: Vec<_> = (0..100)
+                .map(|_| faas.invoke("work", Bytes::new()).unwrap())
+                .collect();
+            for id in ids {
+                faas.wait(id);
+            }
+            // 100 parallel 50s functions finish in ~50s + starts, not 5000s.
+            let elapsed = rustwren_sim::now().as_secs_f64();
+            assert!(elapsed < 60.0, "elapsed {elapsed}");
+        });
+    }
+
+    #[test]
+    fn speed_variation_spreads_execution_times() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        faas.register_action(
+            "work",
+            ActionConfig::default(),
+            |ctx: &ActivationCtx, _p: Bytes| {
+                ctx.charge(Duration::from_secs(60));
+                Ok(Bytes::new())
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let ids: Vec<_> = (0..50)
+                .map(|_| faas.invoke("work", Bytes::new()).unwrap())
+                .collect();
+            for id in ids {
+                faas.wait(id);
+            }
+        });
+        let durations: Vec<f64> = faas
+            .records()
+            .iter()
+            .filter_map(|r| r.exec_duration())
+            .map(|d| d.as_secs_f64())
+            .collect();
+        let min = durations.iter().cloned().fold(f64::MAX, f64::min);
+        let max = durations.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 2.0, "expected spread, got {min}..{max}");
+    }
+
+    #[test]
+    fn records_capture_timeline() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        faas.register_action("echo", ActionConfig::default(), echo_action())
+            .unwrap();
+        kernel.run("client", || {
+            let id = faas.invoke("echo", Bytes::new()).unwrap();
+            faas.wait(id);
+        });
+        let records = faas.records();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert!(r.submitted <= r.started.unwrap());
+        assert!(r.started.unwrap() <= r.ended.unwrap());
+    }
+
+    #[test]
+    fn composability_action_invokes_action() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        faas.register_action("inner", ActionConfig::default(), echo_action())
+            .unwrap();
+        faas.register_action(
+            "outer",
+            ActionConfig::default(),
+            |ctx: &ActivationCtx, payload: Bytes| {
+                let client = ctx.faas_client();
+                let id = client
+                    .invoke("inner", payload)
+                    .map_err(|e| ActionError(e.to_string()))?;
+                let record = ctx.platform().wait(id);
+                record
+                    .result
+                    .ok_or_else(|| ActionError("inner failed".into()))
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let id = faas.invoke("outer", Bytes::from_static(b"nested")).unwrap();
+            let r = faas.wait(id);
+            assert_eq!(r.result.unwrap().as_ref(), b"nested");
+        });
+    }
+}

@@ -1,0 +1,70 @@
+//! Deterministic mixing utilities.
+//!
+//! The simulation derives per-request jitter and failure decisions from
+//! *tokens* (request ids, sequence numbers) rather than from a stateful RNG,
+//! so that timing is a pure function of the kernel seed and the request
+//! stream — independent of OS thread interleaving.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+///
+/// # Examples
+///
+/// ```
+/// use rustwren_sim::hash::mix64;
+/// assert_ne!(mix64(1), mix64(2));
+/// assert_eq!(mix64(7), mix64(7));
+/// ```
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mixes two values into one 64-bit hash.
+pub fn hash2(a: u64, b: u64) -> u64 {
+    mix64(mix64(a) ^ b.rotate_left(17))
+}
+
+/// Maps a token to a uniform float in `[0, 1)`.
+pub fn unit_f64(token: u64) -> f64 {
+    // Use the top 53 bits for a full-precision mantissa.
+    (mix64(token) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic() {
+        assert_eq!(mix64(0xDEAD_BEEF), mix64(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn mix64_spreads_consecutive_inputs() {
+        // Consecutive inputs should differ in roughly half their bits.
+        let d = (mix64(100) ^ mix64(101)).count_ones();
+        assert!((16..=48).contains(&d), "poor diffusion: {d} differing bits");
+    }
+
+    #[test]
+    fn hash2_argument_order_matters() {
+        assert_ne!(hash2(1, 2), hash2(2, 1));
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for token in 0..10_000u64 {
+            let u = unit_f64(token);
+            assert!((0.0..1.0).contains(&u), "out of range: {u}");
+        }
+    }
+
+    #[test]
+    fn unit_f64_mean_is_near_half() {
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(unit_f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "biased mean: {mean}");
+    }
+}

@@ -1,0 +1,732 @@
+//! The virtual-time kernel.
+//!
+//! Simulated processes are **real OS threads** registered with a [`Kernel`].
+//! Each registered thread is either *runnable* (executing Rust code) or
+//! *blocked* (sleeping until a virtual deadline, or waiting on a
+//! synchronization primitive from [`crate::sync`]). Virtual time advances
+//! only when every registered thread is blocked: the kernel then pops the
+//! earliest pending timer, moves the clock to its deadline, and wakes its
+//! waiters. Signals always wake threads at the *current* virtual instant.
+//!
+//! Because simulated processes are ordinary threads, arbitrary user code —
+//! including code that spawns further simulated threads mid-flight — runs
+//! unmodified inside the simulation. This is what lets the IBM-PyWren
+//! composability features (functions that create executors and spawn
+//! sub-jobs) execute inside simulated cloud functions.
+//!
+//! # Deadlocks
+//!
+//! If every registered thread is blocked and no timer is pending, the
+//! simulation can never progress. The kernel panics with a diagnostic that
+//! lists each blocked thread and what it is waiting for.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::sync::Event;
+use crate::time::SimInstant;
+
+thread_local! {
+    static CURRENT: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct ThreadCtx {
+    kernel: Kernel,
+    waiter: Arc<Waiter>,
+}
+
+/// Per-thread parking slot shared between the thread and its wakers.
+pub(crate) struct Waiter {
+    id: u64,
+    name: String,
+    sync: Mutex<WaiterSync>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct WaiterSync {
+    /// A wake was delivered and not yet consumed.
+    notified: bool,
+    /// The owning thread has decremented the runnable count and is (about to
+    /// be) parked on `cv`.
+    parked: bool,
+}
+
+impl Waiter {
+    /// Stable identifier, used by primitives to deduplicate wait-queue
+    /// entries under spurious wakes.
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn new(id: u64, name: String) -> Arc<Waiter> {
+        Arc::new(Waiter {
+            id,
+            name,
+            sync: Mutex::new(WaiterSync::default()),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+struct TimerEntry {
+    deadline: u64,
+    seq: u64,
+    waiter: Arc<Waiter>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+pub(crate) struct State {
+    now: u64,
+    next_waiter_id: u64,
+    timer_seq: u64,
+    /// Registered threads currently executing (not blocked).
+    runnable: usize,
+    /// Registered threads total (runnable + blocked).
+    live: usize,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    /// waiter id → (thread name, reason) for deadlock diagnostics.
+    blocked: HashMap<u64, (String, &'static str)>,
+    stats: KernelStats,
+}
+
+/// Counters describing kernel activity, for tests and reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Number of times the clock advanced to a new timer deadline.
+    pub clock_advances: u64,
+    /// Total timers scheduled via sleeps.
+    pub timers_scheduled: u64,
+    /// Total simulated threads ever spawned or entered.
+    pub threads_started: u64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    stack_size: usize,
+}
+
+/// A deterministic virtual-time kernel. Cheap to clone (shared handle).
+///
+/// # Examples
+///
+/// ```
+/// use rustwren_sim::Kernel;
+/// use std::time::Duration;
+///
+/// let kernel = Kernel::new();
+/// let elapsed = kernel.clone().run("client", move || {
+///     let start = rustwren_sim::now();
+///     let child = rustwren_sim::spawn("child", || {
+///         rustwren_sim::sleep(Duration::from_secs(50));
+///         7
+///     });
+///     assert_eq!(child.join(), 7);
+///     rustwren_sim::now() - start
+/// });
+/// assert_eq!(elapsed, Duration::from_secs(50));
+/// ```
+#[derive(Clone)]
+pub struct Kernel {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("Kernel")
+            .field("now", &SimInstant::from_nanos(st.now))
+            .field("live", &st.live)
+            .field("runnable", &st.runnable)
+            .field("pending_timers", &st.timers.len())
+            .finish()
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel with the default simulated-thread stack size (1 MiB).
+    pub fn new() -> Kernel {
+        Kernel::with_stack_size(1 << 20)
+    }
+
+    /// Creates a kernel whose simulated threads get `stack_size` byte stacks.
+    ///
+    /// Large fan-out experiments spawn thousands of threads; a smaller stack
+    /// keeps address-space usage modest.
+    pub fn with_stack_size(stack_size: usize) -> Kernel {
+        Kernel {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    now: 0,
+                    next_waiter_id: 0,
+                    timer_seq: 0,
+                    runnable: 0,
+                    live: 0,
+                    timers: BinaryHeap::new(),
+                    blocked: HashMap::new(),
+                    stats: KernelStats::default(),
+                }),
+                stack_size,
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimInstant {
+        SimInstant::from_nanos(self.inner.state.lock().now)
+    }
+
+    /// Kernel activity counters.
+    pub fn stats(&self) -> KernelStats {
+        self.inner.state.lock().stats
+    }
+
+    /// Number of registered simulated threads (runnable + blocked).
+    pub fn live_threads(&self) -> usize {
+        self.inner.state.lock().live
+    }
+
+    /// Registers the calling OS thread as a simulated thread named `name`,
+    /// runs `f`, then deregisters. This is the entry point of a simulation:
+    /// the closure plays the role of the IBM-PyWren *client*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread is already registered with a kernel, or
+    /// if the simulation deadlocks while `f` (or anything it spawned) runs.
+    pub fn run<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        CURRENT.with(|c| {
+            assert!(
+                c.borrow().is_none(),
+                "Kernel::run: thread is already registered with a kernel"
+            );
+        });
+        let waiter = {
+            let mut st = self.inner.state.lock();
+            st.live += 1;
+            st.runnable += 1;
+            st.stats.threads_started += 1;
+            let id = st.next_waiter_id;
+            st.next_waiter_id += 1;
+            Waiter::new(id, name.to_owned())
+        };
+        CURRENT.with(|c| {
+            *c.borrow_mut() = Some(ThreadCtx {
+                kernel: self.clone(),
+                waiter: Arc::clone(&waiter),
+            })
+        });
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        self.deregister(&waiter);
+        match result {
+            Ok(v) => v,
+            Err(p) => panic::resume_unwind(p),
+        }
+    }
+
+    /// Spawns a simulated thread running `f` and returns a join handle.
+    ///
+    /// May be called from inside or outside the simulation; the new thread
+    /// starts runnable at the current virtual instant.
+    pub fn spawn<T, F>(&self, name: impl Into<String>, f: F) -> SimJoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let name = name.into();
+        let waiter = {
+            let mut st = self.inner.state.lock();
+            st.live += 1;
+            st.runnable += 1;
+            st.stats.threads_started += 1;
+            let id = st.next_waiter_id;
+            st.next_waiter_id += 1;
+            Waiter::new(id, name.clone())
+        };
+        let done = Event::new(self);
+        let slot: Arc<Mutex<Option<thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let kernel = self.clone();
+        let done2 = done.clone();
+        let slot2 = Arc::clone(&slot);
+        thread::Builder::new()
+            .name(name)
+            .stack_size(self.inner.stack_size)
+            .spawn(move || {
+                CURRENT.with(|c| {
+                    *c.borrow_mut() = Some(ThreadCtx {
+                        kernel: kernel.clone(),
+                        waiter: Arc::clone(&waiter),
+                    })
+                });
+                let result = panic::catch_unwind(AssertUnwindSafe(f));
+                *slot2.lock() = Some(result);
+                done2.fire();
+                CURRENT.with(|c| *c.borrow_mut() = None);
+                kernel.deregister(&waiter);
+            })
+            .expect("failed to spawn OS thread for simulated thread");
+        SimJoinHandle { done, slot }
+    }
+
+    /// Suspends the current simulated thread for `d` of virtual time.
+    ///
+    /// This is also how simulated *compute* is modeled: CPU-bound work runs
+    /// for real, then charges its modeled duration by sleeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread is not registered with this kernel.
+    pub fn sleep(&self, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        let ctx = current_ctx("Kernel::sleep");
+        let waiter = ctx.waiter;
+        {
+            let mut st = self.inner.state.lock();
+            let deadline = st
+                .now
+                .checked_add(u64::try_from(d.as_nanos()).expect("sleep duration overflows u64 ns"))
+                .expect("virtual clock overflow");
+            let seq = st.timer_seq;
+            st.timer_seq += 1;
+            st.stats.timers_scheduled += 1;
+            st.timers.push(Reverse(TimerEntry {
+                deadline,
+                seq,
+                waiter: Arc::clone(&waiter),
+            }));
+        }
+        self.block_current_with(&waiter, "sleep");
+    }
+
+    /// Blocks the current thread until some primitive wakes its waiter.
+    ///
+    /// Internal: synchronization primitives register the waiter in their own
+    /// queues first, then call this.
+    pub(crate) fn block_current(&self, reason: &'static str) {
+        let ctx = current_ctx("block");
+        assert!(
+            Arc::ptr_eq(&ctx.kernel.inner, &self.inner),
+            "thread registered with a different kernel"
+        );
+        self.block_current_with(&ctx.waiter, reason);
+    }
+
+    fn block_current_with(&self, waiter: &Arc<Waiter>, reason: &'static str) {
+        {
+            let mut st = self.inner.state.lock();
+            {
+                let mut ws = waiter.sync.lock();
+                if ws.notified {
+                    // A wake raced in before we could park; consume it.
+                    ws.notified = false;
+                    return;
+                }
+                ws.parked = true;
+            }
+            st.runnable -= 1;
+            st.blocked.insert(waiter.id, (waiter.name.clone(), reason));
+            while st.runnable == 0 {
+                Self::advance_locked(&mut st);
+            }
+        }
+        let mut ws = waiter.sync.lock();
+        while !ws.notified {
+            waiter.cv.wait(&mut ws);
+        }
+        ws.notified = false;
+        debug_assert!(!ws.parked, "wake_locked must clear `parked`");
+    }
+
+    /// Wakes `waiter` at the current virtual instant. Must be called with the
+    /// kernel state lock held.
+    pub(crate) fn wake_locked(st: &mut State, waiter: &Arc<Waiter>) {
+        let mut ws = waiter.sync.lock();
+        if ws.notified {
+            return;
+        }
+        ws.notified = true;
+        if ws.parked {
+            ws.parked = false;
+            st.runnable += 1;
+            st.blocked.remove(&waiter.id);
+            waiter.cv.notify_one();
+        }
+    }
+
+    pub(crate) fn lock_state(&self) -> parking_lot::MutexGuard<'_, State> {
+        self.inner.state.lock()
+    }
+
+    /// Advances the clock to the earliest timer deadline and wakes every
+    /// timer due at that instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a per-thread diagnostic if no timer is pending (deadlock).
+    fn advance_locked(st: &mut State) {
+        let deadline = match st.timers.peek() {
+            Some(Reverse(e)) => e.deadline,
+            None => {
+                let mut report = String::new();
+                let mut entries: Vec<_> = st.blocked.values().collect();
+                entries.sort();
+                for (name, reason) in entries {
+                    report.push_str(&format!("\n  - thread `{name}` blocked on {reason}"));
+                }
+                panic!(
+                    "simulation deadlock at t={}: all {} registered thread(s) are blocked \
+                     and no timer is pending{report}",
+                    SimInstant::from_nanos(st.now),
+                    st.live,
+                );
+            }
+        };
+        debug_assert!(deadline >= st.now, "timer scheduled in the past");
+        st.now = deadline;
+        st.stats.clock_advances += 1;
+        while let Some(Reverse(e)) = st.timers.peek() {
+            if e.deadline != deadline {
+                break;
+            }
+            let Reverse(e) = st.timers.pop().expect("peeked entry exists");
+            Self::wake_locked(st, &e.waiter);
+        }
+    }
+
+    /// Removes a thread from the registered set, advancing the clock if it
+    /// was the last runnable one.
+    ///
+    /// A thread that dies *while blocked* (its blocking panicked, e.g. on
+    /// deadlock detection) already gave up its runnable slot; detect that via
+    /// the blocked map. While unwinding we also skip the advance loop — the
+    /// simulation is already failing and advancing could panic again, turning
+    /// the panic into an abort.
+    fn deregister(&self, waiter: &Arc<Waiter>) {
+        let mut st = self.inner.state.lock();
+        st.live -= 1;
+        if st.blocked.remove(&waiter.id).is_none() {
+            st.runnable -= 1;
+        }
+        if thread::panicking() {
+            return;
+        }
+        while st.runnable == 0 && st.live > 0 {
+            Self::advance_locked(&mut st);
+        }
+    }
+}
+
+/// Handle to a simulated thread spawned with [`Kernel::spawn`] or
+/// [`crate::spawn`].
+pub struct SimJoinHandle<T> {
+    done: Event,
+    slot: Arc<Mutex<Option<thread::Result<T>>>>,
+}
+
+impl<T> fmt::Debug for SimJoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimJoinHandle")
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl<T> SimJoinHandle<T> {
+    /// Blocks (in virtual time) until the thread finishes and returns its
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the thread's panic, like [`std::thread::JoinHandle::join`]
+    /// followed by `unwrap`.
+    pub fn join(self) -> T {
+        self.done.wait();
+        let result = self
+            .slot
+            .lock()
+            .take()
+            .expect("SimJoinHandle: result already taken");
+        match result {
+            Ok(v) => v,
+            Err(p) => panic::resume_unwind(p),
+        }
+    }
+
+    /// Whether the thread has finished (without blocking).
+    pub fn is_finished(&self) -> bool {
+        self.done.is_fired()
+    }
+}
+
+/// Returns the current thread's waiter, asserting it is registered with
+/// `kernel`. Used by synchronization primitives to enqueue themselves.
+pub(crate) fn current_waiter(kernel: &Kernel, op: &'static str) -> Arc<Waiter> {
+    let ctx = current_ctx(op);
+    assert!(
+        Arc::ptr_eq(&ctx.kernel.inner, &kernel.inner),
+        "{op}: thread is registered with a different kernel"
+    );
+    ctx.waiter
+}
+
+fn current_ctx(op: &str) -> ThreadCtx {
+    CURRENT.with(|c| {
+        c.borrow().clone().unwrap_or_else(|| {
+            panic!(
+                "{op}: calling thread is not a simulated thread \
+                 (enter the simulation via Kernel::run or Kernel::spawn)"
+            )
+        })
+    })
+}
+
+/// Virtual time on the current simulated thread's kernel.
+///
+/// # Panics
+///
+/// Panics if the calling thread is not registered with a kernel.
+pub fn now() -> SimInstant {
+    current_ctx("rustwren_sim::now").kernel.now()
+}
+
+/// Sleeps the current simulated thread for `d` of virtual time.
+///
+/// # Panics
+///
+/// Panics if the calling thread is not registered with a kernel.
+pub fn sleep(d: Duration) {
+    let ctx = current_ctx("rustwren_sim::sleep");
+    ctx.kernel.sleep(d);
+}
+
+/// Spawns a simulated thread on the current thread's kernel.
+///
+/// # Panics
+///
+/// Panics if the calling thread is not registered with a kernel.
+pub fn spawn<T, F>(name: impl Into<String>, f: F) -> SimJoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let ctx = current_ctx("rustwren_sim::spawn");
+    ctx.kernel.spawn(name, f)
+}
+
+/// The kernel of the current simulated thread.
+///
+/// # Panics
+///
+/// Panics if the calling thread is not registered with a kernel.
+pub fn kernel() -> Kernel {
+    current_ctx("rustwren_sim::kernel").kernel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let k = Kernel::new();
+        assert_eq!(k.now(), SimInstant::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_clock_only() {
+        let k = Kernel::new();
+        let wall = std::time::Instant::now();
+        k.run("client", || {
+            sleep(Duration::from_secs(3600));
+            assert_eq!(now(), SimInstant::ZERO + Duration::from_secs(3600));
+        });
+        assert!(
+            wall.elapsed() < Duration::from_secs(5),
+            "slept in wall time"
+        );
+    }
+
+    #[test]
+    fn zero_sleep_is_noop() {
+        let k = Kernel::new();
+        k.run("client", || {
+            sleep(Duration::ZERO);
+            assert_eq!(now(), SimInstant::ZERO);
+        });
+    }
+
+    #[test]
+    fn concurrent_sleeps_overlap() {
+        let k = Kernel::new();
+        k.run("client", || {
+            let a = spawn("a", || sleep(Duration::from_secs(10)));
+            let b = spawn("b", || sleep(Duration::from_secs(10)));
+            a.join();
+            b.join();
+            // Two concurrent 10s sleeps take 10s, not 20s.
+            assert_eq!(now(), SimInstant::ZERO + Duration::from_secs(10));
+        });
+    }
+
+    #[test]
+    fn sequential_sleeps_accumulate() {
+        let k = Kernel::new();
+        k.run("client", || {
+            sleep(Duration::from_secs(1));
+            sleep(Duration::from_secs(2));
+            assert_eq!(now(), SimInstant::ZERO + Duration::from_secs(3));
+        });
+    }
+
+    #[test]
+    fn join_returns_value_at_completion_time() {
+        let k = Kernel::new();
+        k.run("client", || {
+            let h = spawn("worker", || {
+                sleep(Duration::from_millis(1500));
+                42
+            });
+            assert_eq!(h.join(), 42);
+            assert_eq!(now(), SimInstant::ZERO + Duration::from_millis(1500));
+        });
+    }
+
+    #[test]
+    fn join_after_completion_does_not_block() {
+        let k = Kernel::new();
+        k.run("client", || {
+            let h = spawn("fast", || 1);
+            sleep(Duration::from_secs(1));
+            assert!(h.is_finished());
+            assert_eq!(h.join(), 1);
+            assert_eq!(now(), SimInstant::ZERO + Duration::from_secs(1));
+        });
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let k = Kernel::new();
+        let total = k.run("client", || {
+            let h = spawn("outer", || {
+                let inner = spawn("inner", || {
+                    sleep(Duration::from_secs(5));
+                    10
+                });
+                inner.join() + 1
+            });
+            h.join()
+        });
+        assert_eq!(total, 11);
+        assert_eq!(k.now(), SimInstant::ZERO + Duration::from_secs(5));
+    }
+
+    #[test]
+    fn many_threads_fan_out() {
+        let k = Kernel::new();
+        k.run("client", || {
+            let handles: Vec<_> = (0..200)
+                .map(|i| {
+                    spawn(format!("w{i}"), move || {
+                        sleep(Duration::from_millis(10 * (i % 7 + 1)));
+                        i
+                    })
+                })
+                .collect();
+            let sum: u64 = handles.into_iter().map(SimJoinHandle::join).sum();
+            assert_eq!(sum, (0..200).sum::<u64>());
+            assert_eq!(now(), SimInstant::ZERO + Duration::from_millis(70));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation deadlock")]
+    fn deadlock_is_detected() {
+        let k = Kernel::new();
+        k.run("client", || {
+            let ev = Event::new(&kernel());
+            ev.wait(); // nobody will ever fire it
+        });
+    }
+
+    #[test]
+    fn panic_in_child_propagates_through_join() {
+        let k = Kernel::new();
+        let caught = k.run("client", || {
+            let h = spawn("bad", || panic!("boom"));
+            panic::catch_unwind(AssertUnwindSafe(|| h.join())).is_err()
+        });
+        assert!(caught);
+    }
+
+    #[test]
+    fn stats_count_advances() {
+        let k = Kernel::new();
+        k.run("client", || {
+            sleep(Duration::from_secs(1));
+            sleep(Duration::from_secs(1));
+        });
+        let stats = k.stats();
+        assert_eq!(stats.clock_advances, 2);
+        assert_eq!(stats.timers_scheduled, 2);
+        assert_eq!(stats.threads_started, 1);
+    }
+
+    #[test]
+    fn run_can_be_called_twice_sequentially() {
+        let k = Kernel::new();
+        k.run("first", || sleep(Duration::from_secs(1)));
+        k.run("second", || sleep(Duration::from_secs(1)));
+        // Clock persists across runs.
+        assert_eq!(k.now(), SimInstant::ZERO + Duration::from_secs(2));
+    }
+
+    #[test]
+    fn simultaneous_deadlines_wake_together() {
+        let k = Kernel::new();
+        k.run("client", || {
+            let hs: Vec<_> = (0..10)
+                .map(|i| spawn(format!("t{i}"), || sleep(Duration::from_secs(1))))
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(now(), SimInstant::ZERO + Duration::from_secs(1));
+        });
+        // One advance should have woken all ten sleepers.
+        assert_eq!(k.stats().clock_advances, 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Virtual-time cyclic barrier.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::{current_waiter, Kernel, Waiter};
+
+struct BarrierState {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<Arc<Waiter>>,
+}
+
+/// A reusable barrier: the first `parties - 1` callers of
+/// [`wait`](Barrier::wait) block (in virtual time) until the last one
+/// arrives; then everyone proceeds and the barrier resets for the next
+/// round. Cheap to clone.
+///
+/// # Examples
+///
+/// ```
+/// use rustwren_sim::{Kernel, sync::Barrier};
+/// use std::time::Duration;
+///
+/// let kernel = Kernel::new();
+/// kernel.clone().run("client", move || {
+///     let barrier = Barrier::new(&rustwren_sim::kernel(), 3);
+///     let hs: Vec<_> = (0..3u64).map(|i| {
+///         let barrier = barrier.clone();
+///         rustwren_sim::spawn(format!("t{i}"), move || {
+///             rustwren_sim::sleep(Duration::from_secs(i + 1));
+///             barrier.wait();
+///             rustwren_sim::now().as_secs_f64()
+///         })
+///     }).collect();
+///     for h in hs {
+///         // Everyone leaves at the slowest arrival: t = 3s.
+///         assert_eq!(h.join(), 3.0);
+///     }
+/// });
+/// ```
+#[derive(Clone)]
+pub struct Barrier {
+    kernel: Kernel,
+    state: Arc<Mutex<BarrierState>>,
+}
+
+impl fmt::Debug for Barrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Barrier")
+            .field("parties", &st.parties)
+            .field("arrived", &st.arrived)
+            .finish()
+    }
+}
+
+impl Barrier {
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(kernel: &Kernel, parties: usize) -> Barrier {
+        assert!(parties > 0, "barrier needs at least one party");
+        Barrier {
+            kernel: kernel.clone(),
+            state: Arc::new(Mutex::new(BarrierState {
+                parties,
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Blocks until `parties` threads have called `wait` this round.
+    /// Returns `true` on the *leader* (the last arriver), mirroring
+    /// [`std::sync::Barrier`].
+    pub fn wait(&self) -> bool {
+        let waiter = current_waiter(&self.kernel, "Barrier::wait");
+        let my_generation;
+        {
+            let mut kst = self.kernel.lock_state();
+            let mut st = self.state.lock();
+            st.arrived += 1;
+            my_generation = st.generation;
+            if st.arrived == st.parties {
+                // Leader: release everyone and reset for the next round.
+                st.arrived = 0;
+                st.generation += 1;
+                let waiters = std::mem::take(&mut st.waiters);
+                drop(st);
+                for w in &waiters {
+                    Kernel::wake_locked(&mut kst, w);
+                }
+                return true;
+            }
+            if !st.waiters.iter().any(|w| w.id() == waiter.id()) {
+                st.waiters.push(Arc::clone(&waiter));
+            }
+        }
+        loop {
+            self.kernel.block_current("barrier.wait");
+            let st = self.state.lock();
+            if st.generation != my_generation {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn all_parties_leave_at_last_arrival() {
+        Kernel::new().run("client", || {
+            let barrier = Barrier::new(&crate::kernel(), 4);
+            let hs: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let barrier = barrier.clone();
+                    crate::spawn(format!("t{i}"), move || {
+                        crate::sleep(Duration::from_secs(i * 2));
+                        barrier.wait();
+                        crate::now().as_secs_f64()
+                    })
+                })
+                .collect();
+            for h in hs {
+                assert_eq!(h.join(), 6.0);
+            }
+        });
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        Kernel::new().run("client", || {
+            let barrier = Barrier::new(&crate::kernel(), 3);
+            let hs: Vec<_> = (0..3u64)
+                .map(|i| {
+                    let barrier = barrier.clone();
+                    crate::spawn(format!("t{i}"), move || {
+                        crate::sleep(Duration::from_millis(i));
+                        barrier.wait()
+                    })
+                })
+                .collect();
+            let leaders = hs.into_iter().map(|h| h.join()).filter(|&l| l).count();
+            assert_eq!(leaders, 1);
+        });
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_rounds() {
+        Kernel::new().run("client", || {
+            let barrier = Barrier::new(&crate::kernel(), 2);
+            let b2 = barrier.clone();
+            let h = crate::spawn("peer", move || {
+                for _ in 0..3 {
+                    crate::sleep(Duration::from_secs(1));
+                    b2.wait();
+                }
+            });
+            for round in 1..=3u64 {
+                barrier.wait();
+                assert_eq!(crate::now().as_secs_f64(), round as f64);
+            }
+            h.join();
+        });
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        Kernel::new().run("client", || {
+            let barrier = Barrier::new(&crate::kernel(), 1);
+            assert!(barrier.wait());
+            assert!(barrier.wait());
+            assert_eq!(crate::now().as_nanos(), 0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_panics() {
+        let k = Kernel::new();
+        let _ = Barrier::new(&k, 0);
+    }
+}

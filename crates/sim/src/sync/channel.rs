@@ -1,0 +1,461 @@
+//! Virtual-time MPMC channels.
+//!
+//! The API mirrors [`std::sync::mpsc`] but senders and receivers are both
+//! cloneable, and blocking operations suspend the simulated thread so the
+//! virtual clock can advance.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::{current_waiter, Kernel, Waiter};
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+/// Carries the unsent value back to the caller.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a channel with no receivers")
+    }
+}
+
+impl<T> Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty channel with no senders")
+    }
+}
+
+impl Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("channel is empty"),
+            TryRecvError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+impl Error for TryRecvError {}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    capacity: Option<usize>,
+    senders: usize,
+    receivers: usize,
+    recv_waiters: VecDeque<Arc<Waiter>>,
+    send_waiters: VecDeque<Arc<Waiter>>,
+}
+
+struct Chan<T> {
+    kernel: Kernel,
+    state: Mutex<ChanState<T>>,
+}
+
+/// Creates an unbounded virtual-time channel.
+///
+/// # Examples
+///
+/// ```
+/// use rustwren_sim::Kernel;
+/// use std::time::Duration;
+///
+/// let kernel = Kernel::new();
+/// kernel.clone().run("client", move || {
+///     let (tx, rx) = rustwren_sim::sync::unbounded::<u32>(&rustwren_sim::kernel());
+///     rustwren_sim::spawn("producer", move || {
+///         rustwren_sim::sleep(Duration::from_secs(1));
+///         tx.send(99).unwrap();
+///     });
+///     assert_eq!(rx.recv().unwrap(), 99);
+///     assert_eq!(rustwren_sim::now().as_secs_f64(), 1.0);
+/// });
+/// ```
+pub fn unbounded<T>(kernel: &Kernel) -> (Sender<T>, Receiver<T>) {
+    channel(kernel, None)
+}
+
+/// Creates a bounded virtual-time channel with space for `capacity` queued
+/// messages; senders block when it is full.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (rendezvous channels are not supported).
+pub fn bounded<T>(kernel: &Kernel, capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "bounded channel capacity must be non-zero");
+    channel(kernel, Some(capacity))
+}
+
+fn channel<T>(kernel: &Kernel, capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        kernel: kernel.clone(),
+        state: Mutex::new(ChanState {
+            queue: VecDeque::new(),
+            capacity,
+            senders: 1,
+            receivers: 1,
+            recv_waiters: VecDeque::new(),
+            send_waiters: VecDeque::new(),
+        }),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+/// The sending half of a channel created by [`unbounded`] or [`bounded`].
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().senders += 1;
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.kernel.lock_state();
+        let waiters = {
+            let mut ch = self.chan.state.lock();
+            ch.senders -= 1;
+            if ch.senders == 0 {
+                std::mem::take(&mut ch.recv_waiters)
+            } else {
+                VecDeque::new()
+            }
+        };
+        for w in &waiters {
+            Kernel::wake_locked(&mut st, w);
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a value, blocking in virtual time while a bounded channel is
+    /// full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if every receiver has been dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread is not a simulated thread on this
+    /// channel's kernel and the channel is full (i.e. would need to block).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut value = Some(value);
+        loop {
+            {
+                let mut st = self.chan.kernel.lock_state();
+                let mut ch = self.chan.state.lock();
+                if ch.receivers == 0 {
+                    return Err(SendError(value.take().expect("value still present")));
+                }
+                let has_room = ch.capacity.is_none_or(|cap| ch.queue.len() < cap);
+                if has_room {
+                    ch.queue
+                        .push_back(value.take().expect("value still present"));
+                    if let Some(w) = ch.recv_waiters.pop_front() {
+                        Kernel::wake_locked(&mut st, &w);
+                    }
+                    return Ok(());
+                }
+                let waiter = current_waiter(&self.chan.kernel, "Sender::send");
+                if !ch.send_waiters.iter().any(|w| w.id() == waiter.id()) {
+                    ch.send_waiters.push_back(waiter);
+                }
+            }
+            self.chan.kernel.block_current("channel.send");
+        }
+    }
+}
+
+/// The receiving half of a channel created by [`unbounded`] or [`bounded`].
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().receivers += 1;
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.kernel.lock_state();
+        let waiters = {
+            let mut ch = self.chan.state.lock();
+            ch.receivers -= 1;
+            if ch.receivers == 0 {
+                std::mem::take(&mut ch.send_waiters)
+            } else {
+                VecDeque::new()
+            }
+        };
+        for w in &waiters {
+            Kernel::wake_locked(&mut st, w);
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a value, blocking in virtual time while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] if the channel is empty and every sender has
+    /// been dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread is not a simulated thread on this
+    /// channel's kernel and the channel is empty (i.e. would need to block).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        loop {
+            {
+                let mut st = self.chan.kernel.lock_state();
+                let mut ch = self.chan.state.lock();
+                if let Some(v) = ch.queue.pop_front() {
+                    if let Some(w) = ch.send_waiters.pop_front() {
+                        Kernel::wake_locked(&mut st, &w);
+                    }
+                    return Ok(v);
+                }
+                if ch.senders == 0 {
+                    return Err(RecvError);
+                }
+                let waiter = current_waiter(&self.chan.kernel, "Receiver::recv");
+                if !ch.recv_waiters.iter().any(|w| w.id() == waiter.id()) {
+                    ch.recv_waiters.push_back(waiter);
+                }
+            }
+            self.chan.kernel.block_current("channel.recv");
+        }
+    }
+
+    /// Receives a value if one is immediately available.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] if the channel has no queued values;
+    /// [`TryRecvError::Disconnected`] if additionally all senders are gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.kernel.lock_state();
+        let mut ch = self.chan.state.lock();
+        if let Some(v) = ch.queue.pop_front() {
+            if let Some(w) = ch.send_waiters.pop_front() {
+                Kernel::wake_locked(&mut st, &w);
+            }
+            return Ok(v);
+        }
+        if ch.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Drains the channel until all senders disconnect, yielding each value.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+/// Blocking iterator over received values; see [`Receiver::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+    use std::time::Duration;
+
+    #[test]
+    fn send_then_recv_same_thread() {
+        Kernel::new().run("client", || {
+            let (tx, rx) = unbounded(&crate::kernel());
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv(), Ok(5));
+        });
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        Kernel::new().run("client", || {
+            let (tx, rx) = unbounded(&crate::kernel());
+            crate::spawn("producer", move || {
+                crate::sleep(Duration::from_secs(7));
+                tx.send("hi").unwrap();
+            });
+            assert_eq!(rx.recv(), Ok("hi"));
+            assert_eq!(crate::now().as_secs_f64(), 7.0);
+        });
+    }
+
+    #[test]
+    fn recv_on_disconnected_returns_err() {
+        Kernel::new().run("client", || {
+            let (tx, rx) = unbounded::<u8>(&crate::kernel());
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        });
+    }
+
+    #[test]
+    fn queued_values_survive_sender_drop() {
+        Kernel::new().run("client", || {
+            let (tx, rx) = unbounded(&crate::kernel());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Err(RecvError));
+        });
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_value() {
+        Kernel::new().run("client", || {
+            let (tx, rx) = unbounded(&crate::kernel());
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        });
+    }
+
+    #[test]
+    fn bounded_sender_blocks_until_room() {
+        Kernel::new().run("client", || {
+            let (tx, rx) = bounded(&crate::kernel(), 1);
+            tx.send(1).unwrap();
+            let h = crate::spawn("producer", move || {
+                tx.send(2).unwrap(); // blocks: capacity 1
+                crate::now()
+            });
+            crate::sleep(Duration::from_secs(4));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(h.join().as_secs_f64(), 4.0);
+            assert_eq!(rx.recv(), Ok(2));
+        });
+    }
+
+    #[test]
+    fn try_recv_reports_empty_and_disconnected() {
+        Kernel::new().run("client", || {
+            let (tx, rx) = unbounded::<u8>(&crate::kernel());
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(3));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        });
+    }
+
+    #[test]
+    fn mpmc_many_producers_many_consumers() {
+        Kernel::new().run("client", || {
+            let (tx, rx) = unbounded(&crate::kernel());
+            for p in 0..8u64 {
+                let tx = tx.clone();
+                crate::spawn(format!("p{p}"), move || {
+                    for i in 0..25u64 {
+                        crate::sleep(Duration::from_millis(1));
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let consumers: Vec<_> = (0..4)
+                .map(|c| {
+                    let rx = rx.clone();
+                    crate::spawn(format!("c{c}"), move || rx.iter().count())
+                })
+                .collect();
+            drop(rx);
+            let total: usize = consumers.into_iter().map(|h| h.join()).sum();
+            assert_eq!(total, 8 * 25);
+        });
+    }
+
+    #[test]
+    fn iter_drains_channel() {
+        Kernel::new().run("client", || {
+            let (tx, rx) = unbounded(&crate::kernel());
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let k = Kernel::new();
+        let _ = bounded::<u8>(&k, 0);
+    }
+}

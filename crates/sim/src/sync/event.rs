@@ -1,0 +1,170 @@
+//! One-shot events (virtual-time latches).
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::{current_waiter, Kernel, Waiter};
+
+#[derive(Default)]
+struct EventState {
+    fired: bool,
+    waiters: Vec<Arc<Waiter>>,
+}
+
+/// A one-shot event: threads [`wait`](Event::wait) until some other thread
+/// [`fire`](Event::fire)s it. Firing is idempotent. Cheap to clone.
+///
+/// # Examples
+///
+/// ```
+/// use rustwren_sim::{Kernel, sync::Event};
+/// use std::time::Duration;
+///
+/// let kernel = Kernel::new();
+/// kernel.clone().run("client", move || {
+///     let ev = Event::new(&rustwren_sim::kernel());
+///     let ev2 = ev.clone();
+///     rustwren_sim::spawn("firer", move || {
+///         rustwren_sim::sleep(Duration::from_secs(2));
+///         ev2.fire();
+///     });
+///     ev.wait();
+///     assert_eq!(rustwren_sim::now().as_secs_f64(), 2.0);
+/// });
+/// ```
+#[derive(Clone)]
+pub struct Event {
+    kernel: Kernel,
+    state: Arc<Mutex<EventState>>,
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Event")
+            .field("fired", &self.is_fired())
+            .finish()
+    }
+}
+
+impl Event {
+    /// Creates an unfired event on `kernel`.
+    pub fn new(kernel: &Kernel) -> Event {
+        Event {
+            kernel: kernel.clone(),
+            state: Arc::new(Mutex::new(EventState::default())),
+        }
+    }
+
+    /// Fires the event, waking all current and future waiters. Idempotent.
+    pub fn fire(&self) {
+        let mut st = self.kernel.lock_state();
+        let waiters = {
+            let mut ev = self.state.lock();
+            if ev.fired {
+                return;
+            }
+            ev.fired = true;
+            std::mem::take(&mut ev.waiters)
+        };
+        for w in &waiters {
+            Kernel::wake_locked(&mut st, w);
+        }
+    }
+
+    /// Whether the event has fired.
+    pub fn is_fired(&self) -> bool {
+        self.state.lock().fired
+    }
+
+    /// Blocks the current simulated thread until the event fires.
+    ///
+    /// Returns immediately if already fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread is not registered with this kernel.
+    pub fn wait(&self) {
+        let waiter = current_waiter(&self.kernel, "Event::wait");
+        loop {
+            {
+                let mut ev = self.state.lock();
+                if ev.fired {
+                    return;
+                }
+                if !ev.waiters.iter().any(|w| w.id() == waiter.id()) {
+                    ev.waiters.push(Arc::clone(&waiter));
+                }
+            }
+            self.kernel.block_current("event.wait");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_after_fire_returns_immediately() {
+        let k = Kernel::new();
+        k.run("client", || {
+            let ev = Event::new(&crate::kernel());
+            ev.fire();
+            ev.wait();
+            assert_eq!(crate::now().as_nanos(), 0);
+        });
+    }
+
+    #[test]
+    fn fire_is_idempotent() {
+        let k = Kernel::new();
+        k.run("client", || {
+            let ev = Event::new(&crate::kernel());
+            ev.fire();
+            ev.fire();
+            assert!(ev.is_fired());
+        });
+    }
+
+    #[test]
+    fn multiple_waiters_all_wake() {
+        let k = Kernel::new();
+        k.run("client", || {
+            let ev = Event::new(&crate::kernel());
+            let handles: Vec<_> = (0..20)
+                .map(|i| {
+                    let ev = ev.clone();
+                    crate::spawn(format!("w{i}"), move || {
+                        ev.wait();
+                        crate::now()
+                    })
+                })
+                .collect();
+            crate::sleep(Duration::from_secs(3));
+            ev.fire();
+            for h in handles {
+                assert_eq!(h.join().as_secs_f64(), 3.0);
+            }
+        });
+    }
+
+    #[test]
+    fn waiters_block_in_virtual_time_not_wall_time() {
+        let k = Kernel::new();
+        let wall = std::time::Instant::now();
+        k.run("client", || {
+            let ev = Event::new(&crate::kernel());
+            let ev2 = ev.clone();
+            let h = crate::spawn("firer", move || {
+                crate::sleep(Duration::from_secs(86_400));
+                ev2.fire();
+            });
+            ev.wait();
+            h.join();
+        });
+        assert!(wall.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,22 @@
+//! Virtual-time synchronization primitives.
+//!
+//! Every primitive here blocks in *virtual* time: a thread waiting on an
+//! [`Event`], [`Receiver`], [`Semaphore`] or [`WaitGroup`] counts as blocked
+//! for the kernel, allowing the clock to advance. Wakes are delivered at the
+//! current virtual instant.
+//!
+//! Lock ordering (internal invariant): the kernel state lock is always
+//! acquired *before* a primitive's own lock, and both are released before a
+//! thread parks.
+
+mod barrier;
+mod channel;
+mod event;
+mod semaphore;
+mod waitgroup;
+
+pub use barrier::Barrier;
+pub use channel::{bounded, unbounded, Receiver, RecvError, SendError, Sender, TryRecvError};
+pub use event::Event;
+pub use semaphore::Semaphore;
+pub use waitgroup::WaitGroup;

@@ -1,0 +1,168 @@
+//! Virtual-time wait group (fork/join barrier).
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::kernel::{current_waiter, Kernel, Waiter};
+
+struct WgState {
+    count: usize,
+    waiters: Vec<Arc<Waiter>>,
+}
+
+/// Waits for a dynamic collection of tasks to finish, like Go's
+/// `sync.WaitGroup`. Cheap to clone.
+///
+/// # Examples
+///
+/// ```
+/// use rustwren_sim::{Kernel, sync::WaitGroup};
+/// use std::time::Duration;
+///
+/// let kernel = Kernel::new();
+/// kernel.clone().run("client", move || {
+///     let wg = WaitGroup::new(&rustwren_sim::kernel());
+///     for i in 0..5 {
+///         wg.add(1);
+///         let wg = wg.clone();
+///         rustwren_sim::spawn(format!("t{i}"), move || {
+///             rustwren_sim::sleep(Duration::from_secs(1));
+///             wg.done();
+///         });
+///     }
+///     wg.wait();
+///     assert_eq!(rustwren_sim::now().as_secs_f64(), 1.0);
+/// });
+/// ```
+#[derive(Clone)]
+pub struct WaitGroup {
+    kernel: Kernel,
+    state: Arc<Mutex<WgState>>,
+}
+
+impl fmt::Debug for WaitGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WaitGroup")
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl WaitGroup {
+    /// Creates an empty wait group on `kernel`.
+    pub fn new(kernel: &Kernel) -> WaitGroup {
+        WaitGroup {
+            kernel: kernel.clone(),
+            state: Arc::new(Mutex::new(WgState {
+                count: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Registers `n` additional pending tasks.
+    pub fn add(&self, n: usize) {
+        self.state.lock().count += n;
+    }
+
+    /// Number of tasks still pending.
+    pub fn pending(&self) -> usize {
+        self.state.lock().count
+    }
+
+    /// Marks one task finished, waking waiters if the count reaches zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more times than [`add`](WaitGroup::add) registered.
+    pub fn done(&self) {
+        let mut st = self.kernel.lock_state();
+        let waiters = {
+            let mut wg = self.state.lock();
+            assert!(
+                wg.count > 0,
+                "WaitGroup::done called with zero pending tasks"
+            );
+            wg.count -= 1;
+            if wg.count == 0 {
+                std::mem::take(&mut wg.waiters)
+            } else {
+                Vec::new()
+            }
+        };
+        for w in &waiters {
+            Kernel::wake_locked(&mut st, w);
+        }
+    }
+
+    /// Blocks the current simulated thread until the pending count is zero.
+    pub fn wait(&self) {
+        let waiter = current_waiter(&self.kernel, "WaitGroup::wait");
+        loop {
+            {
+                let mut wg = self.state.lock();
+                if wg.count == 0 {
+                    return;
+                }
+                if !wg.waiters.iter().any(|w| w.id() == waiter.id()) {
+                    wg.waiters.push(Arc::clone(&waiter));
+                }
+            }
+            self.kernel.block_current("waitgroup.wait");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_on_empty_group_returns_immediately() {
+        Kernel::new().run("client", || {
+            let wg = WaitGroup::new(&crate::kernel());
+            wg.wait();
+            assert_eq!(crate::now().as_nanos(), 0);
+        });
+    }
+
+    #[test]
+    fn wait_unblocks_at_last_done() {
+        Kernel::new().run("client", || {
+            let wg = WaitGroup::new(&crate::kernel());
+            for i in 0..3u64 {
+                wg.add(1);
+                let wg = wg.clone();
+                crate::spawn(format!("t{i}"), move || {
+                    crate::sleep(Duration::from_secs(i + 1));
+                    wg.done();
+                });
+            }
+            wg.wait();
+            assert_eq!(crate::now().as_secs_f64(), 3.0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pending")]
+    fn done_without_add_panics() {
+        Kernel::new().run("client", || {
+            let wg = WaitGroup::new(&crate::kernel());
+            wg.done();
+        });
+    }
+
+    #[test]
+    fn pending_tracks_count() {
+        Kernel::new().run("client", || {
+            let wg = WaitGroup::new(&crate::kernel());
+            wg.add(2);
+            assert_eq!(wg.pending(), 2);
+            wg.done();
+            assert_eq!(wg.pending(), 1);
+        });
+    }
+}

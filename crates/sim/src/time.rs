@@ -1,0 +1,141 @@
+//! Virtual-time instants.
+//!
+//! The simulation measures time in nanoseconds since kernel start. A
+//! [`SimInstant`] is deliberately distinct from [`std::time::Instant`] so
+//! that simulated code cannot accidentally mix wall-clock and virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, measured in nanoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use rustwren_sim::SimInstant;
+/// use std::time::Duration;
+///
+/// let t = SimInstant::ZERO + Duration::from_millis(1500);
+/// assert_eq!(t.as_nanos(), 1_500_000_000);
+/// assert_eq!(t.duration_since(SimInstant::ZERO), Duration::from_millis(1500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant(u64);
+
+impl SimInstant {
+    /// The instant at which every simulation starts.
+    pub const ZERO: SimInstant = SimInstant(0);
+
+    /// Creates an instant from raw nanoseconds since simulation start.
+    pub fn from_nanos(nanos: u64) -> SimInstant {
+        SimInstant(nanos)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// Saturates to zero if `earlier` is later than `self`; virtual time is
+    /// monotone, so that only happens when the caller swapped arguments.
+    pub fn duration_since(self, earlier: SimInstant) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, returning `None` on overflow of the nanosecond range.
+    pub fn checked_add(self, d: Duration) -> Option<SimInstant> {
+        let nanos = u64::try_from(d.as_nanos()).ok()?;
+        self.0.checked_add(nanos).map(SimInstant)
+    }
+}
+
+impl Add<Duration> for SimInstant {
+    type Output = SimInstant;
+
+    /// # Panics
+    ///
+    /// Panics if the sum overflows the simulated nanosecond range
+    /// (~584 years of virtual time).
+    fn add(self, d: Duration) -> SimInstant {
+        self.checked_add(d)
+            .expect("virtual time overflow: instant + duration exceeds u64 nanoseconds")
+    }
+}
+
+impl AddAssign<Duration> for SimInstant {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimInstant> for SimInstant {
+    type Output = Duration;
+
+    fn sub(self, earlier: SimInstant) -> Duration {
+        self.duration_since(earlier)
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimInstant::default(), SimInstant::ZERO);
+    }
+
+    #[test]
+    fn add_and_duration_since_roundtrip() {
+        let t = SimInstant::ZERO + Duration::from_micros(42);
+        assert_eq!(
+            t.duration_since(SimInstant::ZERO),
+            Duration::from_micros(42)
+        );
+    }
+
+    #[test]
+    fn duration_since_saturates() {
+        let early = SimInstant::from_nanos(10);
+        let late = SimInstant::from_nanos(20);
+        assert_eq!(early.duration_since(late), Duration::ZERO);
+    }
+
+    #[test]
+    fn sub_operator_matches_duration_since() {
+        let a = SimInstant::from_nanos(5_000);
+        let b = SimInstant::from_nanos(2_000);
+        assert_eq!(a - b, Duration::from_nanos(3_000));
+    }
+
+    #[test]
+    fn checked_add_overflow_is_none() {
+        let t = SimInstant::from_nanos(u64::MAX - 1);
+        assert_eq!(t.checked_add(Duration::from_secs(1)), None);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        let t = SimInstant::ZERO + Duration::from_millis(1234);
+        assert_eq!(t.to_string(), "1.234000s");
+    }
+
+    #[test]
+    fn ordering_follows_nanos() {
+        assert!(SimInstant::from_nanos(1) < SimInstant::from_nanos(2));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the virtual-time kernel.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rustwren_sim::{sync::Semaphore, Kernel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential sleeps on one thread accumulate exactly.
+    #[test]
+    fn sequential_sleeps_sum(durs in prop::collection::vec(0u64..10_000, 0..20)) {
+        let k = Kernel::new();
+        let total: u64 = durs.iter().sum();
+        k.run("client", || {
+            for &d in &durs {
+                rustwren_sim::sleep(Duration::from_micros(d));
+            }
+            prop_assert_eq!(rustwren_sim::now().as_nanos(), total * 1_000);
+            Ok(())
+        })?;
+    }
+
+    /// N parallel sleepers finish at the maximum duration, never the sum.
+    #[test]
+    fn parallel_sleeps_take_max(durs in prop::collection::vec(1u64..50_000, 1..40)) {
+        let k = Kernel::new();
+        let max = *durs.iter().max().expect("non-empty");
+        k.run("client", || {
+            let hs: Vec<_> = durs
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    rustwren_sim::spawn(format!("t{i}"), move || {
+                        rustwren_sim::sleep(Duration::from_micros(d));
+                        rustwren_sim::now().as_nanos()
+                    })
+                })
+                .collect();
+            for (h, &d) in hs.into_iter().zip(&durs) {
+                prop_assert_eq!(h.join(), d * 1_000);
+            }
+            prop_assert_eq!(rustwren_sim::now().as_nanos(), max * 1_000);
+            Ok(())
+        })?;
+    }
+
+    /// The clock observed by any thread never goes backwards.
+    #[test]
+    fn clock_is_monotone(durs in prop::collection::vec(0u64..5_000, 1..30)) {
+        let k = Kernel::new();
+        k.run("client", || {
+            let mut last = rustwren_sim::now();
+            for (i, &d) in durs.iter().enumerate() {
+                if i % 3 == 0 {
+                    let h = rustwren_sim::spawn(format!("s{i}"), move || {
+                        rustwren_sim::sleep(Duration::from_micros(d));
+                    });
+                    h.join();
+                } else {
+                    rustwren_sim::sleep(Duration::from_micros(d));
+                }
+                let now = rustwren_sim::now();
+                prop_assert!(now >= last);
+                last = now;
+            }
+            Ok(())
+        })?;
+    }
+
+    /// k-permit semaphore over n identical tasks takes ceil(n/k) rounds.
+    #[test]
+    fn semaphore_batching_law(n in 1usize..40, permits in 1usize..8, dur_ms in 1u64..100) {
+        let k = Kernel::new();
+        k.run("client", || {
+            let sem = Semaphore::new(&rustwren_sim::kernel(), permits);
+            let hs: Vec<_> = (0..n)
+                .map(|i| {
+                    let sem = sem.clone();
+                    rustwren_sim::spawn(format!("w{i}"), move || {
+                        let _p = sem.acquire();
+                        rustwren_sim::sleep(Duration::from_millis(dur_ms));
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            let rounds = n.div_ceil(permits) as u64;
+            prop_assert_eq!(
+                rustwren_sim::now().as_nanos(),
+                rounds * dur_ms * 1_000_000
+            );
+            Ok(())
+        })?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Values from a single producer arrive in send order, regardless of
+    /// interleaved sleeps.
+    #[test]
+    fn channel_preserves_per_producer_order(
+        delays in prop::collection::vec(0u64..500, 1..30)
+    ) {
+        let k = Kernel::new();
+        k.run("client", || {
+            let (tx, rx) = rustwren_sim::sync::unbounded(&rustwren_sim::kernel());
+            let delays2 = delays.clone();
+            rustwren_sim::spawn("producer", move || {
+                for (i, d) in delays2.into_iter().enumerate() {
+                    rustwren_sim::sleep(Duration::from_micros(d));
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            let got: Vec<usize> = rx.iter().collect();
+            prop_assert_eq!(got, (0..delays.len()).collect::<Vec<_>>());
+            Ok(())
+        })?;
+    }
+
+    /// A barrier releases all parties at the maximum arrival time, for any
+    /// arrival pattern.
+    #[test]
+    fn barrier_releases_at_last_arrival(
+        arrivals in prop::collection::vec(0u64..10_000, 2..12)
+    ) {
+        let k = Kernel::new();
+        let max = *arrivals.iter().max().expect("non-empty");
+        k.run("client", || {
+            let barrier = rustwren_sim::sync::Barrier::new(
+                &rustwren_sim::kernel(),
+                arrivals.len(),
+            );
+            let hs: Vec<_> = arrivals
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| {
+                    let barrier = barrier.clone();
+                    rustwren_sim::spawn(format!("p{i}"), move || {
+                        rustwren_sim::sleep(Duration::from_micros(a));
+                        barrier.wait();
+                        rustwren_sim::now().as_nanos()
+                    })
+                })
+                .collect();
+            for h in hs {
+                prop_assert_eq!(h.join(), max * 1_000);
+            }
+            Ok(())
+        })?;
+    }
+}

@@ -1,0 +1,520 @@
+//! The timed COS client: every operation charges virtual time and may fail.
+//!
+//! A [`CosClient`] is what simulated actors (the IBM-PyWren client on a
+//! laptop, or a function executor inside the cloud) use to reach the object
+//! store. Each request is charged one network round trip plus payload
+//! transfer time plus a per-operation service latency, and can fail
+//! deterministically according to the path's
+//! [`NetworkProfile::failure_rate`]; failed requests are retried with
+//! exponential backoff like the real COS SDKs.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use rustwren_sim::hash::hash2;
+use rustwren_sim::NetworkProfile;
+
+use crate::error::StoreError;
+use crate::object::{BucketMeta, ObjectMeta};
+use crate::store::ObjectStore;
+
+/// Per-operation service-side latency, independent of payload size.
+///
+/// Defaults are in the ballpark of public COS/S3 numbers; they only shift
+/// constants, not the shape of the paper's results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosCosts {
+    /// Service time for GET/PUT of object data.
+    pub data_op: Duration,
+    /// Service time for HEAD (object or bucket).
+    pub head_op: Duration,
+    /// Service time for LIST, per returned batch of 1,000 keys.
+    pub list_op: Duration,
+    /// Service time for DELETE.
+    pub delete_op: Duration,
+    /// Approximate bytes of metadata returned per listed key (affects LIST
+    /// transfer time).
+    pub list_entry_bytes: u64,
+}
+
+impl Default for CosCosts {
+    fn default() -> CosCosts {
+        CosCosts {
+            data_op: Duration::from_millis(9),
+            head_op: Duration::from_millis(5),
+            list_op: Duration::from_millis(14),
+            delete_op: Duration::from_millis(6),
+            list_entry_bytes: 200,
+        }
+    }
+}
+
+/// A virtual-time client for the simulated object store.
+///
+/// Cheap to clone; clones share the retry budget configuration and token
+/// sequence (so timings stay deterministic per client identity).
+///
+/// # Examples
+///
+/// ```
+/// use rustwren_sim::{Kernel, NetworkProfile};
+/// use rustwren_store::{CosClient, ObjectStore};
+/// use bytes::Bytes;
+///
+/// let kernel = Kernel::new();
+/// let store = ObjectStore::new(&kernel);
+/// store.create_bucket("data").unwrap();
+/// let client = CosClient::new(&store, NetworkProfile::lan(), 42);
+/// kernel.run("client", || {
+///     client.put("data", "k", Bytes::from_static(b"v"))?;
+///     assert_eq!(client.get("data", "k")?.as_ref(), b"v");
+///     assert!(rustwren_sim::now().as_nanos() > 0); // ops took virtual time
+///     Ok::<(), rustwren_store::StoreError>(())
+/// }).unwrap();
+/// ```
+#[derive(Clone)]
+pub struct CosClient {
+    store: ObjectStore,
+    net: NetworkProfile,
+    costs: CosCosts,
+    seed: u64,
+    seq: Arc<AtomicU64>,
+    max_attempts: u32,
+}
+
+impl fmt::Debug for CosClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CosClient")
+            .field("net", &self.net)
+            .field("max_attempts", &self.max_attempts)
+            .finish()
+    }
+}
+
+impl CosClient {
+    /// Creates a client reaching `store` over `net`. `seed` individualizes
+    /// this client's jitter/failure stream.
+    pub fn new(store: &ObjectStore, net: NetworkProfile, seed: u64) -> CosClient {
+        CosClient {
+            store: store.clone(),
+            net,
+            costs: CosCosts::default(),
+            seed,
+            seq: Arc::new(AtomicU64::new(0)),
+            max_attempts: 4,
+        }
+    }
+
+    /// Replaces the per-operation service costs.
+    pub fn with_costs(mut self, costs: CosCosts) -> CosClient {
+        self.costs = costs;
+        self
+    }
+
+    /// Sets how many attempts each operation makes before reporting
+    /// [`StoreError::Network`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    pub fn with_max_attempts(mut self, attempts: u32) -> CosClient {
+        assert!(attempts > 0, "max_attempts must be at least 1");
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// The underlying raw store (zero-cost access, for assertions in tests).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// The network profile this client charges.
+    pub fn network(&self) -> &NetworkProfile {
+        &self.net
+    }
+
+    fn charge(&self, op: &str, payload: u64, service: Duration) -> Result<(), StoreError> {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let token = hash2(self.seed, self.seq.fetch_add(1, Ordering::Relaxed));
+            let cost = self.net.request_cost(payload, token) + service;
+            rustwren_sim::sleep(cost);
+            if !self.net.fails(token) {
+                return Ok(());
+            }
+            if attempt >= self.max_attempts {
+                return Err(StoreError::Network {
+                    op: op.to_owned(),
+                    attempts: attempt,
+                });
+            }
+            // Exponential backoff, as in the COS SDKs.
+            rustwren_sim::sleep(Duration::from_millis(50) * 2u32.pow(attempt - 1));
+        }
+    }
+
+    /// `PUT` an object.
+    ///
+    /// # Errors
+    ///
+    /// Store errors from the service, or [`StoreError::Network`] after
+    /// exhausting retries.
+    pub fn put(&self, bucket: &str, key: &str, data: Bytes) -> Result<ObjectMeta, StoreError> {
+        self.charge(
+            &format!("PUT {bucket}/{key}"),
+            data.len() as u64,
+            self.costs.data_op,
+        )?;
+        self.store.put(bucket, key, data)
+    }
+
+    /// `PUT` an object using a multipart upload: parts of `part_size` bytes
+    /// transfer **concurrently** (each on its own simulated thread), so the
+    /// virtual cost approaches `size / (parts × bandwidth)` plus one
+    /// completion round trip — how the real COS SDKs move large payloads.
+    /// Falls back to a plain [`put`](CosClient::put) for small objects.
+    ///
+    /// At most 16 parts are in flight at a time, like the SDK defaults.
+    ///
+    /// # Errors
+    ///
+    /// Store errors from the service, or [`StoreError::Network`] if any
+    /// part exhausts its retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part_size` is zero.
+    pub fn put_multipart(
+        &self,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+        part_size: usize,
+    ) -> Result<ObjectMeta, StoreError> {
+        assert!(part_size > 0, "part_size must be non-zero");
+        if data.len() <= part_size {
+            return self.put(bucket, key, data);
+        }
+        let part_count = data.len().div_ceil(part_size);
+        let threads = part_count.min(16);
+        let mut lanes: Vec<Vec<(usize, usize)>> = vec![Vec::new(); threads];
+        for i in 0..part_count {
+            let start = i * part_size;
+            let end = (start + part_size).min(data.len());
+            lanes[i % threads].push((start, end));
+        }
+        let handles: Vec<_> = lanes
+            .into_iter()
+            .enumerate()
+            .map(|(lane, parts)| {
+                let client = self.clone();
+                let bucket = bucket.to_owned();
+                let key = key.to_owned();
+                rustwren_sim::spawn(format!("mpu-{lane}"), move || {
+                    for (i, (start, end)) in parts.into_iter().enumerate() {
+                        client.charge(
+                            &format!("PUT {bucket}/{key} part {lane}.{i}"),
+                            (end - start) as u64,
+                            client.costs.data_op,
+                        )?;
+                    }
+                    Ok::<(), StoreError>(())
+                })
+            })
+            .collect();
+        let mut first_err = None;
+        for h in handles {
+            if let Err(e) = h.join() {
+                first_err.get_or_insert(e);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // Complete-multipart-upload request.
+        self.charge(
+            &format!("POST {bucket}/{key} complete"),
+            512,
+            self.costs.head_op,
+        )?;
+        self.store.put(bucket, key, data)
+    }
+
+    /// `GET` an entire object.
+    ///
+    /// # Errors
+    ///
+    /// Store errors from the service, or [`StoreError::Network`] after
+    /// exhausting retries.
+    pub fn get(&self, bucket: &str, key: &str) -> Result<Bytes, StoreError> {
+        // HEAD-sized request out, payload back: charge on payload size.
+        let data = self.store.get(bucket, key)?;
+        self.charge(
+            &format!("GET {bucket}/{key}"),
+            data.len() as u64,
+            self.costs.data_op,
+        )?;
+        Ok(data)
+    }
+
+    /// `GET` a byte range `[start, end)` of an object.
+    ///
+    /// # Errors
+    ///
+    /// Store errors from the service, or [`StoreError::Network`] after
+    /// exhausting retries.
+    pub fn get_range(
+        &self,
+        bucket: &str,
+        key: &str,
+        start: u64,
+        end: u64,
+    ) -> Result<Bytes, StoreError> {
+        let data = self.store.get_range(bucket, key, start, end)?;
+        self.charge(
+            &format!("GET {bucket}/{key}[{start}..{end}]"),
+            data.len() as u64,
+            self.costs.data_op,
+        )?;
+        Ok(data)
+    }
+
+    /// `HEAD` an object.
+    ///
+    /// # Errors
+    ///
+    /// Store errors from the service, or [`StoreError::Network`] after
+    /// exhausting retries.
+    pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
+        self.charge(&format!("HEAD {bucket}/{key}"), 256, self.costs.head_op)?;
+        self.store.head(bucket, key)
+    }
+
+    /// `HEAD` a bucket.
+    ///
+    /// # Errors
+    ///
+    /// Store errors from the service, or [`StoreError::Network`] after
+    /// exhausting retries.
+    pub fn head_bucket(&self, bucket: &str) -> Result<BucketMeta, StoreError> {
+        self.charge(&format!("HEAD {bucket}"), 256, self.costs.head_op)?;
+        self.store.head_bucket(bucket)
+    }
+
+    /// `LIST` objects under a prefix.
+    ///
+    /// # Errors
+    ///
+    /// Store errors from the service, or [`StoreError::Network`] after
+    /// exhausting retries.
+    pub fn list(&self, bucket: &str, prefix: &str) -> Result<Vec<ObjectMeta>, StoreError> {
+        let entries = self.store.list(bucket, prefix)?;
+        let batches = (entries.len() as u64).div_ceil(1_000).max(1) as u32;
+        self.charge(
+            &format!("LIST {bucket}/{prefix}*"),
+            entries.len() as u64 * self.costs.list_entry_bytes,
+            self.costs.list_op * batches,
+        )?;
+        Ok(entries)
+    }
+
+    /// `DELETE` an object (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Store errors from the service, or [`StoreError::Network`] after
+    /// exhausting retries.
+    pub fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
+        self.charge(&format!("DELETE {bucket}/{key}"), 64, self.costs.delete_op)?;
+        self.store.delete(bucket, key)
+    }
+
+    /// Whether an object exists, charged as a `HEAD`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Network`] after exhausting retries.
+    pub fn exists(&self, bucket: &str, key: &str) -> Result<bool, StoreError> {
+        self.charge(&format!("HEAD {bucket}/{key}"), 256, self.costs.head_op)?;
+        Ok(self.store.exists(bucket, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustwren_sim::Kernel;
+
+    fn setup(net: NetworkProfile) -> (Kernel, CosClient) {
+        let kernel = Kernel::new();
+        let store = ObjectStore::new(&kernel);
+        store.create_bucket("b").expect("fresh bucket");
+        (kernel.clone(), CosClient::new(&store, net, 1))
+    }
+
+    #[test]
+    fn operations_charge_virtual_time() {
+        let (kernel, client) = setup(NetworkProfile::lan());
+        kernel.run("client", || {
+            client.put("b", "k", Bytes::from_static(b"data")).unwrap();
+            assert!(rustwren_sim::now().as_nanos() > 0);
+        });
+    }
+
+    #[test]
+    fn larger_payloads_cost_more() {
+        let (kernel, client) = setup(NetworkProfile::wan());
+        let (small, big) = kernel.run("client", || {
+            let t0 = rustwren_sim::now();
+            client
+                .put("b", "small", Bytes::from(vec![0u8; 10]))
+                .unwrap();
+            let t1 = rustwren_sim::now();
+            client
+                .put("b", "big", Bytes::from(vec![0u8; 50 * 1024 * 1024]))
+                .unwrap();
+            let t2 = rustwren_sim::now();
+            (t1 - t0, t2 - t1)
+        });
+        assert!(big > small * 2, "big={big:?} small={small:?}");
+    }
+
+    #[test]
+    fn instant_network_still_pays_service_latency() {
+        let (kernel, client) = setup(NetworkProfile::instant());
+        kernel.run("client", || {
+            client.put("b", "k", Bytes::from_static(b"v")).unwrap();
+            let elapsed = rustwren_sim::now();
+            assert_eq!(
+                elapsed.as_nanos(),
+                CosCosts::default().data_op.as_nanos() as u64
+            );
+        });
+    }
+
+    #[test]
+    fn failures_are_retried_transparently() {
+        let (kernel, client) = setup(NetworkProfile::lan().with_failure_rate(0.3));
+        kernel.run("client", || {
+            // With p=0.3 and 4 attempts, each op exhausts its retries with
+            // probability 0.3^4 ≈ 0.8%; nearly all of the 200 ops succeed
+            // even though ~30% of individual requests fail.
+            let failures = (0..200)
+                .filter(|i| {
+                    client
+                        .put("b", &format!("k{i}"), Bytes::from_static(b"v"))
+                        .is_err()
+                })
+                .count();
+            assert!(failures <= 5, "too many retry exhaustions: {failures}");
+        });
+    }
+
+    #[test]
+    fn certain_failure_reports_network_error_with_attempts() {
+        let (kernel, client) = setup(NetworkProfile::lan().with_failure_rate(1.0));
+        let client = client.with_max_attempts(3);
+        kernel.run("client", || {
+            let err = client.get("b", "k").unwrap_err();
+            // NoSuchKey surfaces before network charging; use an existing key.
+            assert!(matches!(err, StoreError::NoSuchKey { .. }));
+            client
+                .store()
+                .put("b", "k", Bytes::from_static(b"v"))
+                .unwrap();
+            let err = client.get("b", "k").unwrap_err();
+            assert_eq!(
+                err,
+                StoreError::Network {
+                    op: "GET b/k".into(),
+                    attempts: 3
+                }
+            );
+        });
+    }
+
+    #[test]
+    fn multipart_upload_is_faster_than_single_put() {
+        let (kernel, client) = setup(NetworkProfile::wan());
+        let data = Bytes::from(vec![0u8; 64 * 1024 * 1024]);
+        let (single, multi) = kernel.run("client", || {
+            let t0 = rustwren_sim::now();
+            client.put("b", "single", data.clone()).unwrap();
+            let t1 = rustwren_sim::now();
+            client
+                .put_multipart("b", "multi", data.clone(), 8 * 1024 * 1024)
+                .unwrap();
+            let t2 = rustwren_sim::now();
+            (t1 - t0, t2 - t1)
+        });
+        assert!(
+            multi < single / 3,
+            "8 parallel parts should be much faster: single={single:?} multi={multi:?}"
+        );
+        assert_eq!(
+            client.store().head("b", "multi").unwrap().size,
+            data.len() as u64
+        );
+    }
+
+    #[test]
+    fn small_multipart_falls_back_to_plain_put() {
+        let (kernel, client) = setup(NetworkProfile::lan());
+        kernel.run("client", || {
+            let meta = client
+                .put_multipart("b", "k", Bytes::from_static(b"small"), 1024)
+                .unwrap();
+            assert_eq!(meta.size, 5);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "part_size must be non-zero")]
+    fn zero_part_size_panics() {
+        let (kernel, client) = setup(NetworkProfile::lan());
+        kernel.run("client", || {
+            let _ = client.put_multipart("b", "k", Bytes::from(vec![0; 10_000]), 0);
+        });
+    }
+
+    #[test]
+    fn timing_is_deterministic_across_runs() {
+        let run = || {
+            let (kernel, client) = setup(NetworkProfile::wan());
+            kernel.run("client", || {
+                for i in 0..50 {
+                    client
+                        .put("b", &format!("k{i}"), Bytes::from(vec![1u8; 1000]))
+                        .unwrap();
+                }
+                rustwren_sim::now().as_nanos()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn list_cost_scales_with_entry_count() {
+        let (kernel, client) = setup(NetworkProfile::wan());
+        for i in 0..500 {
+            client
+                .store()
+                .put("b", &format!("k{i:04}"), Bytes::from_static(b"v"))
+                .unwrap();
+        }
+        kernel.run("client", || {
+            let t0 = rustwren_sim::now();
+            let one = client.list("b", "k0000").unwrap();
+            let t1 = rustwren_sim::now();
+            let all = client.list("b", "").unwrap();
+            let t2 = rustwren_sim::now();
+            assert_eq!(one.len(), 1);
+            assert_eq!(all.len(), 500);
+            assert!(t2 - t1 > t1 - t0);
+        });
+    }
+}

@@ -1,0 +1,85 @@
+//! Object-store error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by object-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named bucket does not exist.
+    NoSuchBucket(String),
+    /// The object key does not exist in the bucket.
+    NoSuchKey {
+        /// Bucket that was searched.
+        bucket: String,
+        /// Key that was not found.
+        key: String,
+    },
+    /// A bucket with this name already exists.
+    BucketAlreadyExists(String),
+    /// A byte-range request fell outside the object.
+    InvalidRange {
+        /// Requested start offset (inclusive).
+        start: u64,
+        /// Requested end offset (exclusive).
+        end: u64,
+        /// Actual object length in bytes.
+        len: u64,
+    },
+    /// The (simulated) network failed the request after all retries.
+    Network {
+        /// Which operation failed, e.g. `"GET reviews/nyc.csv"`.
+        op: String,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchBucket(b) => write!(f, "no such bucket: {b}"),
+            StoreError::NoSuchKey { bucket, key } => {
+                write!(f, "no such key: {bucket}/{key}")
+            }
+            StoreError::BucketAlreadyExists(b) => write!(f, "bucket already exists: {b}"),
+            StoreError::InvalidRange { start, end, len } => {
+                write!(
+                    f,
+                    "invalid range [{start}, {end}) for object of {len} bytes"
+                )
+            }
+            StoreError::Network { op, attempts } => {
+                write!(f, "network failure on {op} after {attempts} attempt(s)")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = StoreError::NoSuchKey {
+            bucket: "b".into(),
+            key: "k".into(),
+        };
+        assert_eq!(e.to_string(), "no such key: b/k");
+        let e = StoreError::InvalidRange {
+            start: 5,
+            end: 10,
+            len: 3,
+        };
+        assert!(e.to_string().contains("invalid range"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StoreError>();
+    }
+}

@@ -1,0 +1,452 @@
+//! The raw in-memory object store (service side, zero virtual cost).
+//!
+//! [`ObjectStore`] holds the actual bytes. It charges no virtual time:
+//! simulated callers go through [`crate::CosClient`], which wraps every
+//! operation in a network/service cost model. Direct `ObjectStore` access is
+//! for *out-of-band setup* — the equivalent of the paper copying the Airbnb
+//! datasets into COS before the experiment starts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use rustwren_sim::hash::{hash2, mix64};
+use rustwren_sim::{Kernel, SimInstant};
+
+use crate::error::StoreError;
+use crate::object::{BucketMeta, ObjectMeta};
+
+struct StoredObject {
+    data: Bytes,
+    logical_size: u64,
+    etag: u64,
+    last_modified: SimInstant,
+}
+
+#[derive(Default)]
+struct Buckets {
+    buckets: BTreeMap<String, BTreeMap<String, StoredObject>>,
+}
+
+/// A simulated IBM Cloud Object Storage service. Cheap to clone.
+///
+/// # Examples
+///
+/// ```
+/// use rustwren_store::ObjectStore;
+/// use rustwren_sim::Kernel;
+/// use bytes::Bytes;
+///
+/// let store = ObjectStore::new(&Kernel::new());
+/// store.create_bucket("reviews")?;
+/// store.put("reviews", "nyc.csv", Bytes::from_static(b"hello"))?;
+/// assert_eq!(store.get("reviews", "nyc.csv")?.as_ref(), b"hello");
+/// # Ok::<(), rustwren_store::StoreError>(())
+/// ```
+#[derive(Clone)]
+pub struct ObjectStore {
+    kernel: Kernel,
+    inner: Arc<RwLock<Buckets>>,
+}
+
+impl fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("ObjectStore")
+            .field("buckets", &inner.buckets.len())
+            .finish()
+    }
+}
+
+impl ObjectStore {
+    /// Creates an empty store whose `last_modified` stamps come from
+    /// `kernel`'s virtual clock.
+    pub fn new(kernel: &Kernel) -> ObjectStore {
+        ObjectStore {
+            kernel: kernel.clone(),
+            inner: Arc::new(RwLock::new(Buckets::default())),
+        }
+    }
+
+    /// The kernel whose clock stamps writes.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Creates a bucket.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BucketAlreadyExists`] if the name is taken.
+    pub fn create_bucket(&self, name: &str) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        if inner.buckets.contains_key(name) {
+            return Err(StoreError::BucketAlreadyExists(name.to_owned()));
+        }
+        inner.buckets.insert(name.to_owned(), BTreeMap::new());
+        Ok(())
+    }
+
+    /// Creates a bucket if it does not already exist.
+    pub fn ensure_bucket(&self, name: &str) {
+        let mut inner = self.inner.write();
+        inner.buckets.entry(name.to_owned()).or_default();
+    }
+
+    /// Lists all bucket names, sorted.
+    pub fn list_buckets(&self) -> Vec<String> {
+        self.inner.read().buckets.keys().cloned().collect()
+    }
+
+    /// Stores an object, overwriting any previous value.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchBucket`] if the bucket does not exist.
+    pub fn put(&self, bucket: &str, key: &str, data: Bytes) -> Result<ObjectMeta, StoreError> {
+        let logical = data.len() as u64;
+        self.put_scaled(bucket, key, data, logical)
+    }
+
+    /// Stores an object advertising `logical_size` bytes to HEAD/LIST while
+    /// physically holding `data`. See [`ObjectMeta::logical_size`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchBucket`] if the bucket does not exist.
+    pub fn put_scaled(
+        &self,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+        logical_size: u64,
+    ) -> Result<ObjectMeta, StoreError> {
+        let now = self.kernel.now();
+        let mut inner = self.inner.write();
+        let b = inner
+            .buckets
+            .get_mut(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_owned()))?;
+        let etag = content_etag(key, &data);
+        let obj = StoredObject {
+            data,
+            logical_size,
+            etag,
+            last_modified: now,
+        };
+        let meta = object_meta(key, &obj);
+        b.insert(key.to_owned(), obj);
+        Ok(meta)
+    }
+
+    /// Retrieves an entire object (cheap clone of shared bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchBucket`] / [`StoreError::NoSuchKey`].
+    pub fn get(&self, bucket: &str, key: &str) -> Result<Bytes, StoreError> {
+        let inner = self.inner.read();
+        Ok(lookup(&inner, bucket, key)?.data.clone())
+    }
+
+    /// Retrieves the byte range `[start, end)` of an object.
+    ///
+    /// Like S3/COS range requests, `end` is clamped to the object length,
+    /// but a `start` at or beyond the object length is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidRange`] if `start >= len` or `start > end`.
+    pub fn get_range(
+        &self,
+        bucket: &str,
+        key: &str,
+        start: u64,
+        end: u64,
+    ) -> Result<Bytes, StoreError> {
+        let inner = self.inner.read();
+        let obj = lookup(&inner, bucket, key)?;
+        let len = obj.data.len() as u64;
+        if start > end || (start >= len && len > 0) || (len == 0 && start > 0) {
+            return Err(StoreError::InvalidRange { start, end, len });
+        }
+        let end = end.min(len);
+        Ok(obj.data.slice(start as usize..end as usize))
+    }
+
+    /// Returns an object's metadata (`HEAD object`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchBucket`] / [`StoreError::NoSuchKey`].
+    pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
+        let inner = self.inner.read();
+        let obj = lookup(&inner, bucket, key)?;
+        Ok(object_meta(key, obj))
+    }
+
+    /// Returns bucket-level metadata (`HEAD bucket`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchBucket`].
+    pub fn head_bucket(&self, bucket: &str) -> Result<BucketMeta, StoreError> {
+        let inner = self.inner.read();
+        let b = inner
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_owned()))?;
+        Ok(BucketMeta {
+            name: bucket.to_owned(),
+            object_count: b.len() as u64,
+            total_bytes: b.values().map(|o| o.data.len() as u64).sum(),
+            total_logical_bytes: b.values().map(|o| o.logical_size).sum(),
+        })
+    }
+
+    /// Lists objects in a bucket whose keys start with `prefix`, sorted by
+    /// key. Pass `""` to list everything.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchBucket`].
+    pub fn list(&self, bucket: &str, prefix: &str) -> Result<Vec<ObjectMeta>, StoreError> {
+        let inner = self.inner.read();
+        let b = inner
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_owned()))?;
+        Ok(b.range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, o)| object_meta(k, o))
+            .collect())
+    }
+
+    /// Deletes an object. Deleting a missing key is not an error (matching
+    /// S3/COS semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoSuchBucket`].
+    pub fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        let b = inner
+            .buckets
+            .get_mut(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_owned()))?;
+        b.remove(key);
+        Ok(())
+    }
+
+    /// Whether an object exists.
+    pub fn exists(&self, bucket: &str, key: &str) -> bool {
+        let inner = self.inner.read();
+        inner
+            .buckets
+            .get(bucket)
+            .is_some_and(|b| b.contains_key(key))
+    }
+}
+
+fn lookup<'a>(inner: &'a Buckets, bucket: &str, key: &str) -> Result<&'a StoredObject, StoreError> {
+    let b = inner
+        .buckets
+        .get(bucket)
+        .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_owned()))?;
+    b.get(key).ok_or_else(|| StoreError::NoSuchKey {
+        bucket: bucket.to_owned(),
+        key: key.to_owned(),
+    })
+}
+
+fn object_meta(key: &str, obj: &StoredObject) -> ObjectMeta {
+    ObjectMeta {
+        key: key.to_owned(),
+        size: obj.data.len() as u64,
+        logical_size: obj.logical_size,
+        etag: obj.etag,
+        last_modified: obj.last_modified,
+    }
+}
+
+/// A fast content hash standing in for a real ETag/MD5.
+fn content_etag(key: &str, data: &Bytes) -> u64 {
+    let mut h = mix64(data.len() as u64 ^ 0xe7a6);
+    for chunk in data.chunks(8) {
+        let mut word = 0u64;
+        for (i, &b) in chunk.iter().enumerate() {
+            word |= (b as u64) << (i * 8);
+        }
+        h = hash2(h, word.wrapping_add(chunk.len() as u64));
+    }
+    for b in key.bytes() {
+        h = hash2(h, b as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ObjectStore {
+        let s = ObjectStore::new(&Kernel::new());
+        s.create_bucket("b").expect("fresh bucket");
+        s
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = store();
+        s.put("b", "k", Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(s.get("b", "k").unwrap().as_ref(), b"abc");
+    }
+
+    #[test]
+    fn get_missing_key_errors() {
+        let s = store();
+        assert!(matches!(
+            s.get("b", "nope"),
+            Err(StoreError::NoSuchKey { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_bucket_errors() {
+        let s = store();
+        assert_eq!(
+            s.get("nope", "k"),
+            Err(StoreError::NoSuchBucket("nope".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_bucket_rejected_but_ensure_is_idempotent() {
+        let s = store();
+        assert_eq!(
+            s.create_bucket("b"),
+            Err(StoreError::BucketAlreadyExists("b".into()))
+        );
+        s.ensure_bucket("b");
+        s.ensure_bucket("c");
+        assert_eq!(s.list_buckets(), vec!["b".to_owned(), "c".to_owned()]);
+    }
+
+    #[test]
+    fn overwrite_changes_etag() {
+        let s = store();
+        let m1 = s.put("b", "k", Bytes::from_static(b"one")).unwrap();
+        let m2 = s.put("b", "k", Bytes::from_static(b"two")).unwrap();
+        assert_ne!(m1.etag, m2.etag);
+        assert_eq!(s.get("b", "k").unwrap().as_ref(), b"two");
+    }
+
+    #[test]
+    fn same_content_same_etag() {
+        let s = store();
+        let m1 = s.put("b", "k", Bytes::from_static(b"same")).unwrap();
+        let m2 = s.put("b", "k", Bytes::from_static(b"same")).unwrap();
+        assert_eq!(m1.etag, m2.etag);
+    }
+
+    #[test]
+    fn range_reads_slice_correctly() {
+        let s = store();
+        s.put("b", "k", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(s.get_range("b", "k", 2, 5).unwrap().as_ref(), b"234");
+        // End clamps to object length.
+        assert_eq!(s.get_range("b", "k", 8, 100).unwrap().as_ref(), b"89");
+    }
+
+    #[test]
+    fn range_start_past_end_errors() {
+        let s = store();
+        s.put("b", "k", Bytes::from_static(b"0123")).unwrap();
+        assert!(matches!(
+            s.get_range("b", "k", 4, 8),
+            Err(StoreError::InvalidRange { .. })
+        ));
+        assert!(matches!(
+            s.get_range("b", "k", 3, 2),
+            Err(StoreError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_object_zero_range_is_ok() {
+        let s = store();
+        s.put("b", "k", Bytes::new()).unwrap();
+        assert_eq!(s.get_range("b", "k", 0, 0).unwrap().len(), 0);
+        assert!(s.get_range("b", "k", 1, 2).is_err());
+    }
+
+    #[test]
+    fn list_filters_by_prefix_and_sorts() {
+        let s = store();
+        for k in ["city/nyc", "city/ams", "other/x"] {
+            s.put("b", k, Bytes::from_static(b"d")).unwrap();
+        }
+        let keys: Vec<_> = s
+            .list("b", "city/")
+            .unwrap()
+            .into_iter()
+            .map(|m| m.key)
+            .collect();
+        assert_eq!(keys, vec!["city/ams".to_owned(), "city/nyc".to_owned()]);
+        assert_eq!(s.list("b", "").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn head_bucket_counts_objects_and_bytes() {
+        let s = store();
+        s.put("b", "a", Bytes::from_static(b"xx")).unwrap();
+        s.put_scaled("b", "c", Bytes::from_static(b"yyy"), 300)
+            .unwrap();
+        let m = s.head_bucket("b").unwrap();
+        assert_eq!(m.object_count, 2);
+        assert_eq!(m.total_bytes, 5);
+        assert_eq!(m.total_logical_bytes, 302);
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let s = store();
+        s.put("b", "k", Bytes::from_static(b"z")).unwrap();
+        s.delete("b", "k").unwrap();
+        assert!(!s.exists("b", "k"));
+        s.delete("b", "k").unwrap();
+    }
+
+    #[test]
+    fn scaled_put_advertises_logical_size() {
+        let s = store();
+        s.put_scaled("b", "k", Bytes::from_static(b"small"), 1_000_000)
+            .unwrap();
+        let m = s.head("b", "k").unwrap();
+        assert_eq!(m.size, 5);
+        assert_eq!(m.logical_size, 1_000_000);
+        assert_eq!(m.scale(), 200_000.0);
+    }
+
+    #[test]
+    fn last_modified_uses_virtual_clock() {
+        let k = Kernel::new();
+        let s = ObjectStore::new(&k);
+        s.create_bucket("b").unwrap();
+        k.run("client", || {
+            rustwren_sim::sleep(std::time::Duration::from_secs(9));
+            let m = s.put("b", "k", Bytes::from_static(b"t")).unwrap();
+            assert_eq!(m.last_modified.as_secs_f64(), 9.0);
+        });
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = store();
+        let s2 = s.clone();
+        s.put("b", "k", Bytes::from_static(b"v")).unwrap();
+        assert!(s2.exists("b", "k"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Distributed k-means — iterative analytics over IBM-PyWren.
+//!
+//! Each iteration is one `map_reduce`: map tasks assign their partition's
+//! points to the nearest centroid and emit partial sums; the reducer
+//! averages them into new centroids; the *client* loops until convergence.
+//! This is the style of workload (ML over object storage) the paper's
+//! introduction motivates, and it exercises repeated jobs on one executor —
+//! the warm-container path.
+//!
+//! Points live in COS as a CSV of `x,y` lines, partitioned like any other
+//! dataset (§4.3); centroids travel in the job inputs.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustwren_core::{DataSource, Executor, MapReduceOpts, PywrenError, SimCloud, TaskCtx, Value};
+use rustwren_store::ObjectStore;
+
+/// Name of the assignment map function.
+pub const KMEANS_MAP_FN: &str = "kmeans-assign";
+/// Name of the centroid-update reducer.
+pub const KMEANS_REDUCE_FN: &str = "kmeans-update";
+
+/// Modeled assignment throughput (point-centroid distance evaluations per
+/// second), Python-like.
+pub const DISTANCES_PER_SEC: f64 = 4.0e6;
+
+/// A 2-D point / centroid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Squared Euclidean distance.
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// Generates `n` points around `k` well-separated cluster centers and
+/// stores them as a CSV object. Returns the true centers (for tests).
+pub fn generate_dataset(
+    store: &ObjectStore,
+    bucket: &str,
+    key: &str,
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<Point> {
+    store.ensure_bucket(bucket);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point> = (0..k)
+        .map(|i| Point {
+            x: (i as f64) * 10.0,
+            y: ((i * 7) % k.max(1)) as f64 * 10.0,
+        })
+        .collect();
+    let mut csv = String::with_capacity(n * 16);
+    for i in 0..n {
+        let c = centers[i % k];
+        let x = c.x + rng.gen_range(-1.5..1.5);
+        let y = c.y + rng.gen_range(-1.5..1.5);
+        csv.push_str(&format!("{x:.4},{y:.4}\n"));
+    }
+    store
+        .put(bucket, key, bytes::Bytes::from(csv.into_bytes()))
+        .expect("bucket was just ensured");
+    centers
+}
+
+fn centroids_to_value(centroids: &[Point]) -> Value {
+    Value::List(
+        centroids
+            .iter()
+            .map(|c| Value::map().with("x", c.x).with("y", c.y))
+            .collect(),
+    )
+}
+
+fn centroids_from_value(v: &Value) -> Result<Vec<Point>, String> {
+    v.as_list()
+        .ok_or("expected centroid list")?
+        .iter()
+        .map(|c| {
+            Ok(Point {
+                x: c.get("x").and_then(Value::as_f64).ok_or("centroid x")?,
+                y: c.get("y").and_then(Value::as_f64).ok_or("centroid y")?,
+            })
+        })
+        .collect()
+}
+
+/// Registers the k-means map/reduce functions on `cloud`.
+pub fn register(cloud: &SimCloud) {
+    cloud.register_fn(KMEANS_MAP_FN, |ctx: &TaskCtx, input: Value| {
+        // The partition carries the data; centroids ride in `extra`.
+        let data = input
+            .get("data")
+            .and_then(Value::as_bytes)
+            .ok_or("no data")?;
+        let centroids =
+            centroids_from_value(input.get("centroids").ok_or("no centroids in input")?)?;
+        let points = parse_points(data);
+        ctx.charge(Duration::from_secs_f64(
+            (points.len() * centroids.len()) as f64 / DISTANCES_PER_SEC,
+        ));
+        // Partial sums per centroid.
+        let mut sums = vec![(0.0f64, 0.0f64, 0u64); centroids.len()];
+        for p in &points {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| p.dist2(a.1).total_cmp(&p.dist2(b.1)))
+                .map(|(i, _)| i)
+                .ok_or("no centroids")?;
+            sums[nearest].0 += p.x;
+            sums[nearest].1 += p.y;
+            sums[nearest].2 += 1;
+        }
+        Ok(Value::List(
+            sums.into_iter()
+                .map(|(sx, sy, n)| {
+                    Value::map()
+                        .with("sx", sx)
+                        .with("sy", sy)
+                        .with("n", n as i64)
+                })
+                .collect(),
+        ))
+    });
+
+    cloud.register_fn(KMEANS_REDUCE_FN, |_ctx: &TaskCtx, input: Value| {
+        let partials = input.req_list("results")?;
+        let k = partials
+            .first()
+            .and_then(Value::as_list)
+            .map(<[Value]>::len)
+            .ok_or("no partial sums")?;
+        let mut sums = vec![(0.0f64, 0.0f64, 0i64); k];
+        for partial in partials {
+            for (i, s) in partial
+                .as_list()
+                .ok_or("partial must be a list")?
+                .iter()
+                .enumerate()
+            {
+                sums[i].0 += s.get("sx").and_then(Value::as_f64).ok_or("sx")?;
+                sums[i].1 += s.get("sy").and_then(Value::as_f64).ok_or("sy")?;
+                sums[i].2 += s.req_i64("n")?;
+            }
+        }
+        Ok(Value::List(
+            sums.into_iter()
+                .map(|(sx, sy, n)| {
+                    let n = n.max(1) as f64;
+                    Value::map().with("x", sx / n).with("y", sy / n)
+                })
+                .collect(),
+        ))
+    });
+}
+
+fn parse_points(data: &[u8]) -> Vec<Point> {
+    let mut points = Vec::new();
+    for line in data.split(|&b| b == b'\n') {
+        let Ok(text) = std::str::from_utf8(line) else {
+            continue;
+        };
+        let mut parts = text.split(',');
+        let (Some(x), Some(y)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if let (Ok(x), Ok(y)) = (x.trim().parse(), y.trim().parse()) {
+            points.push(Point { x, y });
+        }
+    }
+    points
+}
+
+/// Outcome of a [`run`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansResult {
+    /// Final centroids.
+    pub centroids: Vec<Point>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Largest centroid movement in the final iteration.
+    pub final_shift: f64,
+}
+
+/// Runs k-means on `exec` until centroids move less than `tolerance` or
+/// `max_iters` is reached. The dataset must already be in COS.
+///
+/// Uses one `map_reduce` per iteration, with the current centroids shipped
+/// in each map input via the partition's `extra` channel.
+///
+/// # Errors
+///
+/// Any executor error, or a task error from malformed data.
+pub fn run(
+    exec: &Executor,
+    source: &DataSource,
+    initial: Vec<Point>,
+    chunk_size: Option<u64>,
+    tolerance: f64,
+    max_iters: usize,
+) -> rustwren_core::Result<KmeansResult> {
+    let mut centroids = initial;
+    for iteration in 1..=max_iters {
+        exec.map_reduce_with_extra(
+            KMEANS_MAP_FN,
+            source.clone(),
+            KMEANS_REDUCE_FN,
+            MapReduceOpts {
+                chunk_size,
+                reducer_one_per_object: false,
+            },
+            Value::map().with("centroids", centroids_to_value(&centroids)),
+        )?;
+        let mut results = exec.get_result()?;
+        let new = centroids_from_value(&results.pop().expect("one reducer")).map_err(|m| {
+            PywrenError::Task {
+                task: "kmeans-update".into(),
+                message: m,
+            }
+        })?;
+        let shift = centroids
+            .iter()
+            .zip(&new)
+            .map(|(a, b)| a.dist2(b).sqrt())
+            .fold(0.0f64, f64::max);
+        centroids = new;
+        if shift < tolerance {
+            return Ok(KmeansResult {
+                centroids,
+                iterations: iteration,
+                final_shift: shift,
+            });
+        }
+    }
+    let final_shift = f64::NAN;
+    Ok(KmeansResult {
+        centroids,
+        iterations: max_iters,
+        final_shift,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustwren_sim::NetworkProfile;
+
+    #[test]
+    fn point_distance() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        assert_eq!(a.dist2(&b), 25.0);
+    }
+
+    #[test]
+    fn parses_csv_and_skips_garbage() {
+        let pts = parse_points(b"1.0,2.0\ngarbage\n3.5,-1\n");
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1], Point { x: 3.5, y: -1.0 });
+    }
+
+    #[test]
+    fn converges_to_true_centers() {
+        let cloud = SimCloud::builder()
+            .seed(17)
+            .client_network(NetworkProfile::lan())
+            .build();
+        let truth = generate_dataset(cloud.store(), "ml", "points.csv", 600, 3, 17);
+        register(&cloud);
+        // Forgy initialization: the first k points of the dataset (which
+        // the generator emits round-robin across clusters).
+        let data = cloud.store().get("ml", "points.csv").unwrap();
+        let initial: Vec<Point> = parse_points(&data).into_iter().take(3).collect();
+        let cloud2 = cloud.clone();
+        let result = cloud.run(move || {
+            let exec = cloud2.executor().build().unwrap();
+            run(
+                &exec,
+                &DataSource::Keys(vec![rustwren_core::ObjectRef::new("ml", "points.csv")]),
+                initial,
+                Some(2_048),
+                1e-3,
+                30,
+            )
+            .unwrap()
+        });
+        assert!(
+            result.iterations < 30,
+            "should converge, ran {}",
+            result.iterations
+        );
+        // Every true center has a recovered centroid nearby.
+        for t in &truth {
+            let nearest = result
+                .centroids
+                .iter()
+                .map(|c| c.dist2(t).sqrt())
+                .fold(f64::MAX, f64::min);
+            assert!(nearest < 1.0, "no centroid near {t:?} (best {nearest})");
+        }
+    }
+}

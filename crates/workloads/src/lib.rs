@@ -1,0 +1,27 @@
+//! # rustwren-workloads — the paper's workloads
+//!
+//! Everything the IBM-PyWren evaluation (§6) runs:
+//!
+//! * [`airbnb`] — a synthetic 33-city Airbnb review dataset whose logical
+//!   sizes reproduce Table 3's partition counts exactly.
+//! * [`tone`] — the tone analyzer (substituting IBM Watson Tone Analyzer)
+//!   plus the registered `tone-map` / `tone-reduce` IBM-PyWren functions.
+//! * [`tonemap`] — SVG city tone maps (Fig 5).
+//! * [`baseline`] — the sequential notebook baseline (Table 3, row 1).
+//! * [`mergesort`] — nested-parallel mergesort via dynamic composition
+//!   (Fig 4).
+//! * [`compute`] — the 50–60 s compute-bound tasks of Figs 2–3.
+//! * [`montecarlo`] — Monte-Carlo π, the canonical PyWren demo.
+//! * [`kmeans`] — iterative distributed k-means (repeated jobs / warm pools).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod airbnb;
+pub mod baseline;
+pub mod compute;
+pub mod kmeans;
+pub mod mergesort;
+pub mod montecarlo;
+pub mod tone;
+pub mod tonemap;

@@ -1,0 +1,141 @@
+//! Monte-Carlo π estimation — the canonical PyWren demo.
+//!
+//! The original PyWren paper ("Occupy the Cloud", which this paper extends)
+//! demos embarrassing parallelism by estimating π with dart-throwing across
+//! hundreds of Lambda functions. Each IBM-PyWren task draws `samples`
+//! points in the unit square (really, deterministically seeded) and counts
+//! hits inside the quarter circle; compute is charged at a Python-like
+//! sampling rate.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustwren_core::{SimCloud, TaskCtx, Value};
+
+/// Name of the registered sampling function.
+pub const PI_SAMPLE_FN: &str = "pi-sample";
+/// Name of the registered combining reducer.
+pub const PI_COMBINE_FN: &str = "pi-combine";
+
+/// Modeled sampling throughput (darts per second), Python-like.
+pub const SAMPLES_PER_SEC: f64 = 2.0e6;
+
+/// Builds one task's input.
+pub fn input(seed: u64, samples: u64) -> Value {
+    Value::map()
+        .with("seed", seed as i64)
+        .with("samples", samples as i64)
+}
+
+/// Counts darts landing inside the quarter circle (the real computation).
+pub fn count_hits(seed: u64, samples: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0u64;
+    for _ in 0..samples {
+        let x: f64 = rng.gen();
+        let y: f64 = rng.gen();
+        if x * x + y * y <= 1.0 {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// Extracts the π estimate from the combiner's result.
+pub fn estimate_from(result: &Value) -> Option<f64> {
+    result.get("pi").and_then(Value::as_f64)
+}
+
+/// Registers the sampling map function and combining reducer on `cloud`.
+pub fn register(cloud: &SimCloud) {
+    cloud.register_fn(PI_SAMPLE_FN, |ctx: &TaskCtx, v: Value| {
+        let seed = v.req_i64("seed")? as u64;
+        let samples = v.req_i64("samples")?.max(0) as u64;
+        ctx.charge(Duration::from_secs_f64(samples as f64 / SAMPLES_PER_SEC));
+        let hits = count_hits(seed, samples);
+        Ok(Value::map()
+            .with("hits", hits as i64)
+            .with("samples", samples as i64))
+    });
+    cloud.register_fn(PI_COMBINE_FN, |_ctx: &TaskCtx, v: Value| {
+        let results = v.req_list("results")?;
+        let mut hits = 0i64;
+        let mut samples = 0i64;
+        for r in results {
+            hits += r.req_i64("hits")?;
+            samples += r.req_i64("samples")?;
+        }
+        if samples == 0 {
+            return Err("no samples drawn".into());
+        }
+        Ok(Value::map()
+            .with("pi", 4.0 * hits as f64 / samples as f64)
+            .with("hits", hits)
+            .with("samples", samples))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rustwren_core::{DataSource, MapReduceOpts};
+    use rustwren_sim::NetworkProfile;
+
+    #[test]
+    fn hit_counting_is_deterministic_and_plausible() {
+        assert_eq!(count_hits(1, 10_000), count_hits(1, 10_000));
+        let ratio = count_hits(1, 100_000) as f64 / 100_000.0;
+        assert!(
+            (0.775..0.795).contains(&ratio),
+            "ratio {ratio} far from π/4"
+        );
+    }
+
+    #[test]
+    fn distributed_estimate_converges() {
+        let cloud = SimCloud::builder()
+            .seed(13)
+            .client_network(NetworkProfile::lan())
+            .build();
+        register(&cloud);
+        let results = cloud.run(|| {
+            let exec = cloud.executor().build().unwrap();
+            exec.map_reduce(
+                PI_SAMPLE_FN,
+                DataSource::Values((0..20).map(|i| input(1000 + i, 50_000)).collect()),
+                PI_COMBINE_FN,
+                MapReduceOpts::default(),
+            )
+            .unwrap();
+            exec.get_result().unwrap()
+        });
+        let pi = estimate_from(&results[0]).expect("combined estimate");
+        assert!(
+            (pi - std::f64::consts::PI).abs() < 0.01,
+            "π estimate {pi} too far off with 1M samples"
+        );
+        assert_eq!(results[0].req_i64("samples"), Ok(1_000_000));
+    }
+
+    #[test]
+    fn zero_samples_is_a_clean_error() {
+        let cloud = SimCloud::builder()
+            .seed(13)
+            .client_network(NetworkProfile::lan())
+            .build();
+        register(&cloud);
+        cloud.run(|| {
+            let exec = cloud.executor().build().unwrap();
+            exec.map_reduce(
+                PI_SAMPLE_FN,
+                DataSource::Values(vec![input(1, 0)]),
+                PI_COMBINE_FN,
+                MapReduceOpts::default(),
+            )
+            .unwrap();
+            let err = exec.get_result().unwrap_err();
+            assert!(err.to_string().contains("no samples"));
+        });
+    }
+}

@@ -1,0 +1,162 @@
+//! SVG tone maps (the paper's Fig 5).
+//!
+//! The paper plots each apartment on a city map, colored by the tone of its
+//! reviews (green good, blue neutral, red bad), with matplotlib. The
+//! substitute renders the same scatter as a standalone SVG.
+
+use std::fmt::Write as _;
+
+use rustwren_core::Value;
+
+use crate::tone::Tone;
+
+/// One apartment's position and detected tone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TonePoint {
+    /// Latitude.
+    pub lat: f64,
+    /// Longitude.
+    pub lon: f64,
+    /// Detected tone.
+    pub tone: Tone,
+}
+
+impl TonePoint {
+    /// Encodes for the wire.
+    pub fn to_value(&self) -> Value {
+        Value::map()
+            .with("lat", self.lat)
+            .with("lon", self.lon)
+            .with("tone", self.tone.as_str())
+    }
+
+    /// Decodes from the wire.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed field.
+    pub fn from_value(v: &Value) -> Result<TonePoint, String> {
+        let lat = v
+            .get("lat")
+            .and_then(Value::as_f64)
+            .ok_or("missing or non-float field `lat`")?;
+        let lon = v
+            .get("lon")
+            .and_then(Value::as_f64)
+            .ok_or("missing or non-float field `lon`")?;
+        let tone = Tone::from_str_tag(v.req_str("tone")?).ok_or("unknown tone tag")?;
+        Ok(TonePoint { lat, lon, tone })
+    }
+}
+
+const WIDTH: f64 = 800.0;
+const HEIGHT: f64 = 600.0;
+
+/// Renders a city's tone map: one dot per apartment, Fig 5's color coding.
+/// Always produces a valid SVG document, even for zero points.
+pub fn render_svg(city: &str, points: &[TonePoint]) -> String {
+    let (min_lat, max_lat, min_lon, max_lon) = bounds(points);
+    let mut svg = String::with_capacity(256 + points.len() * 64);
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+    );
+    let _ = write!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#f7f5f0"/><text x="16" y="28" font-family="sans-serif" font-size="20">{city}</text>"##
+    );
+    for p in points {
+        let x = 20.0 + (p.lon - min_lon) / (max_lon - min_lon).max(1e-9) * (WIDTH - 40.0);
+        // SVG y grows downward; latitude grows upward.
+        let y = HEIGHT - 20.0 - (p.lat - min_lat) / (max_lat - min_lat).max(1e-9) * (HEIGHT - 60.0);
+        let _ = write!(
+            svg,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="2.2" fill="{}" fill-opacity="0.75"/>"#,
+            p.tone.color()
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn bounds(points: &[TonePoint]) -> (f64, f64, f64, f64) {
+    if points.is_empty() {
+        return (0.0, 1.0, 0.0, 1.0);
+    }
+    let mut min_lat = f64::MAX;
+    let mut max_lat = f64::MIN;
+    let mut min_lon = f64::MAX;
+    let mut max_lon = f64::MIN;
+    for p in points {
+        min_lat = min_lat.min(p.lat);
+        max_lat = max_lat.max(p.lat);
+        min_lon = min_lon.min(p.lon);
+        max_lon = max_lon.max(p.lon);
+    }
+    (min_lat, max_lat, min_lon, max_lon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(lat: f64, lon: f64, tone: Tone) -> TonePoint {
+        TonePoint { lat, lon, tone }
+    }
+
+    #[test]
+    fn svg_contains_one_circle_per_point() {
+        let points = vec![
+            point(40.7, -74.0, Tone::Positive),
+            point(40.8, -74.1, Tone::Neutral),
+            point(40.9, -74.2, Tone::Negative),
+        ];
+        let svg = render_svg("new-york", &points);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("new-york"));
+        // All three tone colors appear.
+        assert!(svg.contains(Tone::Positive.color()));
+        assert!(svg.contains(Tone::Neutral.color()));
+        assert!(svg.contains(Tone::Negative.color()));
+    }
+
+    #[test]
+    fn empty_points_still_render_valid_svg() {
+        let svg = render_svg("ghost-town", &[]);
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<circle").count(), 0);
+    }
+
+    #[test]
+    fn coordinates_stay_in_viewport() {
+        let points: Vec<TonePoint> = (0..50)
+            .map(|i| {
+                point(
+                    40.0 + i as f64 * 0.01,
+                    -74.0 + i as f64 * 0.02,
+                    Tone::Positive,
+                )
+            })
+            .collect();
+        let svg = render_svg("x", &points);
+        for part in svg.split("cx=\"").skip(1) {
+            let x: f64 = part.split('"').next().expect("attr").parse().expect("f64");
+            assert!((0.0..=WIDTH).contains(&x));
+        }
+    }
+
+    #[test]
+    fn single_point_does_not_divide_by_zero() {
+        let svg = render_svg("solo", &[point(1.0, 2.0, Tone::Neutral)]);
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn tone_point_value_roundtrip() {
+        let p = point(51.5, -0.1, Tone::Negative);
+        assert_eq!(TonePoint::from_value(&p.to_value()), Ok(p));
+        assert!(TonePoint::from_value(&Value::map()).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Sequences (§4.4): `f3 = f2 ∘ f1` as a one-future pipeline, plus the
+//! progress callback and wait policies of §4.2.
+//!
+//! The whole chain runs inside the cloud — each stage invokes the next over
+//! the data-center network — while the client holds a single future and a
+//! progress bar.
+//!
+//! Run: `cargo run --example pipeline`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rustwren::core::{GetResultOpts, SimCloud, TaskCtx, Value, WaitPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cloud = SimCloud::builder().seed(5).build();
+
+    // A little ETL pipeline: parse -> enrich -> summarize.
+    cloud.register_fn("parse", |ctx: &TaskCtx, v: Value| {
+        ctx.charge(Duration::from_secs(2));
+        let raw = v.as_str().ok_or("expected raw text")?;
+        Ok(Value::List(
+            raw.split(',').map(|t| Value::from(t.trim())).collect(),
+        ))
+    });
+    cloud.register_fn("enrich", |ctx: &TaskCtx, v: Value| {
+        ctx.charge(Duration::from_secs(3));
+        let items = v.as_list().ok_or("expected token list")?;
+        Ok(Value::List(
+            items
+                .iter()
+                .map(|t| {
+                    Value::map()
+                        .with("token", t.clone())
+                        .with("len", t.as_str().map_or(0, str::len) as i64)
+                })
+                .collect(),
+        ))
+    });
+    cloud.register_fn("summarize", |ctx: &TaskCtx, v: Value| {
+        ctx.charge(Duration::from_secs(1));
+        let items = v.as_list().ok_or("expected enriched list")?;
+        let total: i64 = items
+            .iter()
+            .filter_map(|i| i.get("len").and_then(Value::as_i64))
+            .sum();
+        Ok(Value::map()
+            .with("tokens", items.len() as i64)
+            .with("total_len", total))
+    });
+
+    let progress_ticks = Arc::new(AtomicUsize::new(0));
+    let ticks = Arc::clone(&progress_ticks);
+    let cloud2 = cloud.clone();
+    let summary = cloud.run(move || -> rustwren::core::Result<Value> {
+        let exec = cloud2.executor().build()?;
+        exec.call_sequence(
+            &["parse", "enrich", "summarize"],
+            Value::from("serverless, data, analytics, in, the, ibm, cloud"),
+        )?;
+
+        // Peek without blocking, like the paper's wait(ALWAYS).
+        let (done, pending) = exec.wait(WaitPolicy::Always)?;
+        println!(
+            "right after submit: {} done, {} pending",
+            done.len(),
+            pending.len()
+        );
+
+        let mut results = exec.get_result_with(GetResultOpts {
+            timeout: Some(Duration::from_secs(300)),
+            progress: Some(Arc::new(move |done, total| {
+                ticks.fetch_add(1, Ordering::Relaxed);
+                let _ = (done, total);
+            })),
+        })?;
+        Ok(results.pop().expect("one chain, one result"))
+    })?;
+
+    println!(
+        "pipeline result: {} tokens, {} total characters",
+        summary.get("tokens").and_then(Value::as_i64).unwrap_or(0),
+        summary
+            .get("total_len")
+            .and_then(Value::as_i64)
+            .unwrap_or(0),
+    );
+    println!(
+        "progress callback fired {} times over {} of virtual time",
+        progress_ticks.load(Ordering::Relaxed),
+        cloud.kernel().now()
+    );
+    assert_eq!(summary.get("tokens").and_then(Value::as_i64), Some(7));
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Classic MapReduce wordcount over COS objects, with automatic data
+//! discovery and partitioning (§4.3).
+//!
+//! The client only names the *bucket*; IBM-PyWren discovers the objects,
+//! splits them into newline-aligned 1 KB partitions, runs one map function
+//! per partition, and a single reducer merges the counts.
+//!
+//! Run: `cargo run --example wordcount`
+
+use bytes::Bytes;
+use rustwren::core::{DataSource, MapReduceOpts, SimCloud, TaskCtx, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cloud = SimCloud::builder().seed(1).build();
+
+    // Stage a few "documents" in COS (out-of-band setup).
+    let store = cloud.store();
+    store.create_bucket("docs")?;
+    store.put(
+        "docs",
+        "speech.txt",
+        Bytes::from_static(b"to be or not to be\nthat is the question\n"),
+    )?;
+    store.put(
+        "docs",
+        "poem.txt",
+        Bytes::from_static(b"the road not taken\nthe road less traveled\n"),
+    )?;
+
+    // Map: count words in one partition.
+    cloud.register_fn("wc-map", |_ctx: &TaskCtx, v: Value| {
+        let data = v.get("data").and_then(Value::as_bytes).ok_or("no data")?;
+        let text = std::str::from_utf8(data).map_err(|e| e.to_string())?;
+        let mut counts = std::collections::BTreeMap::new();
+        for w in text.split_whitespace() {
+            *counts.entry(w.to_owned()).or_insert(0i64) += 1;
+        }
+        Ok(Value::Map(
+            counts
+                .into_iter()
+                .map(|(w, c)| (w, Value::Int(c)))
+                .collect(),
+        ))
+    });
+
+    // Reduce: merge the per-partition count maps.
+    cloud.register_fn("wc-reduce", |_ctx: &TaskCtx, v: Value| {
+        let mut total = std::collections::BTreeMap::new();
+        for partial in v.req_list("results")? {
+            let m = partial.as_map().ok_or("expected count map")?;
+            for (w, c) in m {
+                *total.entry(w.clone()).or_insert(0i64) += c.as_i64().unwrap_or(0);
+            }
+        }
+        Ok(Value::Map(
+            total.into_iter().map(|(w, c)| (w, Value::Int(c))).collect(),
+        ))
+    });
+
+    let results = cloud.run(|| -> rustwren::core::Result<Vec<Value>> {
+        let exec = cloud.executor().build()?;
+        exec.map_reduce(
+            "wc-map",
+            DataSource::bucket("docs"), // discovery finds both objects
+            "wc-reduce",
+            MapReduceOpts {
+                chunk_size: Some(1024),
+                reducer_one_per_object: false, // one global reducer
+            },
+        )?;
+        exec.get_result()
+    })?;
+
+    let counts = results[0].as_map().ok_or("reducer returns a map")?;
+    println!("word counts:");
+    for (w, c) in counts {
+        println!("  {w:<10} {}", c.as_i64().unwrap_or(0));
+    }
+    assert_eq!(counts["the"].as_i64(), Some(3));
+    assert_eq!(counts["road"].as_i64(), Some(2));
+    assert_eq!(counts["be"].as_i64(), Some(2));
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! # rustwren — IBM-PyWren in Rust over a simulated IBM Cloud
+//!
+//! Facade crate re-exporting the whole reproduction of *Serverless Data
+//! Analytics in the IBM Cloud* (Middleware Industry 2018):
+//!
+//! * [`sim`] — deterministic virtual-time kernel and network cost models.
+//! * [`store`] — IBM Cloud Object Storage simulator.
+//! * [`faas`] — IBM Cloud Functions / Apache OpenWhisk simulator.
+//! * [`core`] — the IBM-PyWren framework itself: executors, futures,
+//!   map/map_reduce, data discovery & partitioning, composability, massive
+//!   function spawning.
+//! * [`workloads`] — the paper's workloads: synthetic Airbnb reviews, tone
+//!   analysis, mergesort, compute-bound tasks.
+//!
+//! See `examples/quickstart.rs` for the canonical end-to-end flow.
+
+pub use rustwren_core as core;
+pub use rustwren_faas as faas;
+pub use rustwren_sim as sim;
+pub use rustwren_store as store;
+pub use rustwren_workloads as workloads;

@@ -1,0 +1,161 @@
+//! Failure-injection tests: the framework under hostile network and
+//! platform conditions.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rustwren::core::{PywrenError, SimCloud, TaskCtx, Value};
+use rustwren::faas::PlatformConfig;
+use rustwren::sim::NetworkProfile;
+
+#[test]
+fn lossy_internal_network_still_completes_jobs() {
+    // Agents' COS traffic (code fetch, input fetch, result/status writes)
+    // rides the internal network; give it a 5% loss rate. The COS client's
+    // retries must absorb it.
+    let platform = PlatformConfig {
+        internal_net: NetworkProfile::datacenter().with_failure_rate(0.05),
+        ..PlatformConfig::default()
+    };
+    let cloud = SimCloud::builder()
+        .seed(31)
+        .platform(platform)
+        .client_network(NetworkProfile::lan())
+        .build();
+    cloud.register_fn("id", |_ctx: &TaskCtx, v: Value| Ok(v));
+    let results = cloud.run(|| {
+        let exec = cloud.executor().build().unwrap();
+        exec.map("id", (0..60).map(Value::from)).unwrap();
+        exec.get_result().unwrap()
+    });
+    assert_eq!(results.len(), 60);
+}
+
+#[test]
+fn flaky_function_recovers_via_reinvoke() {
+    // A function that fails its first execution per task and succeeds on
+    // the rerun — the client-side retry workflow.
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let attempts2 = Arc::clone(&attempts);
+    let cloud = SimCloud::builder()
+        .seed(32)
+        .client_network(NetworkProfile::lan())
+        .build();
+    cloud.register_fn("flaky", move |_ctx: &TaskCtx, v: Value| {
+        if attempts2.fetch_add(1, Ordering::Relaxed) < 3 {
+            Err("transient dependency outage".into())
+        } else {
+            Ok(v)
+        }
+    });
+    cloud.run(|| {
+        let exec = cloud.executor().build().unwrap();
+        let futures = exec.map("flaky", (0..3).map(Value::from)).unwrap();
+        let err = exec.get_result().unwrap_err();
+        assert!(matches!(err, PywrenError::Task { .. }));
+
+        // Re-invoke everything; the second executions succeed.
+        exec.reinvoke(&futures).unwrap();
+        let results = exec.get_result().unwrap();
+        assert_eq!(results, (0..3).map(Value::from).collect::<Vec<_>>());
+    });
+    assert_eq!(attempts.load(Ordering::Relaxed), 6, "each task ran twice");
+}
+
+#[test]
+fn reinvoke_rejects_foreign_futures() {
+    let cloud = SimCloud::builder()
+        .seed(33)
+        .client_network(NetworkProfile::lan())
+        .build();
+    cloud.register_fn("id", |_ctx: &TaskCtx, v: Value| Ok(v));
+    cloud.run(|| {
+        let e1 = cloud.executor().build().unwrap();
+        let e2 = cloud.executor().build().unwrap();
+        let futs = e1.map("id", [Value::Int(1)]).unwrap();
+        let _ = e1.get_result().unwrap();
+        let err = e2.reinvoke(&futs).unwrap_err();
+        assert!(matches!(err, PywrenError::UnknownFunction(_)));
+    });
+}
+
+#[test]
+fn reducer_times_out_when_maps_never_finish() {
+    // Maps outlive the reducer's execution limit; the reducer must give up
+    // with a clear error instead of hanging.
+    let platform = PlatformConfig {
+        max_exec_time: Duration::from_secs(30),
+        ..PlatformConfig::default()
+    };
+    let cloud = SimCloud::builder()
+        .seed(34)
+        .platform(platform)
+        .client_network(NetworkProfile::lan())
+        .build();
+    cloud.register_fn("eternal-map", |ctx: &TaskCtx, v: Value| {
+        ctx.charge(Duration::from_secs(300));
+        Ok(Value::List(vec![v]))
+    });
+    cloud.register_fn("reduce", |_ctx: &TaskCtx, v: Value| Ok(v));
+    cloud.run(|| {
+        let exec = cloud.executor().build().unwrap();
+        exec.map_reduce(
+            "eternal-map",
+            rustwren::core::DataSource::Values(vec![Value::Int(1)]),
+            "reduce",
+            rustwren::core::MapReduceOpts::default(),
+        )
+        .unwrap();
+        let err = exec.get_result().unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("ran out of time") || msg.contains("waiting"),
+            "unexpected error: {msg}"
+        );
+    });
+}
+
+#[test]
+fn hopeless_client_network_surfaces_invoke_errors() {
+    let cloud = SimCloud::builder()
+        .seed(35)
+        .client_network(NetworkProfile::lan().with_failure_rate(1.0))
+        .build();
+    cloud.register_fn("id", |_ctx: &TaskCtx, v: Value| Ok(v));
+    cloud.run(|| {
+        let exec = cloud.executor().build().unwrap();
+        // Staging to COS fails before anything is invoked.
+        let err = exec.map("id", [Value::Int(1)]).unwrap_err();
+        assert!(matches!(
+            err,
+            PywrenError::Storage(_) | PywrenError::Invoke(_)
+        ));
+    });
+}
+
+#[test]
+fn mixed_failures_report_only_failed_tasks() {
+    let cloud = SimCloud::builder()
+        .seed(36)
+        .client_network(NetworkProfile::lan())
+        .build();
+    cloud.register_fn("odd-fails", |_ctx: &TaskCtx, v: Value| {
+        let n = v.as_i64().ok_or("int")?;
+        if n % 2 == 1 {
+            Err(format!("task {n} refused"))
+        } else {
+            Ok(v)
+        }
+    });
+    cloud.run(|| {
+        let exec = cloud.executor().build().unwrap();
+        let futures = exec.map("odd-fails", (0..6).map(Value::from)).unwrap();
+        assert!(exec.get_result().is_err());
+        // Individual inspection via task timings: statuses exist for all,
+        // with success flags telling them apart.
+        let timings = exec.task_timings(&futures).unwrap();
+        let failed: Vec<_> = timings.iter().filter(|t| !t.succeeded).collect();
+        assert_eq!(failed.len(), 3);
+    });
+}
