@@ -10,12 +10,15 @@
 //! * direct-spawn client thread count;
 //! * serialized-function blob size (cost of shipping fat closures);
 //! * client status poll interval;
-//! * warm vs cold container pools (second job on the same executor).
+//! * warm vs cold container pools (second job on the same executor);
+//! * straggler speculation on/off against an injected 10× straggler.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rustwren_core::{SimCloud, SizedFn, SpawnStrategy, TaskCtx, Value};
+use rustwren_core::{SimCloud, SizedFn, SpawnStrategy, SpeculationConfig, TaskCtx, Value};
 use rustwren_sim::NetworkProfile;
 use rustwren_workloads::compute;
 
@@ -167,12 +170,65 @@ fn ablate_warm_pool(c: &mut Criterion) {
     }
 }
 
+fn ablate_speculation(c: &mut Criterion) {
+    // One task takes 10× the others' duration, but only on its first
+    // execution — a slow node, not an inherently slow task. Without
+    // speculation the job waits out the full straggler; with it, a backup
+    // copy launched once the rest of the job is done finishes in normal
+    // time. Deterministic per seed: each measurement replays the same run.
+    for speculation in [false, true] {
+        let id = if speculation {
+            "speculation=on"
+        } else {
+            "speculation=off"
+        };
+        custom(c, "straggler_speculation", id.to_owned(), move || {
+            let cloud = fresh_cloud(6);
+            let executions = Mutex::new(HashMap::<i64, usize>::new());
+            cloud.register_fn("sometimes-slow", move |ctx: &TaskCtx, v: Value| {
+                let n = v.as_i64().ok_or("int")?;
+                let run = {
+                    let mut seen = executions.lock().unwrap();
+                    let count = seen.entry(n).or_insert(0);
+                    *count += 1;
+                    *count
+                };
+                if n == 0 && run == 1 {
+                    ctx.charge(Duration::from_secs(100));
+                } else {
+                    ctx.charge(Duration::from_secs(10));
+                }
+                Ok(v)
+            });
+            let cloud2 = cloud.clone();
+            cloud.run(move || {
+                let t0 = rustwren_sim::now();
+                let spec = if speculation {
+                    SpeculationConfig::on()
+                } else {
+                    SpeculationConfig::disabled()
+                };
+                let exec = cloud2
+                    .executor()
+                    .speculation(spec)
+                    .build()
+                    .expect("executor");
+                exec.map("sometimes-slow", (0..TASKS as i64).map(Value::from))
+                    .expect("map");
+                exec.get_result().expect("results");
+                rustwren_sim::now() - t0
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     ablate_group_size,
     ablate_client_threads,
     ablate_code_size,
     ablate_poll_interval,
-    ablate_warm_pool
+    ablate_warm_pool,
+    ablate_speculation
 );
 criterion_main!(benches);

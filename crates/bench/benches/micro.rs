@@ -54,7 +54,7 @@ fn bench_partitioner(c: &mut Criterion) {
         .collect();
     c.bench_function("partition_33_cities_at_2MB", |b| {
         b.iter(|| {
-            let parts = partition_objects(&objects, Some(2 << 20));
+            let parts = partition_objects(&objects, Some(2 << 20)).expect("non-zero chunk");
             assert_eq!(parts.len(), 923);
             parts
         })

@@ -69,6 +69,127 @@ impl Default for SpawnStrategy {
     }
 }
 
+/// Automatic re-invocation of failed tasks during `wait`/`get_result`
+/// polling.
+///
+/// Disabled by default (`max_attempts = 1`): the executor then surfaces
+/// failures exactly as IBM-PyWren does, leaving re-execution to a manual
+/// [`crate::Executor::reinvoke`]. With a larger budget the executor
+/// transparently re-invokes failed tasks with exponential backoff while it
+/// polls, so transient faults never reach `get_result`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total executions allowed per task, including the first.
+    /// `1` disables automatic retry.
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub initial_backoff: Duration,
+    /// Factor applied to the delay after each further failure.
+    pub backoff_multiplier: f64,
+    /// Upper bound on the delay.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a deterministic
+    /// factor in `[1 - jitter, 1 + jitter]` drawn from the executor's seed,
+    /// so retry storms decorrelate without breaking reproducibility.
+    pub jitter: f64,
+    /// Whether tasks that hit the platform execution limit are retried too.
+    /// Off by default: a task that needs more than the limit will usually
+    /// just hit it again.
+    pub retry_timeouts: bool,
+}
+
+impl RetryPolicy {
+    /// No automatic retries (the seed framework's behaviour).
+    pub fn disabled() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            initial_backoff: Duration::from_millis(500),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_secs(30),
+            jitter: 0.2,
+            retry_timeouts: false,
+        }
+    }
+
+    /// Default backoff parameters with a budget of `max_attempts` total
+    /// executions per task.
+    pub fn with_attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::disabled()
+        }
+    }
+
+    /// Whether this policy retries at all.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Backoff before retry number `retry` (1-based), without jitter:
+    /// `initial_backoff * multiplier^(retry-1)`, capped at `max_backoff`.
+    pub fn base_backoff(&self, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(16);
+        self.initial_backoff
+            .mul_f64(self.backoff_multiplier.max(1.0).powi(exp as i32))
+            .min(self.max_backoff)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::disabled()
+    }
+}
+
+/// Speculative (backup) execution of straggler tasks.
+///
+/// Once most of a job has finished, tasks running far beyond the median
+/// completion time are re-invoked as duplicates; whichever copy finishes
+/// first supplies the status and result. Disabled by default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeculationConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Fraction of the job's tasks that must be done before stragglers are
+    /// considered.
+    pub done_fraction: f64,
+    /// A pending task becomes a straggler once it has been out for longer
+    /// than this multiple of the median completion time of the job's done
+    /// tasks.
+    pub straggler_factor: f64,
+    /// Minimum number of completed tasks before the median is trusted.
+    pub min_done: usize,
+    /// Cap on speculative copies per job.
+    pub max_speculative: usize,
+}
+
+impl SpeculationConfig {
+    /// Speculation off (the seed framework's behaviour).
+    pub fn disabled() -> SpeculationConfig {
+        SpeculationConfig {
+            enabled: false,
+            done_fraction: 0.75,
+            straggler_factor: 2.0,
+            min_done: 5,
+            max_speculative: 16,
+        }
+    }
+
+    /// Speculation on, with the default thresholds.
+    pub fn on() -> SpeculationConfig {
+        SpeculationConfig {
+            enabled: true,
+            ..SpeculationConfig::disabled()
+        }
+    }
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> SpeculationConfig {
+        SpeculationConfig::disabled()
+    }
+}
+
 /// Configuration of one [`crate::Executor`] instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutorConfig {
@@ -85,6 +206,10 @@ pub struct ExecutorConfig {
     pub reduce_poll_interval: Duration,
     /// Seed individualizing this executor's jitter/failure stream.
     pub seed: u64,
+    /// Automatic retry of failed tasks.
+    pub retry: RetryPolicy,
+    /// Speculative execution of straggler tasks.
+    pub speculation: SpeculationConfig,
 }
 
 impl Default for ExecutorConfig {
@@ -96,6 +221,8 @@ impl Default for ExecutorConfig {
             poll_interval: Duration::from_millis(500),
             reduce_poll_interval: Duration::from_millis(1000),
             seed: 1,
+            retry: RetryPolicy::disabled(),
+            speculation: SpeculationConfig::disabled(),
         }
     }
 }
@@ -115,6 +242,36 @@ mod tests {
             SpawnStrategy::default(),
             SpawnStrategy::Direct { client_threads: 5 }
         );
+    }
+
+    #[test]
+    fn recovery_is_disabled_by_default() {
+        let cfg = ExecutorConfig::default();
+        assert!(!cfg.retry.enabled());
+        assert!(!cfg.speculation.enabled);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(100),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_millis(500),
+            jitter: 0.0,
+            retry_timeouts: false,
+        };
+        assert_eq!(p.base_backoff(1), Duration::from_millis(100));
+        assert_eq!(p.base_backoff(2), Duration::from_millis(200));
+        assert_eq!(p.base_backoff(3), Duration::from_millis(400));
+        assert_eq!(p.base_backoff(4), Duration::from_millis(500));
+        assert_eq!(p.base_backoff(40), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn with_attempts_enables_retry() {
+        assert!(RetryPolicy::with_attempts(3).enabled());
+        assert!(!RetryPolicy::with_attempts(0).enabled(), "clamped to 1");
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub enum PywrenError {
     },
     /// A data source matched no objects (empty bucket, missing keys).
     EmptyDataSource(String),
+    /// An invalid configuration value or malformed user-supplied argument.
+    Config(String),
 }
 
 impl fmt::Display for PywrenError {
@@ -59,6 +61,7 @@ impl fmt::Display for PywrenError {
             PywrenError::EmptyDataSource(what) => {
                 write!(f, "data source matched no objects: {what}")
             }
+            PywrenError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -112,6 +115,16 @@ mod tests {
         }
         .to_string()
         .contains("3"));
+    }
+
+    #[test]
+    fn config_error_displays_message() {
+        let e = PywrenError::Config("chunk_size must be non-zero".into());
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: chunk_size must be non-zero"
+        );
+        assert!(e.source().is_none());
     }
 
     #[test]

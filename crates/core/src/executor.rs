@@ -7,18 +7,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use rustwren_faas::FaasClient;
-use rustwren_sim::hash::hash2;
-use rustwren_sim::NetworkProfile;
+use rustwren_faas::{ActivationId, FaasClient, Outcome};
+use rustwren_sim::hash::{hash2, unit_f64};
+use rustwren_sim::{NetworkProfile, SimInstant};
 use rustwren_store::CosClient;
 
 use crate::cloud::SimCloud;
-use crate::config::{ExecutorConfig, SpawnStrategy};
+use crate::config::{ExecutorConfig, RetryPolicy, SpawnStrategy, SpeculationConfig};
 use crate::error::{PywrenError, Result};
 use crate::future::{ResponseFuture, WaitPolicy};
 use crate::invoker::{agent_action_name, deploy_agent, spawn_tasks};
-use crate::job::{func_key, AgentPayload, TaskSpec};
+use crate::job::{func_key, status_value, AgentPayload, TaskSpec};
 use crate::partition::{discover, partition_objects, DataSource};
+use crate::stats::RecoveryStats;
 use crate::wire::Value;
 
 /// Client threads used to upload task inputs to COS before invocation.
@@ -71,6 +72,35 @@ impl fmt::Debug for GetResultOpts {
     }
 }
 
+/// Per-task bookkeeping for automatic fault recovery. One entry per task
+/// the executor submitted, keyed by `(job_id, task)`.
+struct TaskRecovery {
+    func_name: String,
+    /// Executions so far (1 after the initial invocation).
+    attempts: u32,
+    /// When the latest primary execution was invoked.
+    invoked_at: SimInstant,
+    /// The latest primary activation, where the client issued the
+    /// invocation itself; `None` under remote-invoker spawning.
+    activation: Option<ActivationId>,
+    /// Virtual-time deadline of a scheduled re-invocation (backoff).
+    retry_at: Option<SimInstant>,
+    /// A speculative copy is already out for this task.
+    speculated: bool,
+    /// Observed completion latency (seconds) once confirmed `done`.
+    done_elapsed: Option<f64>,
+    /// No attempts left; the error status in COS is final.
+    exhausted: bool,
+}
+
+#[derive(Default)]
+struct RecoveryCounters {
+    retries: AtomicU64,
+    retries_exhausted: AtomicU64,
+    speculative_launches: AtomicU64,
+    statuses_repaired: AtomicU64,
+}
+
 struct ExecInner {
     cloud: SimCloud,
     config: ExecutorConfig,
@@ -80,6 +110,9 @@ struct ExecInner {
     pending: parking_lot::Mutex<Vec<ResponseFuture>>,
     /// job id → function name, for re-invoking failed tasks.
     job_funcs: parking_lot::Mutex<std::collections::HashMap<u64, String>>,
+    /// (job id, task) → recovery state for the retry/speculation machinery.
+    recovery: parking_lot::Mutex<std::collections::HashMap<(u64, u32), TaskRecovery>>,
+    counters: RecoveryCounters,
     cos: CosClient,
     faas: FaasClient,
 }
@@ -154,6 +187,18 @@ impl ExecutorBuilder {
         self
     }
 
+    /// Enables automatic retry of failed tasks during polling.
+    pub fn retry(mut self, policy: RetryPolicy) -> ExecutorBuilder {
+        self.config.retry = policy;
+        self
+    }
+
+    /// Enables speculative execution of straggler tasks.
+    pub fn speculation(mut self, speculation: SpeculationConfig) -> ExecutorBuilder {
+        self.config.speculation = speculation;
+        self
+    }
+
     /// Replaces the whole configuration.
     pub fn config(mut self, config: ExecutorConfig) -> ExecutorBuilder {
         self.config = config;
@@ -187,6 +232,8 @@ impl ExecutorBuilder {
                 job_seq: AtomicU64::new(1),
                 pending: parking_lot::Mutex::new(Vec::new()),
                 job_funcs: parking_lot::Mutex::new(std::collections::HashMap::new()),
+                recovery: parking_lot::Mutex::new(std::collections::HashMap::new()),
+                counters: RecoveryCounters::default(),
                 cos,
                 faas,
             }),
@@ -251,8 +298,8 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Unknown functions, discovery/staging storage errors, or invocation
-    /// errors.
+    /// Unknown functions, discovery/staging storage errors, invocation
+    /// errors, or [`PywrenError::Config`] for a zero `chunk_size`.
     pub fn map_reduce(
         &self,
         map_func: &str,
@@ -271,6 +318,12 @@ impl Executor {
         opts: MapReduceOpts,
         extra: Option<Value>,
     ) -> Result<Vec<ResponseFuture>> {
+        // Validate regardless of source: a Values source never reaches the
+        // partitioner, and a silently ignored chunk_size would make the
+        // same options behave differently across sources.
+        if opts.chunk_size == Some(0) {
+            return Err(PywrenError::Config("chunk_size must be non-zero".into()));
+        }
         // Map phase.
         let (map_specs, groups): (Vec<TaskSpec>, Vec<String>) = match &source {
             DataSource::Values(values) => (
@@ -279,7 +332,7 @@ impl Executor {
             ),
             _ => {
                 let objects = discover(&self.inner.cos, &source)?;
-                let parts = partition_objects(&objects, opts.chunk_size);
+                let parts = partition_objects(&objects, opts.chunk_size)?;
                 let groups = parts.iter().map(|p| p.key.clone()).collect();
                 (parts.into_iter().map(TaskSpec::Partition).collect(), groups)
             }
@@ -330,11 +383,8 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Same as [`map_reduce`](Executor::map_reduce).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `extra` is not a [`Value::Map`].
+    /// Same as [`map_reduce`](Executor::map_reduce), plus
+    /// [`PywrenError::Config`] if `extra` is not a [`Value::Map`].
     pub fn map_reduce_with_extra(
         &self,
         map_func: &str,
@@ -343,7 +393,9 @@ impl Executor {
         opts: MapReduceOpts,
         extra: Value,
     ) -> Result<Vec<ResponseFuture>> {
-        assert!(extra.as_map().is_some(), "extra must be a map value");
+        if extra.as_map().is_none() {
+            return Err(PywrenError::Config("extra data must be a map value".into()));
+        }
         self.map_reduce_inner(map_func, source, reduce_func, opts, Some(extra))
     }
 
@@ -361,12 +413,8 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Unknown functions, discovery/staging storage errors, or invocation
-    /// errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `opts.reducers` is zero.
+    /// Unknown functions, discovery/staging storage errors, invocation
+    /// errors, or [`PywrenError::Config`] if `opts.reducers` is zero.
     pub fn map_shuffle_reduce(
         &self,
         map_func: &str,
@@ -374,12 +422,19 @@ impl Executor {
         reduce_func: &str,
         opts: ShuffleOpts,
     ) -> Result<Vec<ResponseFuture>> {
-        assert!(opts.reducers > 0, "shuffle needs at least one reducer");
+        if opts.reducers == 0 {
+            return Err(PywrenError::Config(
+                "shuffle needs at least one reducer".into(),
+            ));
+        }
+        if opts.chunk_size == Some(0) {
+            return Err(PywrenError::Config("chunk_size must be non-zero".into()));
+        }
         let inner_specs: Vec<TaskSpec> = match &source {
             DataSource::Values(values) => values.iter().cloned().map(TaskSpec::Value).collect(),
             _ => {
                 let objects = discover(&self.inner.cos, &source)?;
-                partition_objects(&objects, opts.chunk_size)
+                partition_objects(&objects, opts.chunk_size)?
                     .into_iter()
                     .map(TaskSpec::Partition)
                     .collect()
@@ -463,12 +518,30 @@ impl Executor {
 
         // 3. Invoke.
         let futures: Vec<ResponseFuture> = payloads.iter().map(AgentPayload::future).collect();
-        spawn_tasks(
+        let ids = spawn_tasks(
             &self.inner.faas,
             &self.inner.config.spawn,
             &self.inner.agent_action,
             payloads,
         )?;
+        let now = self.inner.cloud.kernel().now();
+        let mut recovery = self.inner.recovery.lock();
+        for (f, id) in futures.iter().zip(ids) {
+            recovery.insert(
+                (f.job_id(), f.task()),
+                TaskRecovery {
+                    func_name: func.to_owned(),
+                    attempts: 1,
+                    invoked_at: now,
+                    activation: id,
+                    retry_at: None,
+                    speculated: false,
+                    done_elapsed: None,
+                    exhausted: false,
+                },
+            );
+        }
+        drop(recovery);
         Ok(futures)
     }
 
@@ -534,6 +607,370 @@ impl Executor {
         Ok(done)
     }
 
+    /// The automatic fault-recovery pass, run between status polls by
+    /// [`wait`](Executor::wait) and [`resolve`](Executor::resolve). A no-op
+    /// unless [`RetryPolicy`] or [`SpeculationConfig`] is enabled, so the
+    /// default executor behaves exactly like the original IBM-PyWren
+    /// client: failures surface from `get_result` and recovery is a manual
+    /// [`reinvoke`](Executor::reinvoke).
+    ///
+    /// Three sub-passes:
+    ///
+    /// 1. **Classify completed statuses.** A status object's presence only
+    ///    means a task *finished* — failed tasks leave `state = "error"`.
+    ///    Newly completed tasks are verified once: successes record their
+    ///    completion latency (feeding the speculation median); failures are
+    ///    stripped of their status/result and re-scheduled with exponential
+    ///    backoff while attempts remain.
+    /// 2. **Handle pending tasks.** Due retries are re-invoked. Tasks with
+    ///    no status are checked against the platform's activation outcome:
+    ///    one that died without reporting (crash, timeout, lost status
+    ///    write) is retried like any other failure — or, out of attempts,
+    ///    has an error status written on its behalf so the job terminates
+    ///    with a clear [`PywrenError::Task`] instead of polling forever.
+    /// 3. **Speculate on stragglers.** Once enough of a job is done, tasks
+    ///    out for longer than `straggler_factor ×` the median completion
+    ///    time get a duplicate invocation; whichever copy finishes first
+    ///    supplies the status and result (the agent never overwrites a
+    ///    `done` status with an error).
+    fn recover(
+        &self,
+        tracked: &[ResponseFuture],
+        done: &mut HashSet<ResponseFuture>,
+    ) -> Result<()> {
+        let retry = self.inner.config.retry.clone();
+        let speculation = self.inner.config.speculation.clone();
+        if !retry.enabled() && !speculation.enabled {
+            return Ok(());
+        }
+        self.classify_completed(tracked, done, &retry)?;
+        self.handle_pending(tracked, done, &retry)?;
+        if speculation.enabled {
+            self.speculate(tracked, done, &speculation)?;
+        }
+        Ok(())
+    }
+
+    /// Recovery sub-pass 1: see [`recover`](Executor::recover).
+    fn classify_completed(
+        &self,
+        tracked: &[ResponseFuture],
+        done: &mut HashSet<ResponseFuture>,
+        retry: &RetryPolicy,
+    ) -> Result<()> {
+        let now = self.inner.cloud.kernel().now();
+        for f in tracked {
+            if !done.contains(f) {
+                continue;
+            }
+            let key = (f.job_id(), f.task());
+            let unclassified = {
+                let recovery = self.inner.recovery.lock();
+                recovery
+                    .get(&key)
+                    .is_some_and(|r| r.done_elapsed.is_none() && !r.exhausted)
+            };
+            if !unclassified {
+                continue;
+            }
+            let Ok(raw) = self.inner.cos.get(f.bucket(), &f.status_key()) else {
+                // Vanished between LIST and GET, or unreachable this round:
+                // treat as still pending and re-poll.
+                done.remove(f);
+                continue;
+            };
+            let succeeded = Value::decode(&raw)
+                .ok()
+                .is_some_and(|s| s.get("state").and_then(Value::as_str) == Some("done"));
+            if succeeded {
+                let mut recovery = self.inner.recovery.lock();
+                if let Some(r) = recovery.get_mut(&key) {
+                    r.done_elapsed = Some(now.duration_since(r.invoked_at).as_secs_f64());
+                }
+                continue;
+            }
+            // The task finished with an error status.
+            let retryable = retry.enabled() && {
+                let recovery = self.inner.recovery.lock();
+                recovery
+                    .get(&key)
+                    .is_some_and(|r| r.attempts < retry.max_attempts)
+            };
+            if retryable {
+                // Clear the stale completion markers so polling sees the
+                // rerun, then back off before re-invoking.
+                self.inner.cos.delete(f.bucket(), &f.status_key())?;
+                self.inner.cos.delete(f.bucket(), &f.result_key())?;
+                let mut recovery = self.inner.recovery.lock();
+                if let Some(r) = recovery.get_mut(&key) {
+                    r.retry_at = Some(now + self.backoff_delay(retry, key, r.attempts));
+                }
+                done.remove(f);
+            } else {
+                if retry.enabled() {
+                    self.inner
+                        .counters
+                        .retries_exhausted
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                let mut recovery = self.inner.recovery.lock();
+                if let Some(r) = recovery.get_mut(&key) {
+                    r.exhausted = true;
+                }
+                // Left in `done`: fetch_result surfaces the final error.
+            }
+        }
+        Ok(())
+    }
+
+    /// Recovery sub-pass 2: see [`recover`](Executor::recover).
+    fn handle_pending(
+        &self,
+        tracked: &[ResponseFuture],
+        done: &mut HashSet<ResponseFuture>,
+        retry: &RetryPolicy,
+    ) -> Result<()> {
+        enum Action {
+            Skip,
+            Reinvoke,
+            Classify(ActivationId, u32),
+        }
+        let now = self.inner.cloud.kernel().now();
+        for f in tracked {
+            if done.contains(f) {
+                continue;
+            }
+            let key = (f.job_id(), f.task());
+            let action = {
+                let recovery = self.inner.recovery.lock();
+                match recovery.get(&key) {
+                    None => Action::Skip,
+                    Some(r) if r.exhausted => Action::Skip,
+                    Some(r) => match (r.retry_at, r.activation) {
+                        (Some(t), _) if now >= t => Action::Reinvoke,
+                        (Some(_), _) => Action::Skip,
+                        (None, Some(id)) if retry.enabled() => Action::Classify(id, r.attempts),
+                        (None, _) => Action::Skip,
+                    },
+                }
+            };
+            match action {
+                Action::Skip => {}
+                Action::Reinvoke => self.relaunch(f, false)?,
+                Action::Classify(id, attempts) => {
+                    let Some(outcome) = self.inner.cloud.functions().outcome(id) else {
+                        continue; // still running
+                    };
+                    // The activation finished but left no status: a silent
+                    // death (crash, timeout, or lost status write).
+                    let retryable = match &outcome {
+                        Outcome::Success => continue, // status write in flight
+                        Outcome::Failed(_) | Outcome::Crashed(_) => true,
+                        Outcome::TimedOut => retry.retry_timeouts,
+                    };
+                    if retryable && attempts < retry.max_attempts {
+                        // Drop any partial writes (a result without a
+                        // status, or a status that landed after our LIST).
+                        self.inner.cos.delete(f.bucket(), &f.status_key())?;
+                        self.inner.cos.delete(f.bucket(), &f.result_key())?;
+                        let mut recovery = self.inner.recovery.lock();
+                        if let Some(r) = recovery.get_mut(&key) {
+                            r.retry_at = Some(now + self.backoff_delay(retry, key, r.attempts));
+                        }
+                    } else {
+                        // Out of attempts (or unretryable): write the error
+                        // status the agent could not, so the job terminates
+                        // with a diagnosable failure instead of hanging.
+                        let message = match &outcome {
+                            Outcome::Failed(m) => format!("died without status: {m}"),
+                            Outcome::Crashed(m) => format!("crashed: {m}"),
+                            Outcome::TimedOut => "hit the platform execution time limit".to_owned(),
+                            Outcome::Success => unreachable!("handled above"),
+                        };
+                        let message = format!("{message} (after {attempts} attempt(s))");
+                        let start = {
+                            let recovery = self.inner.recovery.lock();
+                            recovery
+                                .get(&key)
+                                .map_or(0.0, |r| r.invoked_at.as_secs_f64())
+                        };
+                        self.inner.cos.put(
+                            f.bucket(),
+                            &f.status_key(),
+                            status_value("error", Some(&message), start, now.as_secs_f64())
+                                .encode(),
+                        )?;
+                        self.inner
+                            .counters
+                            .statuses_repaired
+                            .fetch_add(1, Ordering::Relaxed);
+                        if retryable {
+                            self.inner
+                                .counters
+                                .retries_exhausted
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        let mut recovery = self.inner.recovery.lock();
+                        if let Some(r) = recovery.get_mut(&key) {
+                            r.exhausted = true;
+                        }
+                        done.insert(f.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recovery sub-pass 3: see [`recover`](Executor::recover).
+    fn speculate(
+        &self,
+        tracked: &[ResponseFuture],
+        done: &HashSet<ResponseFuture>,
+        spec: &SpeculationConfig,
+    ) -> Result<()> {
+        struct JobView {
+            total: usize,
+            done_elapsed: Vec<f64>,
+            speculated: usize,
+            candidates: Vec<(ResponseFuture, f64)>,
+        }
+        let now = self.inner.cloud.kernel().now();
+        let mut jobs: std::collections::HashMap<u64, JobView> = std::collections::HashMap::new();
+        {
+            let recovery = self.inner.recovery.lock();
+            for f in tracked {
+                let Some(r) = recovery.get(&(f.job_id(), f.task())) else {
+                    continue;
+                };
+                let view = jobs.entry(f.job_id()).or_insert_with(|| JobView {
+                    total: 0,
+                    done_elapsed: Vec::new(),
+                    speculated: 0,
+                    candidates: Vec::new(),
+                });
+                view.total += 1;
+                if r.speculated {
+                    view.speculated += 1;
+                }
+                if let Some(e) = r.done_elapsed {
+                    view.done_elapsed.push(e);
+                } else if !done.contains(f) && !r.exhausted && !r.speculated && r.retry_at.is_none()
+                {
+                    view.candidates
+                        .push((f.clone(), now.duration_since(r.invoked_at).as_secs_f64()));
+                }
+            }
+        }
+        for view in jobs.into_values() {
+            let done_count = view.done_elapsed.len();
+            if done_count < spec.min_done.max(1)
+                || (done_count as f64) < spec.done_fraction * view.total as f64
+            {
+                continue;
+            }
+            let mut elapsed = view.done_elapsed;
+            elapsed.sort_by(f64::total_cmp);
+            let median = elapsed[elapsed.len() / 2];
+            let threshold = spec.straggler_factor * median;
+            let mut budget = spec.max_speculative.saturating_sub(view.speculated);
+            for (f, pending_for) in view.candidates {
+                if budget == 0 {
+                    break;
+                }
+                if pending_for > threshold {
+                    self.relaunch(&f, true)?;
+                    budget -= 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-invokes one task: as a fresh primary attempt (retry), or as a
+    /// duplicate backup copy (speculation) that leaves the primary's
+    /// bookkeeping untouched.
+    fn relaunch(&self, f: &ResponseFuture, speculative: bool) -> Result<()> {
+        let key = (f.job_id(), f.task());
+        let func_name = {
+            let recovery = self.inner.recovery.lock();
+            let Some(r) = recovery.get(&key) else {
+                return Ok(());
+            };
+            r.func_name.clone()
+        };
+        let payload = AgentPayload {
+            bucket: f.bucket().to_owned(),
+            exec_id: f.exec_id().to_owned(),
+            job_id: f.job_id(),
+            task: f.task(),
+            func_name,
+        };
+        let ids = spawn_tasks(
+            &self.inner.faas,
+            &self.inner.config.spawn,
+            &self.inner.agent_action,
+            vec![payload],
+        )?;
+        let id = ids.into_iter().next().flatten();
+        let now = self.inner.cloud.kernel().now();
+        let mut recovery = self.inner.recovery.lock();
+        if let Some(r) = recovery.get_mut(&key) {
+            if speculative {
+                r.speculated = true;
+                self.inner
+                    .counters
+                    .speculative_launches
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                r.attempts += 1;
+                r.invoked_at = now;
+                r.activation = id;
+                r.retry_at = None;
+                self.inner.counters.retries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministic jittered backoff before retry number `attempts` of
+    /// task `key`: the jitter factor is drawn from the executor seed and
+    /// the task's identity, so identically-seeded runs recover identically.
+    fn backoff_delay(&self, retry: &RetryPolicy, key: (u64, u32), attempts: u32) -> Duration {
+        let base = retry.base_backoff(attempts);
+        let jitter = retry.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return base;
+        }
+        let token = hash2(
+            self.inner.config.seed,
+            hash2((key.0 << 20) ^ u64::from(key.1), u64::from(attempts)),
+        );
+        base.mul_f64(1.0 - jitter + 2.0 * jitter * unit_f64(token))
+    }
+
+    /// Counters of the automatic fault recovery performed so far.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            retries: self.inner.counters.retries.load(Ordering::Relaxed),
+            retries_exhausted: self
+                .inner
+                .counters
+                .retries_exhausted
+                .load(Ordering::Relaxed),
+            speculative_launches: self
+                .inner
+                .counters
+                .speculative_launches
+                .load(Ordering::Relaxed),
+            statuses_repaired: self
+                .inner
+                .counters
+                .statuses_repaired
+                .load(Ordering::Relaxed),
+        }
+    }
+
     /// Splits the tracked futures into `(done, pending)` under `policy`
     /// (§4.2 `wait`): `Always` returns immediately; `AnyCompleted` blocks
     /// until at least one task is done; `AllCompleted` blocks until all are.
@@ -547,7 +984,8 @@ impl Executor {
             return Ok((Vec::new(), Vec::new()));
         }
         loop {
-            let done = self.poll_done(&tracked)?;
+            let mut done = self.poll_done(&tracked)?;
+            self.recover(&tracked, &mut done)?;
             let satisfied = match policy {
                 WaitPolicy::Always => true,
                 WaitPolicy::AnyCompleted => !done.is_empty(),
@@ -596,7 +1034,8 @@ impl Executor {
         }
         let deadline = opts.timeout.map(|t| self.inner.cloud.kernel().now() + t);
         loop {
-            let done = self.poll_done(futures)?;
+            let mut done = self.poll_done(futures)?;
+            self.recover(futures, &mut done)?;
             if let Some(cb) = &opts.progress {
                 cb(done.len(), futures.len());
             }
@@ -769,12 +1208,32 @@ impl Executor {
                 func_name,
             });
         }
-        spawn_tasks(
+        let ids = spawn_tasks(
             &self.inner.faas,
             &self.inner.config.spawn,
             &self.inner.agent_action,
-            payloads,
+            payloads.clone(),
         )?;
+        // A manual reinvocation resets the task's recovery bookkeeping: it
+        // is a fresh first attempt, not a counted automatic retry.
+        let now = self.inner.cloud.kernel().now();
+        let mut recovery = self.inner.recovery.lock();
+        for (payload, id) in payloads.into_iter().zip(ids) {
+            recovery.insert(
+                (payload.job_id, payload.task),
+                TaskRecovery {
+                    func_name: payload.func_name,
+                    attempts: 1,
+                    invoked_at: now,
+                    activation: id,
+                    retry_at: None,
+                    speculated: false,
+                    done_elapsed: None,
+                    exhausted: false,
+                },
+            );
+        }
+        drop(recovery);
         self.inner.pending.lock().extend(futures.iter().cloned());
         Ok(())
     }

@@ -10,7 +10,7 @@
 use std::sync::Weak;
 
 use bytes::Bytes;
-use rustwren_faas::{ActionConfig, ActivationCtx};
+use rustwren_faas::{ActionConfig, ActivationCtx, ActivationId};
 
 use crate::cloud::{CloudInner, SimCloud};
 use crate::config::SpawnStrategy;
@@ -111,14 +111,18 @@ fn run_invoker(
 }
 
 /// Issues one agent invocation per payload according to `strategy`, using
-/// the executor's FaaS client. Returns once every invocation is accepted.
+/// the executor's FaaS client. Returns once every invocation is accepted,
+/// with one entry per payload: the agent's [`ActivationId`] where the client
+/// issued the invocation itself (`Direct`), or `None` when a remote invoker
+/// issued it (the ids stay inside the cloud).
 pub(crate) fn spawn_tasks(
     faas: &rustwren_faas::FaasClient,
     strategy: &SpawnStrategy,
     agent_action: &str,
     payloads: Vec<AgentPayload>,
-) -> Result<()> {
-    let strategy = strategy.resolve_for(payloads.len());
+) -> Result<Vec<Option<ActivationId>>> {
+    let count = payloads.len();
+    let strategy = strategy.resolve_for(count);
     match &strategy {
         SpawnStrategy::Auto { .. } => unreachable!("resolve_for returns a concrete strategy"),
         SpawnStrategy::Direct { client_threads } => {
@@ -149,47 +153,60 @@ pub(crate) fn spawn_tasks(
                 })
                 .collect();
             // The handful of invoker calls still leave the client over its
-            // own network, from a small pool.
-            parallel_invoke(faas, INVOKER_ACTION, groups, 5)
+            // own network, from a small pool. The agent activation ids are
+            // issued inside the cloud and never reported back.
+            parallel_invoke(faas, INVOKER_ACTION, groups, 5)?;
+            Ok(vec![None; count])
         }
     }
 }
 
 /// Invokes `action` once per payload over `threads` simulated client
-/// threads; fails fast on the first unrecoverable error.
+/// threads; fails fast on the first unrecoverable error. Returns the
+/// activation ids in payload order.
 fn parallel_invoke(
     faas: &rustwren_faas::FaasClient,
     action: &str,
     payloads: Vec<Bytes>,
     threads: usize,
-) -> Result<()> {
+) -> Result<Vec<Option<ActivationId>>> {
     if payloads.is_empty() {
-        return Ok(());
+        return Ok(Vec::new());
     }
-    let threads = threads.min(payloads.len()).max(1);
-    let handles: Vec<_> = chunk_round_robin(payloads, threads)
+    let n = payloads.len();
+    let threads = threads.min(n).max(1);
+    let indexed: Vec<(usize, Bytes)> = payloads.into_iter().enumerate().collect();
+    let handles: Vec<_> = chunk_round_robin(indexed, threads)
         .into_iter()
         .enumerate()
         .map(|(t, chunk)| {
             let client = faas.clone();
             let action = action.to_owned();
             rustwren_sim::spawn(format!("spawn-{t}"), move || {
-                for p in chunk {
-                    client.invoke(&action, p)?;
-                }
-                Ok::<(), rustwren_faas::InvokeError>(())
+                chunk
+                    .into_iter()
+                    .map(|(i, p)| client.invoke(&action, p).map(|id| (i, id)))
+                    .collect::<std::result::Result<Vec<_>, rustwren_faas::InvokeError>>()
             })
         })
         .collect();
+    let mut ids: Vec<Option<ActivationId>> = vec![None; n];
     let mut first_err = None;
     for h in handles {
-        if let Err(e) = h.join() {
-            first_err.get_or_insert(e);
+        match h.join() {
+            Ok(pairs) => {
+                for (i, id) in pairs {
+                    ids[i] = Some(id);
+                }
+            }
+            Err(e) => {
+                first_err.get_or_insert(e);
+            }
         }
     }
     match first_err {
         Some(e) => Err(e.into()),
-        None => Ok(()),
+        None => Ok(ids),
     }
 }
 

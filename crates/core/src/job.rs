@@ -198,12 +198,22 @@ pub(crate) fn run_agent(
             Ok(Bytes::from_static(b"ok"))
         }
         Err(msg) => {
-            cos.put(
-                &payload.bucket,
-                &fut.status_key(),
-                status_value("error", Some(msg), started, ended).encode(),
-            )
-            .map_err(|e| ActionError(format!("writing status: {e}")))?;
+            // Under speculative execution two copies of the task race; a
+            // completed `done` status must never be clobbered by a slower
+            // copy's error (first successful completion wins).
+            let done_already = cos
+                .get(&payload.bucket, &fut.status_key())
+                .ok()
+                .and_then(|raw| Value::decode(&raw).ok())
+                .is_some_and(|s| s.get("state").and_then(Value::as_str) == Some("done"));
+            if !done_already {
+                cos.put(
+                    &payload.bucket,
+                    &fut.status_key(),
+                    status_value("error", Some(msg), started, ended).encode(),
+                )
+                .map_err(|e| ActionError(format!("writing status: {e}")))?;
+            }
             Err(ActionError(msg.clone()))
         }
     }

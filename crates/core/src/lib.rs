@@ -69,7 +69,7 @@ pub mod wire;
 
 pub use cloud::{SimCloud, SimCloudBuilder};
 pub use compose::SEQUENCE_FN;
-pub use config::{ExecutorConfig, SpawnStrategy};
+pub use config::{ExecutorConfig, RetryPolicy, SpawnStrategy, SpeculationConfig};
 pub use convert::FromValue;
 pub use error::{PywrenError, Result};
 pub use executor::{
@@ -78,5 +78,6 @@ pub use executor::{
 pub use future::{ResponseFuture, WaitPolicy, FUTURES_MARKER};
 pub use partition::{DataSource, ObjectRef};
 pub use registry::{FunctionRegistry, RemoteFn, SizedFn, DEFAULT_CODE_SIZE};
+pub use stats::RecoveryStats;
 pub use task::TaskCtx;
 pub use wire::Value;

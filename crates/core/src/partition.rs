@@ -104,16 +104,27 @@ impl Partition {
     ///
     /// # Errors
     ///
-    /// A message naming the malformed field.
+    /// A message naming the malformed field: missing fields, negative
+    /// offsets/index, or `end < start`.
     pub fn from_value(v: &Value) -> std::result::Result<Partition, String> {
+        let start = non_negative(v.req_i64("start")?, "start")?;
+        let end = non_negative(v.req_i64("end")?, "end")?;
+        if end < start {
+            return Err(format!("partition end {end} precedes start {start}"));
+        }
+        let index = non_negative(v.req_i64("index")?, "index")? as usize;
         Ok(Partition {
             bucket: v.req_str("bucket")?.to_owned(),
             key: v.req_str("key")?.to_owned(),
-            start: v.req_i64("start")? as u64,
-            end: v.req_i64("end")? as u64,
-            index: v.req_i64("index")? as usize,
+            start,
+            end,
+            index,
         })
     }
+}
+
+fn non_negative(n: i64, field: &str) -> std::result::Result<u64, String> {
+    u64::try_from(n).map_err(|_| format!("field `{field}` must be non-negative, got {n}"))
 }
 
 /// Discovers the objects behind a data source (HEAD/LIST requests, charged
@@ -167,12 +178,15 @@ pub fn discover(cos: &CosClient, source: &DataSource) -> Result<Vec<DiscoveredOb
 /// Table 3 executor counts do not double when the chunk halves. With `None`,
 /// one partition per object (object granularity).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `chunk_size` is `Some(0)`.
-pub fn partition_objects(objects: &[DiscoveredObject], chunk_size: Option<u64>) -> Vec<Partition> {
+/// [`PywrenError::Config`] if `chunk_size` is `Some(0)`.
+pub fn partition_objects(
+    objects: &[DiscoveredObject],
+    chunk_size: Option<u64>,
+) -> Result<Vec<Partition>> {
     if let Some(0) = chunk_size {
-        panic!("chunk_size must be non-zero");
+        return Err(PywrenError::Config("chunk_size must be non-zero".into()));
     }
     let mut parts = Vec::new();
     for obj in objects {
@@ -204,7 +218,7 @@ pub fn partition_objects(objects: &[DiscoveredObject], chunk_size: Option<u64>) 
             }
         }
     }
-    parts
+    Ok(parts)
 }
 
 /// Fetches a partition's payload, aligned to line boundaries (the function
@@ -339,7 +353,7 @@ mod tests {
     #[test]
     fn per_object_granularity_without_chunk_size() {
         let objs = vec![discovered(100, "a"), discovered(50, "b")];
-        let parts = partition_objects(&objs, None);
+        let parts = partition_objects(&objs, None).unwrap();
         assert_eq!(parts.len(), 2);
         assert_eq!((parts[0].start, parts[0].end), (0, 100));
         assert_eq!((parts[1].start, parts[1].end), (0, 50));
@@ -354,7 +368,7 @@ mod tests {
             discovered(150, "b"),
             discovered(10, "c"),
         ];
-        let parts = partition_objects(&objs, Some(100));
+        let parts = partition_objects(&objs, Some(100)).unwrap();
         assert_eq!(parts.len(), 4);
         assert_eq!((parts[1].start, parts[1].end), (0, 100));
         assert_eq!((parts[2].start, parts[2].end), (100, 150));
@@ -367,15 +381,37 @@ mod tests {
 
     #[test]
     fn empty_object_yields_one_empty_partition() {
-        let parts = partition_objects(&[discovered(0, "empty")], Some(10));
+        let parts = partition_objects(&[discovered(0, "empty")], Some(10)).unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].logical_len(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "non-zero")]
-    fn zero_chunk_size_panics() {
-        let _ = partition_objects(&[discovered(10, "a")], Some(0));
+    fn zero_chunk_size_is_a_config_error() {
+        let err = partition_objects(&[discovered(10, "a")], Some(0)).unwrap_err();
+        assert!(matches!(err, PywrenError::Config(ref m) if m.contains("non-zero")));
+    }
+
+    #[test]
+    fn partition_from_value_rejects_bad_fields() {
+        let good = Partition {
+            bucket: "b".into(),
+            key: "k".into(),
+            start: 5,
+            end: 10,
+            index: 3,
+        };
+        let negative_start = good.to_value().with("start", -1i64);
+        let err = Partition::from_value(&negative_start).unwrap_err();
+        assert!(err.contains("start") && err.contains("-1"), "{err}");
+
+        let negative_index = good.to_value().with("index", -7i64);
+        let err = Partition::from_value(&negative_index).unwrap_err();
+        assert!(err.contains("index"), "{err}");
+
+        let inverted = good.to_value().with("end", 2i64);
+        let err = Partition::from_value(&inverted).unwrap_err();
+        assert!(err.contains("precedes"), "{err}");
     }
 
     #[test]
@@ -434,7 +470,7 @@ mod tests {
             for chunk in [1u64, 3, 7, 10, 100] {
                 let objs =
                     discover(&cos, &DataSource::Keys(vec![ObjectRef::new("data", "f")])).unwrap();
-                let parts = partition_objects(&objs, Some(chunk));
+                let parts = partition_objects(&objs, Some(chunk)).unwrap();
                 let mut all = Vec::new();
                 for p in &parts {
                     all.extend_from_slice(&read_aligned(&cos, p).unwrap());
@@ -472,7 +508,7 @@ mod tests {
         kernel.run("client", || {
             let objs =
                 discover(&cos, &DataSource::Keys(vec![ObjectRef::new("data", "f")])).unwrap();
-            let parts = partition_objects(&objs, Some(4));
+            let parts = partition_objects(&objs, Some(4)).unwrap();
             let datas: Vec<_> = parts
                 .iter()
                 .map(|p| read_aligned(&cos, p).unwrap())
@@ -493,7 +529,7 @@ mod tests {
         kernel.run("client", || {
             let objs =
                 discover(&cos, &DataSource::Keys(vec![ObjectRef::new("data", "f")])).unwrap();
-            let parts = partition_objects(&objs, Some(100));
+            let parts = partition_objects(&objs, Some(100)).unwrap();
             assert_eq!(parts.len(), 4, "logical partitioning");
             let mut all = Vec::new();
             for p in &parts {

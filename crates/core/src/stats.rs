@@ -13,6 +13,28 @@ use rustwren_sim::SimInstant;
 /// One point of a concurrency-over-time series: `(seconds, running)`.
 pub type ConcurrencyPoint = (f64, usize);
 
+/// Counters of one executor's automatic fault recovery (retry policy and
+/// straggler speculation); see [`crate::Executor::recovery_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Failed tasks automatically re-invoked.
+    pub retries: u64,
+    /// Tasks whose failures exhausted the retry budget.
+    pub retries_exhausted: u64,
+    /// Speculative (backup) copies launched for straggler tasks.
+    pub speculative_launches: u64,
+    /// Error statuses the client wrote on behalf of tasks that died without
+    /// reporting one (crash/timeout before the agent's status write).
+    pub statuses_repaired: u64,
+}
+
+impl RecoveryStats {
+    /// Total recovery actions taken.
+    pub fn total_actions(&self) -> u64 {
+        self.retries + self.speculative_launches + self.statuses_repaired
+    }
+}
+
 /// Builds the running-functions-over-time step series from execution spans.
 /// Points are emitted at every start/end breakpoint, sorted by time.
 pub fn concurrency_series(records: &[ActivationRecord]) -> Vec<ConcurrencyPoint> {

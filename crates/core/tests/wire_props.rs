@@ -74,7 +74,7 @@ proptest! {
         let cos = CosClient::new(&store, NetworkProfile::instant(), 0);
         kernel.run("client", || {
             let objs = discover(&cos, &DataSource::bucket("b")).expect("discovery");
-            let parts = partition_objects(&objs, chunk);
+            let parts = partition_objects(&objs, chunk).expect("non-zero chunk");
             // Global indices are sequential.
             for (i, p) in parts.iter().enumerate() {
                 prop_assert_eq!(p.index, i);
@@ -121,7 +121,7 @@ proptest! {
         kernel.run("client", || {
             let objs = discover(&cos, &DataSource::Keys(vec![ObjectRef::new("b", "f")]))
                 .expect("discovery");
-            let parts = partition_objects(&objs, Some(chunk));
+            let parts = partition_objects(&objs, Some(chunk)).expect("non-zero chunk");
             let mut assembled = Vec::new();
             for p in &parts {
                 assembled.extend_from_slice(&read_aligned(&cos, p).expect("aligned read"));

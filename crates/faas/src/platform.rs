@@ -436,6 +436,16 @@ impl CloudFunctions {
         self.inner.records.lock().get(&id).cloned()
     }
 
+    /// Terminal outcome of an activation, if it has finished — a cheap,
+    /// network-free query (frameworks use it to tell a task that died
+    /// without reporting from one that is merely slow).
+    pub fn outcome(&self, id: ActivationId) -> Option<Outcome> {
+        match &self.inner.records.lock().get(&id)?.phase {
+            Phase::Done(o) => Some(o.clone()),
+            _ => None,
+        }
+    }
+
     /// Whether the activation has finished.
     pub fn is_done(&self, id: ActivationId) -> bool {
         self.inner
@@ -1141,6 +1151,31 @@ mod tests {
         let min = durations.iter().cloned().fold(f64::MAX, f64::min);
         let max = durations.iter().cloned().fold(0.0, f64::max);
         assert!(max - min > 2.0, "expected spread, got {min}..{max}");
+    }
+
+    #[test]
+    fn outcome_query_tracks_completion() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        faas.register_action("echo", ActionConfig::default(), echo_action())
+            .unwrap();
+        faas.register_action(
+            "bad",
+            ActionConfig::default(),
+            |_ctx: &ActivationCtx, _p: Bytes| -> Result<Bytes, ActionError> {
+                Err(ActionError("boom".into()))
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let id = faas.invoke("echo", Bytes::new()).unwrap();
+            assert_eq!(faas.outcome(id), None, "still in flight");
+            faas.wait(id);
+            assert_eq!(faas.outcome(id), Some(Outcome::Success));
+            let id = faas.invoke("bad", Bytes::new()).unwrap();
+            faas.wait(id);
+            assert_eq!(faas.outcome(id), Some(Outcome::Failed("boom".into())));
+            assert_eq!(faas.outcome(ActivationId(999_999)), None);
+        });
     }
 
     #[test]

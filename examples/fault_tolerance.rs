@@ -1,0 +1,63 @@
+//! Automatic fault recovery: retry policy + straggler speculation.
+//!
+//! A 40-task job where every fifth task fails its first execution and one
+//! task stalls 10× longer on its first run (a slow node). With a retry
+//! budget and speculation enabled the job completes without any manual
+//! `reinvoke()`, and the executor reports what it did.
+//!
+//! Run with `cargo run --example fault_tolerance`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rustwren::core::{PywrenError, RetryPolicy, SimCloud, SpeculationConfig, TaskCtx, Value};
+
+fn main() -> Result<(), PywrenError> {
+    let cloud = SimCloud::builder().seed(7).build();
+
+    let executions = Arc::new(Mutex::new(HashMap::<i64, usize>::new()));
+    let tracker = Arc::clone(&executions);
+    cloud.register_fn("fragile", move |ctx: &TaskCtx, v: Value| {
+        let n = v.as_i64().ok_or("expected int")?;
+        let run = {
+            let mut seen = tracker.lock().unwrap();
+            let count = seen.entry(n).or_insert(0);
+            *count += 1;
+            *count
+        };
+        if run == 1 && n % 5 == 0 {
+            return Err(format!("task {n}: transient outage"));
+        }
+        if run == 1 && n == 39 {
+            ctx.charge(Duration::from_secs(60)); // a straggling node
+        } else {
+            ctx.charge(Duration::from_secs(6));
+        }
+        Ok(Value::Int(n * n))
+    });
+
+    let (results, stats, took) = cloud.run(|| {
+        let t0 = rustwren::sim::now();
+        let exec = cloud
+            .executor()
+            .retry(RetryPolicy::with_attempts(3))
+            .speculation(SpeculationConfig::on())
+            .build()?;
+        exec.map("fragile", (0..40).map(Value::from))?;
+        let results = exec.get_result()?;
+        Ok::<_, PywrenError>((results, exec.recovery_stats(), rustwren::sim::now() - t0))
+    })?;
+
+    assert_eq!(results.len(), 40);
+    println!("all 40 results arrived; e.g. 7 squared = {:?}", results[7]);
+    println!(
+        "virtual completion: {:.1}s (waiting out the straggler alone would take >60s)",
+        took.as_secs_f64()
+    );
+    println!(
+        "recovery: {} retries, {} speculative copies, {} exhausted, {} repaired statuses",
+        stats.retries, stats.speculative_launches, stats.retries_exhausted, stats.statuses_repaired
+    );
+    Ok(())
+}

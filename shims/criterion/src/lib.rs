@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `iter`,
+//! `iter_custom`, `iter_batched`) with a deliberately simple measurement
+//! loop: a short warm-up, then a fixed number of timed samples whose
+//! median is reported. No statistics engine, no HTML reports — the bench
+//! binaries under `src/bin/` are the repo's real measurement story; these
+//! exist so `cargo bench` keeps working offline and the ablation harness
+//! has something to run under.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark (median reported).
+const SAMPLES: u32 = 5;
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(None, &id.into(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named benchmark group; configuration setters are accepted and ignored
+/// (the shim's fixed sampling keeps runtimes bounded).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up time (ignored).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the throughput denominator (ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(Some(&self.name), &id.into(), f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within its group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a displayable parameter (`group/param` style).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name and parameter.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Throughput denominator for reporting (accepted, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.measured = Some(start.elapsed());
+    }
+
+    /// Lets the routine report its own duration for `iters` iterations
+    /// (used by the virtual-time ablations: the returned duration is
+    /// *simulated* time, reported as-is).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        self.measured = Some(routine(self.iters));
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// cost from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.measured = Some(total);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(group: Option<&str>, id: &BenchmarkId, mut f: F) {
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    // Warm-up: one untimed iteration.
+    let mut warmup = Bencher {
+        iters: 1,
+        measured: None,
+    };
+    f(&mut warmup);
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let mut b = Bencher {
+                iters: 1,
+                measured: None,
+            };
+            f(&mut b);
+            b.measured.unwrap_or(Duration::ZERO)
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!("bench {label:<45} median {median:>12.3?} ({SAMPLES} samples)");
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Accept and ignore harness flags cargo may pass (--bench, --test).
+            let _ = std::env::args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("counter", |b| b.iter(|| ran += 1));
+        assert!(ran >= SAMPLES);
+    }
+
+    #[test]
+    fn group_chain_and_custom_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1))
+            .throughput(Throughput::Bytes(128));
+        g.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter_custom(Duration::from_micros)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,11 +1,14 @@
 //! Failure-injection tests: the framework under hostile network and
 //! platform conditions.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use rustwren::core::{PywrenError, SimCloud, TaskCtx, Value};
+use rustwren::core::{
+    PywrenError, RecoveryStats, RetryPolicy, SimCloud, SpeculationConfig, TaskCtx, Value,
+};
 use rustwren::faas::PlatformConfig;
 use rustwren::sim::NetworkProfile;
 
@@ -158,4 +161,135 @@ fn mixed_failures_report_only_failed_tasks() {
         let failed: Vec<_> = timings.iter().filter(|t| !t.succeeded).collect();
         assert_eq!(failed.len(), 3);
     });
+}
+
+/// Registers a function that fails each task's first execution for every
+/// fourth input and succeeds on any rerun, tracking executions per input.
+fn register_transient(cloud: &SimCloud) -> Arc<Mutex<HashMap<i64, usize>>> {
+    let executions = Arc::new(Mutex::new(HashMap::<i64, usize>::new()));
+    let tracker = Arc::clone(&executions);
+    cloud.register_fn("transient", move |_ctx: &TaskCtx, v: Value| {
+        let n = v.as_i64().ok_or("int")?;
+        let run = {
+            let mut seen = tracker.lock().unwrap();
+            let count = seen.entry(n).or_insert(0);
+            *count += 1;
+            *count
+        };
+        if run == 1 && n % 4 == 0 {
+            Err(format!("task {n}: transient dependency outage"))
+        } else {
+            Ok(v)
+        }
+    });
+    executions
+}
+
+#[test]
+fn retry_policy_absorbs_transient_failures_without_reinvoke() {
+    // A 50-task map over a 5%-lossy internal network, with per-task
+    // transient function failures on top, completes through the automatic
+    // retry policy alone — no manual reinvoke().
+    let platform = PlatformConfig {
+        internal_net: NetworkProfile::datacenter().with_failure_rate(0.05),
+        ..PlatformConfig::default()
+    };
+    let cloud = SimCloud::builder()
+        .seed(37)
+        .platform(platform)
+        .client_network(NetworkProfile::lan())
+        .build();
+    register_transient(&cloud);
+    let (results, stats) = cloud.run(|| {
+        let exec = cloud
+            .executor()
+            .retry(RetryPolicy::with_attempts(3))
+            .build()
+            .unwrap();
+        exec.map("transient", (0..50).map(Value::from)).unwrap();
+        let results = exec.get_result().unwrap();
+        (results, exec.recovery_stats())
+    });
+    assert_eq!(results, (0..50).map(Value::from).collect::<Vec<_>>());
+    assert!(stats.retries > 0, "failures were retried: {stats:?}");
+    assert_eq!(stats.retries_exhausted, 0, "{stats:?}");
+}
+
+#[test]
+fn recovery_is_deterministic_per_seed() {
+    // Backoff jitter, straggler detection and every injected fault draw
+    // from the run's seed: two identical runs must take identical recovery
+    // actions, not merely both succeed.
+    let run = || -> RecoveryStats {
+        let platform = PlatformConfig {
+            internal_net: NetworkProfile::datacenter().with_failure_rate(0.05),
+            ..PlatformConfig::default()
+        };
+        let cloud = SimCloud::builder()
+            .seed(38)
+            .platform(platform)
+            .client_network(NetworkProfile::lan())
+            .build();
+        register_transient(&cloud);
+        cloud.run(|| {
+            let exec = cloud
+                .executor()
+                .retry(RetryPolicy::with_attempts(4))
+                .speculation(SpeculationConfig::on())
+                .build()
+                .unwrap();
+            exec.map("transient", (0..50).map(Value::from)).unwrap();
+            exec.get_result().unwrap();
+            exec.recovery_stats()
+        })
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed, same recovery actions");
+    assert!(first.total_actions() > 0, "the runs exercised recovery");
+}
+
+#[test]
+fn speculative_copies_rescue_stragglers_without_corrupting_results() {
+    // One task stalls ~10× longer than the rest, but only on its first
+    // execution — a slow node, not a slow task. Speculation launches a
+    // backup copy; whichever copy finishes first supplies the status and
+    // result, and the duplicate completion must not corrupt anything.
+    let cloud = SimCloud::builder()
+        .seed(39)
+        .client_network(NetworkProfile::lan())
+        .build();
+    let executions = Arc::new(Mutex::new(HashMap::<i64, usize>::new()));
+    let tracker = Arc::clone(&executions);
+    cloud.register_fn("sometimes-slow", move |ctx: &TaskCtx, v: Value| {
+        let n = v.as_i64().ok_or("int")?;
+        let run = {
+            let mut seen = tracker.lock().unwrap();
+            let count = seen.entry(n).or_insert(0);
+            *count += 1;
+            *count
+        };
+        if n == 59 && run == 1 {
+            ctx.charge(Duration::from_secs(100));
+        } else {
+            ctx.charge(Duration::from_secs(2));
+        }
+        Ok(v)
+    });
+    let (results, stats) = cloud.run(|| {
+        let exec = cloud
+            .executor()
+            .speculation(SpeculationConfig::on())
+            .build()
+            .unwrap();
+        exec.map("sometimes-slow", (0..60).map(Value::from))
+            .unwrap();
+        let results = exec.get_result().unwrap();
+        (results, exec.recovery_stats())
+    });
+    assert_eq!(results, (0..60).map(Value::from).collect::<Vec<_>>());
+    assert!(stats.speculative_launches >= 1, "{stats:?}");
+    assert_eq!(stats.retries, 0, "no failures, only a straggler: {stats:?}");
+    let runs = executions.lock().unwrap();
+    assert_eq!(runs[&59], 2, "the straggler ran exactly one backup copy");
 }
