@@ -10,7 +10,7 @@
 //! Run: `cargo run --release -p rustwren-bench --bin fig4_mergesort`
 
 use rustwren_bench::{fmt_secs, BenchArgs, Table};
-use rustwren_core::{SimCloud, Value};
+use rustwren_core::{PlanHints, SimCloud, Value};
 use rustwren_sim::NetworkProfile;
 use rustwren_workloads::mergesort;
 
@@ -67,7 +67,17 @@ fn run_sort(seed: u64, n: u64, depth: u32) -> f64 {
     let cloud2 = cloud.clone();
     cloud.run(move || {
         let t0 = rustwren_sim::now();
-        let exec = cloud2.executor().build().expect("executor");
+        // Declare the recursion shape so the pre-flight analyzer can prove
+        // the tree fits inside the namespace concurrency limit (rule W001).
+        let exec = cloud2
+            .executor()
+            .plan_hints(PlanHints {
+                nesting_depth: depth,
+                nested_fanout: 2,
+                ..PlanHints::default()
+            })
+            .build()
+            .expect("executor");
         exec.call_async(mergesort::MERGESORT_FN, mergesort::input(seed, n, depth))
             .expect("call_async");
         let results = exec.get_result().expect("results");

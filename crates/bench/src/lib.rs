@@ -6,6 +6,7 @@
 //! accept `--smoke` to run a reduced-scale variant (used by the test
 //! suite) and `--seed N` to change the deterministic seed.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

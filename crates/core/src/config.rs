@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use rustwren_analyze::{AnalyzeMode, PlanHints};
 use rustwren_faas::DEFAULT_RUNTIME;
 
 /// How the client turns a list of tasks into cloud invocations (§5.1).
@@ -210,6 +211,13 @@ pub struct ExecutorConfig {
     pub retry: RetryPolicy,
     /// Speculative execution of straggler tasks.
     pub speculation: SpeculationConfig,
+    /// Pre-flight job-plan analysis mode. Defaults to the
+    /// `RUSTWREN_ANALYZE` environment variable (`off`/`warn`/`deny`),
+    /// falling back to [`AnalyzeMode::Warn`].
+    pub analyze: AnalyzeMode,
+    /// Caller-supplied hints fed into the pre-flight analyzer (recursion
+    /// shape, per-task cost estimates the executor cannot infer).
+    pub plan_hints: PlanHints,
 }
 
 impl Default for ExecutorConfig {
@@ -223,6 +231,8 @@ impl Default for ExecutorConfig {
             seed: 1,
             retry: RetryPolicy::disabled(),
             speculation: SpeculationConfig::disabled(),
+            analyze: AnalyzeMode::from_env(),
+            plan_hints: PlanHints::default(),
         }
     }
 }

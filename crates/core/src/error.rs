@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use rustwren_analyze::Diagnostic;
 use rustwren_faas::InvokeError;
 use rustwren_store::StoreError;
 
@@ -37,6 +38,14 @@ pub enum PywrenError {
     EmptyDataSource(String),
     /// An invalid configuration value or malformed user-supplied argument.
     Config(String),
+    /// The pre-flight analyzer rejected the job plan
+    /// ([`crate::AnalyzeMode::Deny`] with error-severity findings).
+    Plan {
+        /// Every finding the analyzer produced for the plan, most severe
+        /// first — warnings are included for context even though only
+        /// error-severity findings trigger the rejection.
+        diagnostics: Vec<Diagnostic>,
+    },
 }
 
 impl fmt::Display for PywrenError {
@@ -62,6 +71,17 @@ impl fmt::Display for PywrenError {
                 write!(f, "data source matched no objects: {what}")
             }
             PywrenError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            PywrenError::Plan { diagnostics } => {
+                write!(
+                    f,
+                    "job plan rejected by pre-flight analysis ({} finding(s))",
+                    diagnostics.len()
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n{d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -124,6 +144,24 @@ mod tests {
             e.to_string(),
             "invalid configuration: chunk_size must be non-zero"
         );
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn plan_error_lists_diagnostics() {
+        use rustwren_analyze::{Rule, Severity};
+        let e = PywrenError::Plan {
+            diagnostics: vec![Diagnostic {
+                rule: Rule::W001,
+                severity: Severity::Error,
+                message: "parents fill the limit".into(),
+                suggestion: "reduce fanout".into(),
+            }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("rejected by pre-flight analysis"));
+        assert!(s.contains("W001 error: parents fill the limit"));
+        assert!(s.contains("help: reduce fanout"));
         assert!(e.source().is_none());
     }
 

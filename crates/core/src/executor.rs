@@ -7,6 +7,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use rustwren_analyze::{
+    analyze, AnalyzeMode, CloudProfile, Diagnostic, JobPlan, Severity, SpawnProfile,
+};
 use rustwren_faas::{ActivationId, FaasClient, Outcome};
 use rustwren_sim::hash::{hash2, unit_f64};
 use rustwren_sim::{NetworkProfile, SimInstant};
@@ -199,6 +202,21 @@ impl ExecutorBuilder {
         self
     }
 
+    /// Selects the pre-flight analysis mode (defaults to the
+    /// `RUSTWREN_ANALYZE` environment variable, then
+    /// [`AnalyzeMode::Warn`]).
+    pub fn analyze(mut self, mode: AnalyzeMode) -> ExecutorBuilder {
+        self.config.analyze = mode;
+        self
+    }
+
+    /// Supplies hints the analyzer cannot infer from the task list:
+    /// nesting shape of recursive jobs, per-task cost estimates.
+    pub fn plan_hints(mut self, hints: rustwren_analyze::PlanHints) -> ExecutorBuilder {
+        self.config.plan_hints = hints;
+        self
+    }
+
     /// Replaces the whole configuration.
     pub fn config(mut self, config: ExecutorConfig) -> ExecutorBuilder {
         self.config = config;
@@ -209,8 +227,30 @@ impl ExecutorBuilder {
     ///
     /// # Errors
     ///
-    /// Fails if the runtime image is unknown to the Docker registry.
+    /// Fails if the runtime image is unknown to the Docker registry, or
+    /// with [`PywrenError::Config`] for a degenerate spawn strategy (zero
+    /// client threads, group size or invoker threads).
     pub fn build(self) -> Result<Executor> {
+        match self.config.spawn {
+            SpawnStrategy::Direct { client_threads: 0 } => {
+                return Err(PywrenError::Config(
+                    "spawn strategy needs at least one client thread".into(),
+                ));
+            }
+            SpawnStrategy::RemoteInvoker { group_size: 0, .. } => {
+                return Err(PywrenError::Config(
+                    "remote invoker group size must be non-zero".into(),
+                ));
+            }
+            SpawnStrategy::RemoteInvoker {
+                invoker_threads: 0, ..
+            } => {
+                return Err(PywrenError::Config(
+                    "remote invoker thread count must be non-zero".into(),
+                ));
+            }
+            _ => {}
+        }
         deploy_agent(&self.cloud, &self.config.runtime)?;
         self.cloud
             .store()
@@ -325,6 +365,7 @@ impl Executor {
             return Err(PywrenError::Config("chunk_size must be non-zero".into()));
         }
         // Map phase.
+        let mut max_object_bytes = None;
         let (map_specs, groups): (Vec<TaskSpec>, Vec<String>) = match &source {
             DataSource::Values(values) => (
                 values.iter().cloned().map(TaskSpec::Value).collect(),
@@ -332,12 +373,19 @@ impl Executor {
             ),
             _ => {
                 let objects = discover(&self.inner.cos, &source)?;
+                max_object_bytes = objects.iter().map(|o| o.meta.logical_size).max();
                 let parts = partition_objects(&objects, opts.chunk_size)?;
                 let groups = parts.iter().map(|p| p.key.clone()).collect();
                 (parts.into_iter().map(TaskSpec::Partition).collect(), groups)
             }
         };
-        let map_futures = self.run_job_with_extra(map_func, map_specs, extra)?;
+        let map_futures = self.run_job_planned(
+            map_func,
+            map_specs,
+            extra,
+            opts.chunk_size,
+            max_object_bytes,
+        )?;
 
         // Reduce phase.
         let poll = self.inner.config.reduce_poll_interval;
@@ -430,10 +478,12 @@ impl Executor {
         if opts.chunk_size == Some(0) {
             return Err(PywrenError::Config("chunk_size must be non-zero".into()));
         }
+        let mut max_object_bytes = None;
         let inner_specs: Vec<TaskSpec> = match &source {
             DataSource::Values(values) => values.iter().cloned().map(TaskSpec::Value).collect(),
             _ => {
                 let objects = discover(&self.inner.cos, &source)?;
+                max_object_bytes = objects.iter().map(|o| o.meta.logical_size).max();
                 partition_objects(&objects, opts.chunk_size)?
                     .into_iter()
                     .map(TaskSpec::Partition)
@@ -447,7 +497,8 @@ impl Executor {
                 reducers: opts.reducers,
             })
             .collect();
-        let map_futures = self.run_job(map_func, map_specs)?;
+        let map_futures =
+            self.run_job_planned(map_func, map_specs, None, opts.chunk_size, max_object_bytes)?;
 
         let poll = self.inner.config.reduce_poll_interval;
         let reduce_specs: Vec<TaskSpec> = (0..opts.reducers)
@@ -468,15 +519,95 @@ impl Executor {
     /// Stages one job (function blob + per-task inputs) and fires its
     /// invocations with the configured spawn strategy.
     fn run_job(&self, func: &str, specs: Vec<TaskSpec>) -> Result<Vec<ResponseFuture>> {
-        self.run_job_with_extra(func, specs, None)
+        self.run_job_planned(func, specs, None, None, None)
     }
 
-    fn run_job_with_extra(
+    /// Builds the pre-flight [`JobPlan`] the analyzer sees for a job of
+    /// `specs` submitted under the name `func`: task count, resolved spawn
+    /// strategy, partition sizes, reducer fan-in, plus the configured
+    /// [`rustwren_analyze::PlanHints`].
+    fn plan_for(
+        &self,
+        func: &str,
+        specs: &[TaskSpec],
+        chunk_size: Option<u64>,
+        max_object_bytes: Option<u64>,
+    ) -> JobPlan {
+        fn spec_bytes(spec: &TaskSpec) -> Option<u64> {
+            match spec {
+                TaskSpec::Partition(p) => Some(p.logical_len()),
+                TaskSpec::ShuffleMap { inner, .. } => spec_bytes(inner),
+                _ => None,
+            }
+        }
+        let mut plan = JobPlan::new(func, specs.len());
+        plan.spawn = match self.inner.config.spawn.resolve_for(specs.len()) {
+            SpawnStrategy::Direct { client_threads } => SpawnProfile::Direct { client_threads },
+            SpawnStrategy::RemoteInvoker {
+                group_size,
+                invoker_threads,
+            } => SpawnProfile::RemoteInvoker {
+                group_size,
+                invoker_threads,
+            },
+            SpawnStrategy::Auto { .. } => unreachable!("resolve_for returns a concrete strategy"),
+        };
+        plan.chunk_size = chunk_size;
+        plan.max_object_bytes = max_object_bytes;
+        plan.partition_bytes = specs.iter().filter_map(spec_bytes).collect();
+        // A lone reducer consuming every map output is the W006 hot-spot;
+        // sharded reduce stages (one task per group/index) spread the fan-in.
+        if let [TaskSpec::Reduce { deps, .. }] | [TaskSpec::ShuffleReduce { deps, .. }] = specs {
+            plan.reducer_fanin = Some(deps.len());
+        }
+        plan.apply_hints(&self.inner.config.plan_hints);
+        plan
+    }
+
+    /// Runs the pre-flight analyzer over an explicit [`JobPlan`] against
+    /// this executor's platform limits, returning the findings without
+    /// acting on them — the what-if API.
+    pub fn analyze_plan(&self, plan: &JobPlan) -> Vec<Diagnostic> {
+        let profile = CloudProfile::from(self.inner.cloud.functions().limits());
+        analyze(plan, &profile)
+    }
+
+    /// Pre-flight gate: analyze the would-be job before anything is staged
+    /// or invoked, honoring the configured [`AnalyzeMode`].
+    fn preflight(
+        &self,
+        func: &str,
+        specs: &[TaskSpec],
+        chunk_size: Option<u64>,
+        max_object_bytes: Option<u64>,
+    ) -> Result<()> {
+        let mode = self.inner.config.analyze;
+        if mode == AnalyzeMode::Off {
+            return Ok(());
+        }
+        let plan = self.plan_for(func, specs, chunk_size, max_object_bytes);
+        let diagnostics = self.analyze_plan(&plan);
+        if diagnostics.is_empty() {
+            return Ok(());
+        }
+        if mode == AnalyzeMode::Deny && diagnostics.iter().any(|d| d.severity == Severity::Error) {
+            return Err(PywrenError::Plan { diagnostics });
+        }
+        for d in &diagnostics {
+            eprintln!("[rustwren-analyze] {d}");
+        }
+        Ok(())
+    }
+
+    fn run_job_planned(
         &self,
         func: &str,
         specs: Vec<TaskSpec>,
         extra: Option<Value>,
+        chunk_size: Option<u64>,
+        max_object_bytes: Option<u64>,
     ) -> Result<Vec<ResponseFuture>> {
+        self.preflight(func, &specs, chunk_size, max_object_bytes)?;
         let registry = self.inner.cloud.registry();
         let Some(f) = registry.get(func) else {
             return Err(PywrenError::UnknownFunction(func.to_owned()));

@@ -126,14 +126,26 @@ pub(crate) fn spawn_tasks(
     match &strategy {
         SpawnStrategy::Auto { .. } => unreachable!("resolve_for returns a concrete strategy"),
         SpawnStrategy::Direct { client_threads } => {
+            // Degenerate values are rejected at executor build time; a zero
+            // reaching this point is a bug, not something to silently clamp.
+            if *client_threads == 0 {
+                return Err(PywrenError::Config(
+                    "spawn strategy needs at least one client thread".into(),
+                ));
+            }
             let encoded: Vec<Bytes> = payloads.iter().map(AgentPayload::encode).collect();
-            parallel_invoke(faas, agent_action, encoded, (*client_threads).max(1))
+            parallel_invoke(faas, agent_action, encoded, *client_threads)
         }
         SpawnStrategy::RemoteInvoker {
             group_size,
             invoker_threads,
         } => {
-            let group_size = (*group_size).max(1);
+            if *group_size == 0 || *invoker_threads == 0 {
+                return Err(PywrenError::Config(
+                    "remote invoker needs a non-zero group size and thread count".into(),
+                ));
+            }
+            let group_size = *group_size;
             let groups: Vec<Bytes> = payloads
                 .chunks(group_size)
                 .map(|group| {

@@ -48,7 +48,12 @@
 //!   platform's registry.
 //! * **Massive function spawning** — [`SpawnStrategy::RemoteInvoker`]
 //!   (§5.1), versus the classic [`SpawnStrategy::Direct`].
+//! * **Pre-flight plan analysis** — every job is linted against the
+//!   platform limits before invocation ([`AnalyzeMode`], rules W001–W006
+//!   from [`rustwren_analyze`]); `Deny` mode rejects doomed plans with
+//!   [`PywrenError::Plan`].
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -78,6 +83,10 @@ pub use executor::{
 pub use future::{ResponseFuture, WaitPolicy, FUTURES_MARKER};
 pub use partition::{DataSource, ObjectRef};
 pub use registry::{FunctionRegistry, RemoteFn, SizedFn, DEFAULT_CODE_SIZE};
+pub use rustwren_analyze::{
+    analyze, AnalyzeMode, CloudProfile, Diagnostic, JobPlan, PlanHints, Rule, Severity,
+    SpawnProfile,
+};
 pub use stats::RecoveryStats;
 pub use task::TaskCtx;
 pub use wire::Value;

@@ -21,6 +21,7 @@
 //! modeled-compute charging, COS access and — crucially for IBM-PyWren's
 //! composability — the ability to invoke further functions.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -36,6 +37,7 @@ pub use activation::{ActivationId, ActivationRecord, Outcome, Phase};
 pub use client::FaasClient;
 pub use error::{ActionError, InvokeError, RegisterError};
 pub use platform::{
-    ActionStats, ActivationCtx, BillingReport, CloudFunctions, PlatformConfig, PlatformStats,
+    ActionStats, ActivationCtx, BillingReport, CloudFunctions, PlatformConfig, PlatformLimits,
+    PlatformStats,
 };
 pub use runtime::{DockerRegistry, RuntimeImage, DEFAULT_RUNTIME};

@@ -25,8 +25,8 @@ use std::time::Duration;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use rustwren_sim::hash::{hash2, unit_f64};
-use rustwren_sim::sync::Event;
-use rustwren_sim::{Kernel, NetworkProfile, SimInstant};
+use rustwren_sim::sync::{Event, Semaphore};
+use rustwren_sim::{Kernel, NetworkProfile, ResourceId, SimInstant};
 use rustwren_store::{CosClient, ObjectStore};
 
 use crate::action::{Action, ActionConfig};
@@ -75,6 +75,14 @@ pub struct PlatformConfig {
     /// Price per GB-second of function execution (IBM Cloud Functions
     /// charged $0.000017/GB-s at the time of the paper).
     pub price_per_gb_second: f64,
+    /// When `true`, invocations over [`PlatformConfig::concurrency_limit`]
+    /// *queue* on a namespace admission semaphore instead of being rejected
+    /// with a 429 (the per-minute rate limit still applies). This models a
+    /// platform without client-side retry — and is what turns a nested
+    /// over-fan-out into a *real* deadlock the kernel's wait-for graph can
+    /// report, rather than a throttle storm. Default `false` (the paper's
+    /// OpenWhisk behaviour).
+    pub queue_on_concurrency_limit: bool,
 }
 
 impl Default for PlatformConfig {
@@ -95,6 +103,33 @@ impl Default for PlatformConfig {
             internal_net: NetworkProfile::datacenter(),
             seed: 0xF00D,
             price_per_gb_second: 0.000_017,
+            queue_on_concurrency_limit: false,
+        }
+    }
+}
+
+/// The platform limits a pre-flight job planner needs to know about —
+/// the subset of [`PlatformConfig`] that caps what a job may ask for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformLimits {
+    /// Maximum concurrent activations per namespace.
+    pub concurrency_limit: usize,
+    /// Maximum invocations accepted per namespace per minute.
+    pub invocations_per_minute: u64,
+    /// Hard per-invocation execution limit.
+    pub max_exec_time: Duration,
+    /// Per-function memory limit in MB.
+    pub memory_limit_mb: u32,
+}
+
+impl PlatformConfig {
+    /// The limit metadata of this configuration.
+    pub fn limits(&self) -> PlatformLimits {
+        PlatformLimits {
+            concurrency_limit: self.concurrency_limit,
+            invocations_per_minute: self.invocations_per_minute,
+            max_exec_time: self.max_exec_time,
+            memory_limit_mb: self.memory_limit_mb,
         }
     }
 }
@@ -201,6 +236,13 @@ struct Inner {
     pool: Mutex<PoolState>,
     records: Mutex<HashMap<ActivationId, ActivationRecord>>,
     completions: Mutex<HashMap<ActivationId, Event>>,
+    /// Namespace admission semaphore, present only in
+    /// [`PlatformConfig::queue_on_concurrency_limit`] mode.
+    concurrency_sem: Option<Semaphore>,
+    /// Wait-for-graph resource standing for the cluster's container
+    /// capacity; activations hold it while they own a container, and
+    /// capacity waiters block on it.
+    capacity_res: ResourceId,
 }
 
 /// A simulated IBM Cloud Functions deployment. Cheap to clone.
@@ -272,6 +314,10 @@ impl CloudFunctions {
                 }),
                 records: Mutex::new(HashMap::new()),
                 completions: Mutex::new(HashMap::new()),
+                concurrency_sem: config.queue_on_concurrency_limit.then(|| {
+                    Semaphore::named(kernel, config.concurrency_limit, "namespace-concurrency")
+                }),
+                capacity_res: kernel.create_resource("capacity", "cluster-containers"),
                 config,
             }),
         }
@@ -285,6 +331,11 @@ impl CloudFunctions {
     /// The platform's configuration.
     pub fn config(&self) -> &PlatformConfig {
         &self.inner.config
+    }
+
+    /// The platform's limit metadata, for pre-flight job planners.
+    pub fn limits(&self) -> PlatformLimits {
+        self.inner.config.limits()
     }
 
     /// The kernel this platform runs on.
@@ -371,7 +422,11 @@ impl CloudFunctions {
                     limit: self.inner.config.invocations_per_minute as usize,
                 });
             }
-            if pool.inflight >= self.inner.config.concurrency_limit {
+            // In queue mode the admission semaphore bounds concurrency
+            // instead: over-limit activations park rather than bounce.
+            if self.inner.concurrency_sem.is_none()
+                && pool.inflight >= self.inner.config.concurrency_limit
+            {
                 pool.stats.throttled += 1;
                 return Err(InvokeError::Throttled {
                     limit: self.inner.config.concurrency_limit,
@@ -403,7 +458,7 @@ impl CloudFunctions {
         self.inner
             .completions
             .lock()
-            .insert(id, Event::new(&self.inner.kernel));
+            .insert(id, Event::named(&self.inner.kernel, format!("act-{id}")));
 
         let platform = self.clone();
         let action = action.to_owned();
@@ -549,7 +604,21 @@ impl CloudFunctions {
         payload: Bytes,
     ) {
         let cfg = &self.inner.config;
+        let completion = self
+            .inner
+            .completions
+            .lock()
+            .get(&id)
+            .cloned()
+            .expect("completion event exists");
+        // This thread is the one that will fire the completion event;
+        // record it so waiter→activation edges appear in deadlock reports.
+        completion.mark_holder();
+        if let Some(sem) = &self.inner.concurrency_sem {
+            sem.acquire_raw();
+        }
         let (container, cold, pull_bytes) = self.acquire_container(action_name, &registered);
+        self.inner.kernel.hold_resource(self.inner.capacity_res);
 
         if let Some(bytes) = pull_bytes {
             rustwren_sim::sleep(Duration::from_secs_f64(
@@ -598,6 +667,7 @@ impl CloudFunctions {
             r.phase = Phase::Done(outcome.clone());
         }
         self.release_container(container);
+        self.inner.kernel.release_resource(self.inner.capacity_res);
         {
             let mut pool = self.inner.pool.lock();
             pool.inflight -= 1;
@@ -606,14 +676,12 @@ impl CloudFunctions {
                 pool.stats.timeouts += 1;
             }
         }
-        let event = self
-            .inner
-            .completions
-            .lock()
-            .get(&id)
-            .cloned()
-            .expect("completion event exists");
-        event.fire();
+        // Release admission before firing completion, so a parent woken by
+        // the completion finds the concurrency slot already free.
+        if let Some(sem) = &self.inner.concurrency_sem {
+            sem.release_raw();
+        }
+        completion.fire();
     }
 
     /// Obtains a container: warm reuse, fresh allocation, LRU eviction, or
@@ -645,10 +713,12 @@ impl CloudFunctions {
                 }
 
                 // Cluster is full of busy containers: wait for a handoff.
+                // The wait is attributed to the shared capacity resource, so
+                // a wedged cluster shows *which* activations hold containers.
                 let waiter = CapacityWaiter {
                     action: action_name.to_owned(),
                     slot: Arc::new(Mutex::new(None)),
-                    event: Event::new(&self.inner.kernel),
+                    event: Event::for_resource(&self.inner.kernel, self.inner.capacity_res),
                 };
                 let handle = (Arc::clone(&waiter.slot), waiter.event.clone());
                 pool.waiters.push_back(waiter);
@@ -999,6 +1069,95 @@ mod tests {
             faas.wait(id);
         });
         assert_eq!(faas.stats().throttled, 1);
+    }
+
+    #[test]
+    fn queue_mode_parks_instead_of_throttling() {
+        let cfg = PlatformConfig {
+            concurrency_limit: 2,
+            queue_on_concurrency_limit: true,
+            ..PlatformConfig::default()
+        };
+        let (kernel, faas) = setup(cfg);
+        faas.register_action(
+            "slow",
+            ActionConfig::default(),
+            |ctx: &ActivationCtx, _p: Bytes| {
+                ctx.charge(Duration::from_secs(60));
+                Ok(Bytes::new())
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            // 6 invocations through 2 admission slots: all accepted, none
+            // rejected, and the queue serializes them into 3 batches.
+            let ids: Vec<_> = (0..6)
+                .map(|_| faas.invoke("slow", Bytes::new()).unwrap())
+                .collect();
+            for id in ids {
+                let record = faas.wait(id);
+                assert!(record.result.is_some(), "activation succeeded");
+            }
+            assert!(
+                rustwren_sim::now().as_secs_f64() >= 180.0,
+                "3 batches of 60s"
+            );
+        });
+        assert_eq!(faas.stats().throttled, 0);
+        assert_eq!(faas.stats().completed, 6);
+    }
+
+    #[test]
+    fn queue_mode_nested_overcommit_deadlocks_with_cycle() {
+        // One admission slot; the parent holds it while blocking on its
+        // child, which queues on the same slot: a true self-deadlock the
+        // wait-for graph must spell out.
+        let cfg = PlatformConfig {
+            concurrency_limit: 1,
+            queue_on_concurrency_limit: true,
+            ..PlatformConfig::default()
+        };
+        let (kernel, faas) = setup(cfg);
+        let faas2 = faas.clone();
+        faas.register_action(
+            "parent",
+            ActionConfig::default(),
+            move |ctx: &ActivationCtx, _p: Bytes| {
+                let id = faas2
+                    .invoke("child", Bytes::new())
+                    .map_err(|e| crate::ActionError(e.to_string()))?;
+                ctx.platform().wait(id);
+                Ok(Bytes::new())
+            },
+        )
+        .unwrap();
+        faas.register_action(
+            "child",
+            ActionConfig::default(),
+            |_ctx: &ActivationCtx, _p: Bytes| Ok(Bytes::new()),
+        )
+        .unwrap();
+        let panic = panic::catch_unwind(AssertUnwindSafe(|| {
+            kernel.run("client", || {
+                let id = faas.invoke("parent", Bytes::new()).unwrap();
+                faas.wait(id);
+            });
+        }))
+        .expect_err("nested overcommit must deadlock");
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is the report string");
+        assert!(msg.contains("simulation deadlock"), "missing header: {msg}");
+        assert!(msg.contains("wait-for cycle:"), "missing cycle: {msg}");
+        assert!(
+            msg.contains("semaphore `namespace-concurrency`"),
+            "missing admission semaphore: {msg}"
+        );
+        assert!(
+            msg.contains("act-"),
+            "missing activation thread names: {msg}"
+        );
     }
 
     #[test]

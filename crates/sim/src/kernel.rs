@@ -17,13 +17,32 @@
 //! # Deadlocks
 //!
 //! If every registered thread is blocked and no timer is pending, the
-//! simulation can never progress. The kernel panics with a diagnostic that
-//! lists each blocked thread and what it is waiting for.
+//! simulation can never progress. The kernel maintains a **wait-for graph**
+//! for exactly this moment: synchronization primitives register themselves
+//! as [`ResourceId`]s and record which threads currently *hold* them (a
+//! semaphore permit, the right to fire an event) and which threads are
+//! *blocked* on them. On deadlock the kernel panics with a diagnostic that
+//! lists each blocked thread, the resource it waits on and that resource's
+//! holders — and, when the blocked-on/held-by edges close a cycle, prints
+//! the cycle itself:
+//!
+//! ```text
+//! simulation deadlock at t=1.234s: all 3 registered thread(s) are blocked and no timer is pending
+//!   - thread `act-1` blocked on event.wait (event `act-2`, held by `act-2`)
+//!   - thread `act-2` blocked on semaphore.acquire (semaphore `namespace-concurrency`, held by `act-1`)
+//!   - thread `client` blocked on event.wait (event `act-1`, held by `act-1`)
+//! wait-for cycle: `act-1` -[event `act-2`]-> `act-2` -[semaphore `namespace-concurrency`]-> `act-1`
+//! ```
+//!
+//! Every blocked thread is woken into the panic (not just the thread that
+//! detected the deadlock), so the report propagates out of [`Kernel::run`]
+//! even when the detecting thread was a background activation.
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+use std::fmt::Write as _;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
@@ -59,6 +78,9 @@ struct WaiterSync {
     /// The owning thread has decremented the runnable count and is (about to
     /// be) parked on `cv`.
     parked: bool,
+    /// The wake was a deadlock broadcast: the woken thread must re-raise the
+    /// recorded deadlock report instead of resuming.
+    deadlocked: bool,
 }
 
 impl Waiter {
@@ -101,18 +123,87 @@ impl Ord for TimerEntry {
     }
 }
 
+/// Identifier of a resource registered for wait-for-graph diagnostics.
+///
+/// A *resource* is anything a simulated thread can block on while another
+/// thread is responsible for releasing it: a semaphore's permits, an event's
+/// fire, a channel's slots. Synchronization primitives register themselves
+/// automatically; simulation layers (like the FaaS platform's container
+/// capacity) may register further resources via [`Kernel::create_resource`]
+/// and annotate holders with [`Kernel::hold_resource`] /
+/// [`Kernel::release_resource`]. The graph is purely diagnostic — it never
+/// affects scheduling — but it is what lets a deadlock panic name the cycle
+/// instead of just listing blocked threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(u64);
+
+/// Diagnostic record for one registered resource.
+struct ResourceInfo {
+    /// Resource kind, e.g. `"semaphore"` or `"event"`.
+    kind: &'static str,
+    /// Human-readable instance label, e.g. `"namespace-concurrency"`.
+    label: String,
+    /// `(waiter id, thread name)` of current holders, in acquisition order.
+    holders: Vec<(u64, String)>,
+}
+
+/// Diagnostic record for one blocked thread.
+struct BlockedInfo {
+    waiter: Arc<Waiter>,
+    /// The blocking operation, e.g. `"semaphore.acquire"`.
+    reason: &'static str,
+    /// The resource being waited on, when the primitive registered one.
+    resource: Option<ResourceId>,
+}
+
 pub(crate) struct State {
     now: u64,
     next_waiter_id: u64,
+    next_resource_id: u64,
     timer_seq: u64,
     /// Registered threads currently executing (not blocked).
     runnable: usize,
     /// Registered threads total (runnable + blocked).
     live: usize,
     timers: BinaryHeap<Reverse<TimerEntry>>,
-    /// waiter id → (thread name, reason) for deadlock diagnostics.
-    blocked: HashMap<u64, (String, &'static str)>,
+    /// waiter id → what it is blocked on, for deadlock diagnostics.
+    blocked: HashMap<u64, BlockedInfo>,
+    /// resource id → kind/label/holders, for deadlock diagnostics.
+    resources: HashMap<u64, ResourceInfo>,
+    /// Set once a deadlock is detected; every thread that wakes or blocks
+    /// afterwards panics with this report.
+    deadlock: Option<Arc<str>>,
     stats: KernelStats,
+}
+
+impl State {
+    /// Records the registered thread `waiter` as a holder of `res`.
+    pub(crate) fn hold_resource_locked(&mut self, res: ResourceId, waiter: &Waiter) {
+        if let Some(r) = self.resources.get_mut(&res.0) {
+            r.holders.push((waiter.id, waiter.name.clone()));
+        }
+    }
+
+    /// Removes one holder entry of `res`: the entry for `waiter` when given
+    /// and present, the oldest entry otherwise.
+    pub(crate) fn release_resource_locked(&mut self, res: ResourceId, waiter: Option<&Waiter>) {
+        if let Some(r) = self.resources.get_mut(&res.0) {
+            let idx = waiter
+                .and_then(|w| r.holders.iter().position(|(id, _)| *id == w.id))
+                .unwrap_or(0);
+            if idx < r.holders.len() {
+                r.holders.remove(idx);
+            }
+        }
+    }
+
+    /// Clears every holder of `res` (used when an event fires: the obligation
+    /// it stood for is discharged for all waiters at once).
+    pub(crate) fn clear_resource_holders_locked(&mut self, res: ResourceId) {
+        if let Some(r) = self.resources.get_mut(&res.0) {
+            r.holders.clear();
+        }
+    }
 }
 
 /// Counters describing kernel activity, for tests and reporting.
@@ -190,11 +281,14 @@ impl Kernel {
                 state: Mutex::new(State {
                     now: 0,
                     next_waiter_id: 0,
+                    next_resource_id: 0,
                     timer_seq: 0,
                     runnable: 0,
                     live: 0,
                     timers: BinaryHeap::new(),
                     blocked: HashMap::new(),
+                    resources: HashMap::new(),
+                    deadlock: None,
                     stats: KernelStats::default(),
                 }),
                 stack_size,
@@ -215,6 +309,54 @@ impl Kernel {
     /// Number of registered simulated threads (runnable + blocked).
     pub fn live_threads(&self) -> usize {
         self.inner.state.lock().live
+    }
+
+    /// Registers a resource for wait-for-graph deadlock diagnostics.
+    ///
+    /// `kind` is the resource class (`"semaphore"`, `"event"`, ...); `label`
+    /// names the instance. An empty label gets a generated `kind#N` one.
+    /// The id stays valid until [`Kernel::destroy_resource`].
+    pub fn create_resource(&self, kind: &'static str, label: impl Into<String>) -> ResourceId {
+        let mut st = self.inner.state.lock();
+        let id = st.next_resource_id;
+        st.next_resource_id += 1;
+        let mut label = label.into();
+        if label.is_empty() {
+            label = format!("{kind}#{id}");
+        }
+        st.resources.insert(
+            id,
+            ResourceInfo {
+                kind,
+                label,
+                holders: Vec::new(),
+            },
+        );
+        ResourceId(id)
+    }
+
+    /// Unregisters a resource created with [`Kernel::create_resource`].
+    pub fn destroy_resource(&self, res: ResourceId) {
+        self.inner.state.lock().resources.remove(&res.0);
+    }
+
+    /// Records the current thread as a holder of `res`, so deadlock reports
+    /// can point at it. Purely diagnostic; a no-op when the calling thread is
+    /// not simulated (or registered with a different kernel).
+    pub fn hold_resource(&self, res: ResourceId) {
+        if let Some(w) = try_current_waiter(self) {
+            self.inner.state.lock().hold_resource_locked(res, &w);
+        }
+    }
+
+    /// Removes the current thread's holder entry of `res` (or the oldest
+    /// entry when the calling thread is not simulated).
+    pub fn release_resource(&self, res: ResourceId) {
+        let w = try_current_waiter(self);
+        self.inner
+            .state
+            .lock()
+            .release_resource_locked(res, w.as_deref());
     }
 
     /// Registers the calling OS thread as a simulated thread named `name`,
@@ -275,7 +417,7 @@ impl Kernel {
             st.next_waiter_id += 1;
             Waiter::new(id, name.clone())
         };
-        let done = Event::new(self);
+        let done = Event::named(self, format!("join:{name}"));
         let slot: Arc<Mutex<Option<thread::Result<T>>>> = Arc::new(Mutex::new(None));
         let kernel = self.clone();
         let done2 = done.clone();
@@ -290,6 +432,9 @@ impl Kernel {
                         waiter: Arc::clone(&waiter),
                     })
                 });
+                // The new thread is the one that will fire the join event;
+                // record it so join-deadlocks show up in wait-for cycles.
+                done2.mark_holder();
                 let result = panic::catch_unwind(AssertUnwindSafe(f));
                 *slot2.lock() = Some(result);
                 done2.fire();
@@ -329,25 +474,35 @@ impl Kernel {
                 waiter: Arc::clone(&waiter),
             }));
         }
-        self.block_current_with(&waiter, "sleep");
+        self.block_current_with(&waiter, None, "sleep");
     }
 
     /// Blocks the current thread until some primitive wakes its waiter.
     ///
     /// Internal: synchronization primitives register the waiter in their own
-    /// queues first, then call this.
-    pub(crate) fn block_current(&self, reason: &'static str) {
+    /// queues first, then call this. `resource` is the wait-for-graph edge:
+    /// the resource whose release this thread is waiting for, if any.
+    pub(crate) fn block_current(&self, resource: Option<ResourceId>, reason: &'static str) {
         let ctx = current_ctx("block");
         assert!(
             Arc::ptr_eq(&ctx.kernel.inner, &self.inner),
             "thread registered with a different kernel"
         );
-        self.block_current_with(&ctx.waiter, reason);
+        self.block_current_with(&ctx.waiter, resource, reason);
     }
 
-    fn block_current_with(&self, waiter: &Arc<Waiter>, reason: &'static str) {
+    fn block_current_with(
+        &self,
+        waiter: &Arc<Waiter>,
+        resource: Option<ResourceId>,
+        reason: &'static str,
+    ) {
         {
             let mut st = self.inner.state.lock();
+            if let Some(report) = &st.deadlock {
+                // The simulation already deadlocked; refuse to park forever.
+                panic!("{report}");
+            }
             {
                 let mut ws = waiter.sync.lock();
                 if ws.notified {
@@ -358,17 +513,37 @@ impl Kernel {
                 ws.parked = true;
             }
             st.runnable -= 1;
-            st.blocked.insert(waiter.id, (waiter.name.clone(), reason));
+            st.blocked.insert(
+                waiter.id,
+                BlockedInfo {
+                    waiter: Arc::clone(waiter),
+                    reason,
+                    resource,
+                },
+            );
             while st.runnable == 0 {
                 Self::advance_locked(&mut st);
             }
         }
-        let mut ws = waiter.sync.lock();
-        while !ws.notified {
-            waiter.cv.wait(&mut ws);
+        let deadlocked = {
+            let mut ws = waiter.sync.lock();
+            while !ws.notified {
+                waiter.cv.wait(&mut ws);
+            }
+            ws.notified = false;
+            debug_assert!(!ws.parked, "wake_locked must clear `parked`");
+            std::mem::take(&mut ws.deadlocked)
+        };
+        if deadlocked {
+            let report = self
+                .inner
+                .state
+                .lock()
+                .deadlock
+                .clone()
+                .expect("deadlock broadcast without a recorded report");
+            panic!("{report}");
         }
-        ws.notified = false;
-        debug_assert!(!ws.parked, "wake_locked must clear `parked`");
     }
 
     /// Wakes `waiter` at the current virtual instant. Must be called with the
@@ -396,23 +571,23 @@ impl Kernel {
     ///
     /// # Panics
     ///
-    /// Panics with a per-thread diagnostic if no timer is pending (deadlock).
+    /// Panics with a wait-for-graph diagnostic if no timer is pending
+    /// (deadlock). Before panicking it records the report and wakes *every*
+    /// blocked thread into the same panic, so the report propagates out of
+    /// [`Kernel::run`] no matter which thread detected the deadlock.
     fn advance_locked(st: &mut State) {
         let deadline = match st.timers.peek() {
             Some(Reverse(e)) => e.deadline,
             None => {
-                let mut report = String::new();
-                let mut entries: Vec<_> = st.blocked.values().collect();
-                entries.sort();
-                for (name, reason) in entries {
-                    report.push_str(&format!("\n  - thread `{name}` blocked on {reason}"));
+                let report: Arc<str> = Arc::from(Self::deadlock_report_locked(st).as_str());
+                st.deadlock = Some(Arc::clone(&report));
+                let waiters: Vec<Arc<Waiter>> =
+                    st.blocked.values().map(|b| Arc::clone(&b.waiter)).collect();
+                for w in &waiters {
+                    w.sync.lock().deadlocked = true;
+                    Self::wake_locked(st, w);
                 }
-                panic!(
-                    "simulation deadlock at t={}: all {} registered thread(s) are blocked \
-                     and no timer is pending{report}",
-                    SimInstant::from_nanos(st.now),
-                    st.live,
-                );
+                panic!("{report}");
             }
         };
         debug_assert!(deadline >= st.now, "timer scheduled in the past");
@@ -427,21 +602,136 @@ impl Kernel {
         }
     }
 
+    /// Renders the deadlock report: one line per blocked thread (with the
+    /// resource it waits on and that resource's holders, when known),
+    /// followed by the wait-for cycle if the blocked-on/held-by edges close
+    /// one.
+    fn deadlock_report_locked(st: &State) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for b in st.blocked.values() {
+            let mut line = format!("  - thread `{}` blocked on {}", b.waiter.name, b.reason);
+            if let Some(res) = b.resource.and_then(|r| st.resources.get(&r.0)) {
+                let _ = write!(line, " ({} `{}`", res.kind, res.label);
+                if !res.holders.is_empty() {
+                    let names: Vec<String> = res
+                        .holders
+                        .iter()
+                        .map(|(_, name)| format!("`{name}`"))
+                        .collect();
+                    let _ = write!(line, ", held by {}", names.join(", "));
+                }
+                line.push(')');
+            }
+            lines.push(line);
+        }
+        lines.sort();
+        let mut report = format!(
+            "simulation deadlock at t={}: all {} registered thread(s) are blocked \
+             and no timer is pending\n{}",
+            SimInstant::from_nanos(st.now),
+            st.live,
+            lines.join("\n"),
+        );
+        if let Some(cycle) = Self::find_cycle_locked(st) {
+            report.push('\n');
+            report.push_str(&cycle);
+        }
+        report
+    }
+
+    /// Searches the wait-for graph (edge: blocked thread → blocked holder of
+    /// the resource it waits on) for a cycle and renders it:
+    ///
+    /// ```text
+    /// wait-for cycle: `a` -[semaphore `s2`]-> `b` -[semaphore `s1`]-> `a`
+    /// ```
+    fn find_cycle_locked(st: &State) -> Option<String> {
+        // Deterministic adjacency: waiter id → [(holder id, resource id)].
+        let mut ids: Vec<u64> = st.blocked.keys().copied().collect();
+        ids.sort_unstable();
+        let mut adj: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+        for wid in &ids {
+            let b = &st.blocked[wid];
+            if let Some(rid) = b.resource {
+                if let Some(res) = st.resources.get(&rid.0) {
+                    let mut outs: Vec<(u64, u64)> = res
+                        .holders
+                        .iter()
+                        .filter(|(hid, _)| st.blocked.contains_key(hid))
+                        .map(|(hid, _)| (*hid, rid.0))
+                        .collect();
+                    outs.sort_unstable();
+                    outs.dedup();
+                    adj.insert(*wid, outs);
+                }
+            }
+        }
+        // Iterative DFS; `via[n]` is the resource whose edge reached `n`.
+        let mut color: HashMap<u64, u8> = HashMap::new(); // 1 = on stack, 2 = done
+        let mut via: HashMap<u64, u64> = HashMap::new();
+        for &start in &ids {
+            if color.contains_key(&start) {
+                continue;
+            }
+            color.insert(start, 1);
+            let mut stack: Vec<(u64, usize)> = vec![(start, 0)];
+            while let Some(&(node, idx)) = stack.last() {
+                let edges = adj.get(&node).map_or(&[][..], Vec::as_slice);
+                if idx >= edges.len() {
+                    color.insert(node, 2);
+                    stack.pop();
+                    continue;
+                }
+                stack.last_mut().expect("stack is non-empty").1 += 1;
+                let (next, res) = edges[idx];
+                match color.get(&next) {
+                    None => {
+                        color.insert(next, 1);
+                        via.insert(next, res);
+                        stack.push((next, 0));
+                    }
+                    Some(1) => {
+                        // Back edge `node` -> `next`: the stack slice from
+                        // `next` to the top is the cycle.
+                        let pos = stack
+                            .iter()
+                            .position(|(n, _)| *n == next)
+                            .expect("back edge target is on the stack");
+                        let cycle: Vec<u64> = stack[pos..].iter().map(|(n, _)| *n).collect();
+                        let name = |id: u64| format!("`{}`", st.blocked[&id].waiter.name);
+                        let res_label = |rid: u64| {
+                            let r = &st.resources[&rid];
+                            format!("{} `{}`", r.kind, r.label)
+                        };
+                        let mut s = format!("wait-for cycle: {}", name(cycle[0]));
+                        for &n in &cycle[1..] {
+                            let _ = write!(s, " -[{}]-> {}", res_label(via[&n]), name(n));
+                        }
+                        let _ = write!(s, " -[{}]-> {}", res_label(res), name(cycle[0]));
+                        return Some(s);
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        None
+    }
+
     /// Removes a thread from the registered set, advancing the clock if it
     /// was the last runnable one.
     ///
     /// A thread that dies *while blocked* (its blocking panicked, e.g. on
     /// deadlock detection) already gave up its runnable slot; detect that via
-    /// the blocked map. While unwinding we also skip the advance loop — the
-    /// simulation is already failing and advancing could panic again, turning
-    /// the panic into an abort.
+    /// the blocked map. While unwinding — or once a deadlock was declared —
+    /// we also skip the advance loop: the simulation is already failing and
+    /// advancing could panic again, turning the panic into an abort.
     fn deregister(&self, waiter: &Arc<Waiter>) {
         let mut st = self.inner.state.lock();
         st.live -= 1;
         if st.blocked.remove(&waiter.id).is_none() {
             st.runnable -= 1;
         }
-        if thread::panicking() {
+        if thread::panicking() || st.deadlock.is_some() {
             return;
         }
         while st.runnable == 0 && st.live > 0 {
@@ -501,6 +791,15 @@ pub(crate) fn current_waiter(kernel: &Kernel, op: &'static str) -> Arc<Waiter> {
         "{op}: thread is registered with a different kernel"
     );
     ctx.waiter
+}
+
+/// Returns the current thread's waiter when it is registered with `kernel`,
+/// `None` otherwise (unregistered thread, or a different kernel). Used by
+/// diagnostic holder-tracking, which must never panic on foreign threads.
+pub(crate) fn try_current_waiter(kernel: &Kernel) -> Option<Arc<Waiter>> {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .and_then(|ctx| Arc::ptr_eq(&ctx.kernel.inner, &kernel.inner).then_some(ctx.waiter))
 }
 
 fn current_ctx(op: &str) -> ThreadCtx {
@@ -680,6 +979,65 @@ mod tests {
             let ev = Event::new(&kernel());
             ev.wait(); // nobody will ever fire it
         });
+    }
+
+    #[test]
+    fn deadlock_report_includes_wait_for_cycle() {
+        let k = Kernel::new();
+        let panic = panic::catch_unwind(AssertUnwindSafe(|| {
+            k.run("client", || {
+                let s1 = crate::sync::Semaphore::named(&kernel(), 1, "s1");
+                let s2 = crate::sync::Semaphore::named(&kernel(), 1, "s2");
+                let (s1b, s2b) = (s1.clone(), s2.clone());
+                let a = spawn("a", move || {
+                    let _g1 = s1.acquire();
+                    sleep(Duration::from_secs(1));
+                    let _g2 = s2.acquire(); // deadlocks against `b`
+                });
+                let _b = spawn("b", move || {
+                    let _g2 = s2b.acquire();
+                    sleep(Duration::from_secs(1));
+                    let _g1 = s1b.acquire(); // deadlocks against `a`
+                });
+                a.join();
+            });
+        }))
+        .expect_err("deadlock must panic");
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is the report string");
+        assert!(msg.contains("simulation deadlock"), "missing header: {msg}");
+        assert!(
+            msg.contains("blocked on semaphore.acquire (semaphore `s2`, held by `b`)"),
+            "missing holder info: {msg}"
+        );
+        assert!(msg.contains("wait-for cycle:"), "missing cycle: {msg}");
+        assert!(
+            msg.contains("-[semaphore `s2`]-> `b` -[semaphore `s1`]-> `a`"),
+            "missing cycle edges: {msg}"
+        );
+    }
+
+    #[test]
+    fn join_deadlock_names_joined_thread() {
+        let k = Kernel::new();
+        let panic = panic::catch_unwind(AssertUnwindSafe(|| {
+            k.run("client", || {
+                let ev = Event::new(&kernel());
+                let h = spawn("stuck", move || ev.wait()); // nobody fires it
+                h.join();
+            });
+        }))
+        .expect_err("deadlock must panic");
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is the report string");
+        assert!(
+            msg.contains("blocked on event.wait (event `join:stuck`, held by `stuck`)"),
+            "missing join edge: {msg}"
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! * [`hash`] — deterministic mixing used for per-request jitter so repeated
 //!   runs produce identical virtual timelines.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -47,6 +48,6 @@ mod net;
 pub mod sync;
 mod time;
 
-pub use kernel::{kernel, now, sleep, spawn, Kernel, KernelStats, SimJoinHandle};
+pub use kernel::{kernel, now, sleep, spawn, Kernel, KernelStats, ResourceId, SimJoinHandle};
 pub use net::NetworkProfile;
 pub use time::SimInstant;

@@ -5,13 +5,26 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::kernel::{current_waiter, Kernel, Waiter};
+use crate::kernel::{current_waiter, Kernel, ResourceId, Waiter};
 
 struct BarrierState {
     parties: usize,
     arrived: usize,
     generation: u64,
     waiters: Vec<Arc<Waiter>>,
+}
+
+struct BarrierInner {
+    kernel: Kernel,
+    /// Wait-for-graph resource waits are attributed to.
+    res: ResourceId,
+    state: Mutex<BarrierState>,
+}
+
+impl Drop for BarrierInner {
+    fn drop(&mut self) {
+        self.kernel.destroy_resource(self.res);
+    }
 }
 
 /// A reusable barrier: the first `parties - 1` callers of
@@ -44,13 +57,12 @@ struct BarrierState {
 /// ```
 #[derive(Clone)]
 pub struct Barrier {
-    kernel: Kernel,
-    state: Arc<Mutex<BarrierState>>,
+    inner: Arc<BarrierInner>,
 }
 
 impl fmt::Debug for Barrier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.state.lock();
+        let st = self.inner.state.lock();
         f.debug_struct("Barrier")
             .field("parties", &st.parties)
             .field("arrived", &st.arrived)
@@ -67,13 +79,16 @@ impl Barrier {
     pub fn new(kernel: &Kernel, parties: usize) -> Barrier {
         assert!(parties > 0, "barrier needs at least one party");
         Barrier {
-            kernel: kernel.clone(),
-            state: Arc::new(Mutex::new(BarrierState {
-                parties,
-                arrived: 0,
-                generation: 0,
-                waiters: Vec::new(),
-            })),
+            inner: Arc::new(BarrierInner {
+                kernel: kernel.clone(),
+                res: kernel.create_resource("barrier", ""),
+                state: Mutex::new(BarrierState {
+                    parties,
+                    arrived: 0,
+                    generation: 0,
+                    waiters: Vec::new(),
+                }),
+            }),
         }
     }
 
@@ -81,11 +96,11 @@ impl Barrier {
     /// Returns `true` on the *leader* (the last arriver), mirroring
     /// [`std::sync::Barrier`].
     pub fn wait(&self) -> bool {
-        let waiter = current_waiter(&self.kernel, "Barrier::wait");
+        let waiter = current_waiter(&self.inner.kernel, "Barrier::wait");
         let my_generation;
         {
-            let mut kst = self.kernel.lock_state();
-            let mut st = self.state.lock();
+            let mut kst = self.inner.kernel.lock_state();
+            let mut st = self.inner.state.lock();
             st.arrived += 1;
             my_generation = st.generation;
             if st.arrived == st.parties {
@@ -104,8 +119,10 @@ impl Barrier {
             }
         }
         loop {
-            self.kernel.block_current("barrier.wait");
-            let st = self.state.lock();
+            self.inner
+                .kernel
+                .block_current(Some(self.inner.res), "barrier.wait");
+            let st = self.inner.state.lock();
             if st.generation != my_generation {
                 return false;
             }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::kernel::{current_waiter, Kernel, Waiter};
+use crate::kernel::{current_waiter, Kernel, ResourceId, Waiter};
 
 /// Error returned by [`Sender::send`] when every receiver has been dropped.
 /// Carries the unsent value back to the caller.
@@ -76,7 +76,15 @@ struct ChanState<T> {
 
 struct Chan<T> {
     kernel: Kernel,
+    /// Wait-for-graph resource send/recv blocks are attributed to.
+    res: ResourceId,
     state: Mutex<ChanState<T>>,
+}
+
+impl<T> Drop for Chan<T> {
+    fn drop(&mut self) {
+        self.kernel.destroy_resource(self.res);
+    }
 }
 
 /// Creates an unbounded virtual-time channel.
@@ -116,6 +124,7 @@ pub fn bounded<T>(kernel: &Kernel, capacity: usize) -> (Sender<T>, Receiver<T>) 
 fn channel<T>(kernel: &Kernel, capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let chan = Arc::new(Chan {
         kernel: kernel.clone(),
+        res: kernel.create_resource("channel", ""),
         state: Mutex::new(ChanState {
             queue: VecDeque::new(),
             capacity,
@@ -206,7 +215,9 @@ impl<T> Sender<T> {
                     ch.send_waiters.push_back(waiter);
                 }
             }
-            self.chan.kernel.block_current("channel.send");
+            self.chan
+                .kernel
+                .block_current(Some(self.chan.res), "channel.send");
         }
     }
 }
@@ -280,7 +291,9 @@ impl<T> Receiver<T> {
                     ch.recv_waiters.push_back(waiter);
                 }
             }
-            self.chan.kernel.block_current("channel.recv");
+            self.chan
+                .kernel
+                .block_current(Some(self.chan.res), "channel.recv");
         }
     }
 

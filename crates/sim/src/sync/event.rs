@@ -5,12 +5,30 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::kernel::{current_waiter, Kernel, Waiter};
+use crate::kernel::{current_waiter, Kernel, ResourceId, Waiter};
 
 #[derive(Default)]
 struct EventState {
     fired: bool,
     waiters: Vec<Arc<Waiter>>,
+}
+
+struct EventInner {
+    kernel: Kernel,
+    /// Wait-for-graph resource this event's waits are attributed to.
+    res: ResourceId,
+    /// Whether the event created `res` itself (and thus owns its lifecycle
+    /// and holder list) or borrows a caller-provided resource.
+    owns_res: bool,
+    state: Mutex<EventState>,
+}
+
+impl Drop for EventInner {
+    fn drop(&mut self) {
+        if self.owns_res {
+            self.kernel.destroy_resource(self.res);
+        }
+    }
 }
 
 /// A one-shot event: threads [`wait`](Event::wait) until some other thread
@@ -36,8 +54,7 @@ struct EventState {
 /// ```
 #[derive(Clone)]
 pub struct Event {
-    kernel: Kernel,
-    state: Arc<Mutex<EventState>>,
+    inner: Arc<EventInner>,
 }
 
 impl fmt::Debug for Event {
@@ -51,23 +68,59 @@ impl fmt::Debug for Event {
 impl Event {
     /// Creates an unfired event on `kernel`.
     pub fn new(kernel: &Kernel) -> Event {
+        Event::named(kernel, "")
+    }
+
+    /// Creates an unfired event whose deadlock diagnostics carry `label`
+    /// (e.g. the name of the activation the event stands for).
+    pub fn named(kernel: &Kernel, label: impl Into<String>) -> Event {
         Event {
-            kernel: kernel.clone(),
-            state: Arc::new(Mutex::new(EventState::default())),
+            inner: Arc::new(EventInner {
+                kernel: kernel.clone(),
+                res: kernel.create_resource("event", label),
+                owns_res: true,
+                state: Mutex::new(EventState::default()),
+            }),
         }
+    }
+
+    /// Creates an unfired event whose waits are attributed to an existing
+    /// diagnostic resource `res` (e.g. a platform-wide capacity pool) rather
+    /// than a fresh one. The event borrows `res`: firing leaves its holder
+    /// list untouched, and dropping the event does not destroy it.
+    pub fn for_resource(kernel: &Kernel, res: ResourceId) -> Event {
+        Event {
+            inner: Arc::new(EventInner {
+                kernel: kernel.clone(),
+                res,
+                owns_res: false,
+                state: Mutex::new(EventState::default()),
+            }),
+        }
+    }
+
+    /// Records the current thread as the holder of this event — the thread
+    /// expected to fire it — so deadlock reports can draw the waiter→holder
+    /// edge. Purely diagnostic; a no-op on unregistered threads.
+    pub fn mark_holder(&self) {
+        self.inner.kernel.hold_resource(self.inner.res);
     }
 
     /// Fires the event, waking all current and future waiters. Idempotent.
     pub fn fire(&self) {
-        let mut st = self.kernel.lock_state();
+        let mut st = self.inner.kernel.lock_state();
         let waiters = {
-            let mut ev = self.state.lock();
+            let mut ev = self.inner.state.lock();
             if ev.fired {
                 return;
             }
             ev.fired = true;
             std::mem::take(&mut ev.waiters)
         };
+        if self.inner.owns_res {
+            // The obligation this event stood for is discharged.
+            st.clear_resource_holders_locked(self.inner.res);
+        }
         for w in &waiters {
             Kernel::wake_locked(&mut st, w);
         }
@@ -75,7 +128,7 @@ impl Event {
 
     /// Whether the event has fired.
     pub fn is_fired(&self) -> bool {
-        self.state.lock().fired
+        self.inner.state.lock().fired
     }
 
     /// Blocks the current simulated thread until the event fires.
@@ -86,10 +139,10 @@ impl Event {
     ///
     /// Panics if the calling thread is not registered with this kernel.
     pub fn wait(&self) {
-        let waiter = current_waiter(&self.kernel, "Event::wait");
+        let waiter = current_waiter(&self.inner.kernel, "Event::wait");
         loop {
             {
-                let mut ev = self.state.lock();
+                let mut ev = self.inner.state.lock();
                 if ev.fired {
                     return;
                 }
@@ -97,7 +150,9 @@ impl Event {
                     ev.waiters.push(Arc::clone(&waiter));
                 }
             }
-            self.kernel.block_current("event.wait");
+            self.inner
+                .kernel
+                .block_current(Some(self.inner.res), "event.wait");
         }
     }
 }

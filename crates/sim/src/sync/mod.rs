@@ -5,6 +5,12 @@
 //! for the kernel, allowing the clock to advance. Wakes are delivered at the
 //! current virtual instant.
 //!
+//! Every primitive registers itself as a [`crate::ResourceId`] in the
+//! kernel's wait-for graph: blocked threads record which resource they wait
+//! on, and permit/event owners are recorded as holders, so a simulation
+//! deadlock panics with the actual wait-for cycle instead of a bare thread
+//! list.
+//!
 //! Lock ordering (internal invariant): the kernel state lock is always
 //! acquired *before* a primitive's own lock, and both are released before a
 //! thread parks.

@@ -5,17 +5,32 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::kernel::{current_waiter, Kernel, Waiter};
+use crate::kernel::{current_waiter, try_current_waiter, Kernel, ResourceId, Waiter};
 
 struct SemState {
     permits: usize,
     waiters: Vec<Arc<Waiter>>,
 }
 
+struct SemInner {
+    kernel: Kernel,
+    /// Wait-for-graph resource; permit owners are recorded as holders.
+    res: ResourceId,
+    state: Mutex<SemState>,
+}
+
+impl Drop for SemInner {
+    fn drop(&mut self) {
+        self.kernel.destroy_resource(self.res);
+    }
+}
+
 /// A counting semaphore whose `acquire` blocks in virtual time.
 ///
 /// Used by the FaaS simulator for per-namespace concurrency slots and by
-/// clients for bounded invocation pools. Cheap to clone.
+/// clients for bounded invocation pools. Cheap to clone. Permit owners are
+/// tracked as resource holders, so a deadlock report can say which threads
+/// sit on the permits everyone else is waiting for.
 ///
 /// # Examples
 ///
@@ -40,8 +55,7 @@ struct SemState {
 /// ```
 #[derive(Clone)]
 pub struct Semaphore {
-    kernel: Kernel,
-    state: Arc<Mutex<SemState>>,
+    inner: Arc<SemInner>,
 }
 
 impl fmt::Debug for Semaphore {
@@ -55,18 +69,27 @@ impl fmt::Debug for Semaphore {
 impl Semaphore {
     /// Creates a semaphore with `permits` initially available slots.
     pub fn new(kernel: &Kernel, permits: usize) -> Semaphore {
+        Semaphore::named(kernel, permits, "")
+    }
+
+    /// Creates a semaphore whose deadlock diagnostics carry `label`
+    /// (e.g. `"namespace-concurrency"`).
+    pub fn named(kernel: &Kernel, permits: usize, label: impl Into<String>) -> Semaphore {
         Semaphore {
-            kernel: kernel.clone(),
-            state: Arc::new(Mutex::new(SemState {
-                permits,
-                waiters: Vec::new(),
-            })),
+            inner: Arc::new(SemInner {
+                kernel: kernel.clone(),
+                res: kernel.create_resource("semaphore", label),
+                state: Mutex::new(SemState {
+                    permits,
+                    waiters: Vec::new(),
+                }),
+            }),
         }
     }
 
     /// Currently available permits.
     pub fn available(&self) -> usize {
-        self.state.lock().permits
+        self.inner.state.lock().permits
     }
 
     /// Acquires one permit, blocking in virtual time until available.
@@ -89,27 +112,37 @@ impl Semaphore {
     pub fn acquire_raw(&self) {
         loop {
             {
-                let _st = self.kernel.lock_state();
-                let mut sem = self.state.lock();
+                let mut st = self.inner.kernel.lock_state();
+                let mut sem = self.inner.state.lock();
                 if sem.permits > 0 {
                     sem.permits -= 1;
+                    drop(sem);
+                    if let Some(w) = try_current_waiter(&self.inner.kernel) {
+                        st.hold_resource_locked(self.inner.res, &w);
+                    }
                     return;
                 }
-                let waiter = current_waiter(&self.kernel, "Semaphore::acquire");
+                let waiter = current_waiter(&self.inner.kernel, "Semaphore::acquire");
                 if !sem.waiters.iter().any(|w| w.id() == waiter.id()) {
                     sem.waiters.push(waiter);
                 }
             }
-            self.kernel.block_current("semaphore.acquire");
+            self.inner
+                .kernel
+                .block_current(Some(self.inner.res), "semaphore.acquire");
         }
     }
 
     /// Attempts to acquire a permit without blocking.
     pub fn try_acquire(&self) -> Option<SemaphoreGuard> {
-        let _st = self.kernel.lock_state();
-        let mut sem = self.state.lock();
+        let mut st = self.inner.kernel.lock_state();
+        let mut sem = self.inner.state.lock();
         if sem.permits > 0 {
             sem.permits -= 1;
+            drop(sem);
+            if let Some(w) = try_current_waiter(&self.inner.kernel) {
+                st.hold_resource_locked(self.inner.res, &w);
+            }
             Some(SemaphoreGuard {
                 sem: Semaphore::clone(self),
             })
@@ -122,12 +155,14 @@ impl Semaphore {
     ///
     /// [`acquire_raw`]: Semaphore::acquire_raw
     pub fn release_raw(&self) {
-        let mut st = self.kernel.lock_state();
+        let mut st = self.inner.kernel.lock_state();
         let waiters = {
-            let mut sem = self.state.lock();
+            let mut sem = self.inner.state.lock();
             sem.permits += 1;
             std::mem::take(&mut sem.waiters)
         };
+        let w = try_current_waiter(&self.inner.kernel);
+        st.release_resource_locked(self.inner.res, w.as_deref());
         for w in &waiters {
             Kernel::wake_locked(&mut st, w);
         }

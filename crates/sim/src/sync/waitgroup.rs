@@ -5,11 +5,24 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::kernel::{current_waiter, Kernel, Waiter};
+use crate::kernel::{current_waiter, Kernel, ResourceId, Waiter};
 
 struct WgState {
     count: usize,
     waiters: Vec<Arc<Waiter>>,
+}
+
+struct WgInner {
+    kernel: Kernel,
+    /// Wait-for-graph resource waits are attributed to.
+    res: ResourceId,
+    state: Mutex<WgState>,
+}
+
+impl Drop for WgInner {
+    fn drop(&mut self) {
+        self.kernel.destroy_resource(self.res);
+    }
 }
 
 /// Waits for a dynamic collection of tasks to finish, like Go's
@@ -38,8 +51,7 @@ struct WgState {
 /// ```
 #[derive(Clone)]
 pub struct WaitGroup {
-    kernel: Kernel,
-    state: Arc<Mutex<WgState>>,
+    inner: Arc<WgInner>,
 }
 
 impl fmt::Debug for WaitGroup {
@@ -54,22 +66,25 @@ impl WaitGroup {
     /// Creates an empty wait group on `kernel`.
     pub fn new(kernel: &Kernel) -> WaitGroup {
         WaitGroup {
-            kernel: kernel.clone(),
-            state: Arc::new(Mutex::new(WgState {
-                count: 0,
-                waiters: Vec::new(),
-            })),
+            inner: Arc::new(WgInner {
+                kernel: kernel.clone(),
+                res: kernel.create_resource("waitgroup", ""),
+                state: Mutex::new(WgState {
+                    count: 0,
+                    waiters: Vec::new(),
+                }),
+            }),
         }
     }
 
     /// Registers `n` additional pending tasks.
     pub fn add(&self, n: usize) {
-        self.state.lock().count += n;
+        self.inner.state.lock().count += n;
     }
 
     /// Number of tasks still pending.
     pub fn pending(&self) -> usize {
-        self.state.lock().count
+        self.inner.state.lock().count
     }
 
     /// Marks one task finished, waking waiters if the count reaches zero.
@@ -78,9 +93,9 @@ impl WaitGroup {
     ///
     /// Panics if called more times than [`add`](WaitGroup::add) registered.
     pub fn done(&self) {
-        let mut st = self.kernel.lock_state();
+        let mut st = self.inner.kernel.lock_state();
         let waiters = {
-            let mut wg = self.state.lock();
+            let mut wg = self.inner.state.lock();
             assert!(
                 wg.count > 0,
                 "WaitGroup::done called with zero pending tasks"
@@ -99,10 +114,10 @@ impl WaitGroup {
 
     /// Blocks the current simulated thread until the pending count is zero.
     pub fn wait(&self) {
-        let waiter = current_waiter(&self.kernel, "WaitGroup::wait");
+        let waiter = current_waiter(&self.inner.kernel, "WaitGroup::wait");
         loop {
             {
-                let mut wg = self.state.lock();
+                let mut wg = self.inner.state.lock();
                 if wg.count == 0 {
                     return;
                 }
@@ -110,7 +125,9 @@ impl WaitGroup {
                     wg.waiters.push(Arc::clone(&waiter));
                 }
             }
-            self.kernel.block_current("waitgroup.wait");
+            self.inner
+                .kernel
+                .block_current(Some(self.inner.res), "waitgroup.wait");
         }
     }
 }

@@ -14,6 +14,7 @@
 //! * [`montecarlo`] — Monte-Carlo π, the canonical PyWren demo.
 //! * [`kmeans`] — iterative distributed k-means (repeated jobs / warm pools).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo run --release --example mergesort`
 
-use rustwren::core::SimCloud;
+use rustwren::core::{JobPlan, SimCloud};
 use rustwren::sim::NetworkProfile;
 use rustwren::workloads::mergesort;
 
@@ -46,5 +46,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         " run `cargo run --release -p rustwren-bench --bin fig4_mergesort` for the full figure)"
     );
+
+    // What-if analysis: a depth-11 tree would put 2^11 - 1 = 2047 blocking
+    // parents against the namespace concurrency limit of 1,000 — a
+    // self-deadlock. The pre-flight analyzer proves it from the plan alone,
+    // without invoking (and wedging) anything.
+    let cloud2 = cloud.clone();
+    let diagnostics = cloud.run(move || {
+        let exec = cloud2.executor().build().expect("executor");
+        let mut doomed = JobPlan::new(mergesort::MERGESORT_FN, 1);
+        doomed.nesting_depth = 11;
+        doomed.nested_fanout = 2;
+        exec.analyze_plan(&doomed)
+    });
+    println!("\nwhat the analyzer says about a depth-11 mergesort:");
+    for d in &diagnostics {
+        println!("[rustwren-analyze] {d}");
+    }
     Ok(())
 }

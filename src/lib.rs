@@ -9,11 +9,16 @@
 //! * [`core`] — the IBM-PyWren framework itself: executors, futures,
 //!   map/map_reduce, data discovery & partitioning, composability, massive
 //!   function spawning.
+//! * [`analyze`] — pre-flight job-plan linter: predicts self-deadlocks,
+//!   throttle storms and limit violations before any function is invoked.
 //! * [`workloads`] — the paper's workloads: synthetic Airbnb reviews, tone
 //!   analysis, mergesort, compute-bound tasks.
 //!
 //! See `examples/quickstart.rs` for the canonical end-to-end flow.
 
+#![deny(unsafe_code)]
+
+pub use rustwren_analyze as analyze;
 pub use rustwren_core as core;
 pub use rustwren_faas as faas;
 pub use rustwren_sim as sim;

@@ -1,0 +1,149 @@
+//! Acceptance tests for the pre-flight job-plan analyzer: the same doomed
+//! nested plan is (a) rejected by `AnalyzeMode::Deny` before any function
+//! is invoked, and (b) — with analysis off and the platform queueing
+//! instead of throttling — wedges the simulation in a deadlock whose panic
+//! report names the actual wait-for cycle.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use bytes::Bytes;
+use rustwren::core::{AnalyzeMode, PlanHints, PywrenError, Rule, Severity, SimCloud};
+use rustwren::faas::{ActionConfig, ActivationCtx, CloudFunctions, PlatformConfig};
+use rustwren::sim::Kernel;
+use rustwren::store::ObjectStore;
+use rustwren::workloads::mergesort;
+
+/// The acceptance plan: a nested mergesort whose recursion tree cannot fit
+/// inside the namespace concurrency limit. With depth 2 and fanout 2 a
+/// single root yields 1 + 2 = 3 blocking parents against a limit of 2.
+const LIMIT: usize = 2;
+const DEPTH: u32 = 2;
+
+#[test]
+fn deny_rejects_overcommitted_mergesort_before_invocation() {
+    let platform = PlatformConfig {
+        concurrency_limit: LIMIT,
+        ..PlatformConfig::default()
+    };
+    let cloud = SimCloud::builder().seed(7).platform(platform).build();
+    mergesort::register(&cloud);
+    let cloud2 = cloud.clone();
+    let err = cloud.run(move || {
+        let exec = cloud2
+            .executor()
+            .analyze(AnalyzeMode::Deny)
+            .plan_hints(PlanHints {
+                nesting_depth: DEPTH,
+                nested_fanout: 2,
+                ..PlanHints::default()
+            })
+            .build()
+            .expect("executor builds");
+        exec.call_async(mergesort::MERGESORT_FN, mergesort::input(7, 1_000, DEPTH))
+            .expect_err("deny mode must reject the doomed plan")
+    });
+    let PywrenError::Plan { diagnostics } = &err else {
+        panic!("expected a plan rejection, got: {err}");
+    };
+    assert!(
+        diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::W001 && d.severity == Severity::Error),
+        "W001 must fire at error severity: {diagnostics:#?}"
+    );
+    assert!(err.to_string().contains("W001"), "{err}");
+    // Rejected pre-flight: the platform never saw a single invocation.
+    assert_eq!(
+        cloud.functions().stats().submitted,
+        0,
+        "deny must fire before any invocation"
+    );
+}
+
+#[test]
+fn warn_mode_runs_the_flagged_job_anyway() {
+    // Default (warn) analysis never blocks: the same hints on a platform
+    // with a generous limit complete normally and produce sorted output.
+    let cloud = SimCloud::builder().seed(7).build();
+    mergesort::register(&cloud);
+    let cloud2 = cloud.clone();
+    let sorted = cloud.run(move || {
+        let exec = cloud2
+            .executor()
+            .analyze(AnalyzeMode::Warn)
+            .plan_hints(PlanHints {
+                nesting_depth: 1,
+                nested_fanout: 2,
+                ..PlanHints::default()
+            })
+            .build()
+            .expect("executor builds");
+        exec.call_async(mergesort::MERGESORT_FN, mergesort::input(7, 1_000, 1))
+            .expect("warn mode must not block the job");
+        let results = exec.get_result().expect("job completes");
+        mergesort::decode_i64s(results[0].as_bytes().expect("bytes result"))
+    });
+    assert_eq!(sorted.len(), 1_000);
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn unanalyzed_overcommit_deadlocks_with_wait_for_cycle() {
+    // The other half of the acceptance criterion: run the same
+    // parent-blocks-on-child shape with no analyzer in the way, on a
+    // platform that queues on the concurrency limit instead of throttling.
+    // The parent holds the only admission slot while waiting on a child
+    // that queues behind it — the kernel must name that cycle.
+    let kernel = Kernel::new();
+    let store = ObjectStore::new(&kernel);
+    let faas = CloudFunctions::new(
+        &kernel,
+        &store,
+        PlatformConfig {
+            concurrency_limit: 1,
+            queue_on_concurrency_limit: true,
+            ..PlatformConfig::default()
+        },
+    );
+    let faas2 = faas.clone();
+    faas.register_action(
+        "sort-parent",
+        ActionConfig::default(),
+        move |ctx: &ActivationCtx, _p: Bytes| {
+            let id = faas2
+                .invoke("sort-leaf", Bytes::new())
+                .map_err(|e| rustwren::faas::ActionError(e.to_string()))?;
+            ctx.platform().wait(id);
+            Ok(Bytes::new())
+        },
+    )
+    .expect("parent registers");
+    faas.register_action(
+        "sort-leaf",
+        ActionConfig::default(),
+        |_ctx: &ActivationCtx, _p: Bytes| Ok(Bytes::new()),
+    )
+    .expect("leaf registers");
+
+    let panic = panic::catch_unwind(AssertUnwindSafe(|| {
+        kernel.run("client", || {
+            let id = faas.invoke("sort-parent", Bytes::new()).expect("accepted");
+            faas.wait(id);
+        });
+    }))
+    .expect_err("overcommitted nesting must deadlock");
+    let msg = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic payload is the deadlock report");
+    assert!(msg.contains("simulation deadlock"), "header missing: {msg}");
+    assert!(msg.contains("wait-for cycle:"), "cycle missing: {msg}");
+    assert!(
+        msg.contains("semaphore `namespace-concurrency`"),
+        "blocking primitive missing: {msg}"
+    );
+    assert!(
+        msg.contains("act-"),
+        "activation thread names missing: {msg}"
+    );
+}
