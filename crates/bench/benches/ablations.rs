@@ -11,14 +11,19 @@
 //! * serialized-function blob size (cost of shipping fat closures);
 //! * client status poll interval;
 //! * warm vs cold container pools (second job on the same executor);
-//! * straggler speculation on/off against an injected 10× straggler.
+//! * straggler speculation on/off against an injected 10× straggler;
+//! * fault recovery under injected chaos (brownouts, corruption, crashes)
+//!   against a fault-free baseline — the virtual-time cost of surviving.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rustwren_core::{SimCloud, SizedFn, SpawnStrategy, SpeculationConfig, TaskCtx, Value};
+use rustwren_core::{
+    CorruptMode, FaultPlan, PathScope, RetryPolicy, SimCloud, SizedFn, SpawnStrategy,
+    SpeculationConfig, TaskCtx, TimeWindow, Value, PHASE_BEFORE_RUN,
+};
 use rustwren_sim::NetworkProfile;
 use rustwren_workloads::compute;
 
@@ -222,6 +227,66 @@ fn ablate_speculation(c: &mut Criterion) {
     }
 }
 
+type PlanMaker = Option<fn() -> FaultPlan>;
+
+fn ablate_chaos(c: &mut Criterion) {
+    // Virtual-time overhead of healing injected faults, per fault family.
+    // Every variant runs the same seed/job with the retry policy on; only
+    // the installed FaultPlan differs. Deterministic per seed: each
+    // measurement replays the same fault timeline.
+    let plans: [(&str, PlanMaker); 4] = [
+        ("fault-free", None),
+        (
+            "brownout p=0.15",
+            Some(|| FaultPlan::new(101).cos_brownout(PathScope::any(), TimeWindow::always(), 0.15)),
+        ),
+        (
+            "corrupt-get p=0.2",
+            Some(|| {
+                FaultPlan::new(102).corrupt_get(
+                    PathScope::prefix("jobs/"),
+                    TimeWindow::always(),
+                    CorruptMode::FlipByte,
+                    0.2,
+                )
+            }),
+        ),
+        (
+            "crash before-run p=0.1",
+            Some(|| FaultPlan::new(103).crash(PHASE_BEFORE_RUN, TimeWindow::always(), 0.1)),
+        ),
+    ];
+    for (id, plan) in plans {
+        custom(c, "chaos_recovery", id.to_owned(), move || {
+            let mut builder = SimCloud::builder()
+                .seed(7)
+                .client_network(NetworkProfile::wan());
+            if let Some(mk) = plan {
+                builder = builder.chaos(mk());
+            }
+            let cloud = builder.build();
+            compute::register(&cloud);
+            let cloud2 = cloud.clone();
+            cloud.run(move || {
+                let t0 = rustwren_sim::now();
+                let exec = cloud2
+                    .executor()
+                    .retry(RetryPolicy::with_attempts(6))
+                    .poll_interval(Duration::from_millis(500))
+                    .build()
+                    .expect("executor");
+                exec.map(
+                    compute::COMPUTE_FN,
+                    (0..TASKS).map(|_| compute::input(10.0)),
+                )
+                .expect("map");
+                exec.get_result().expect("chaos run healed");
+                rustwren_sim::now() - t0
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     ablate_group_size,
@@ -229,6 +294,7 @@ criterion_group!(
     ablate_code_size,
     ablate_poll_interval,
     ablate_warm_pool,
-    ablate_speculation
+    ablate_speculation,
+    ablate_chaos
 );
 criterion_main!(benches);

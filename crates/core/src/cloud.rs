@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use rustwren_faas::{CloudFunctions, PlatformConfig};
+use rustwren_sim::chaos::{ChaosEngine, ChaosStats, FaultPlan, FaultRecord};
 use rustwren_sim::{Kernel, NetworkProfile};
 use rustwren_store::ObjectStore;
 
@@ -63,6 +64,7 @@ impl SimCloud {
             platform: PlatformConfig::default(),
             client_net: NetworkProfile::wan(),
             seed: 0xC10D,
+            chaos: None,
         }
     }
 
@@ -125,6 +127,27 @@ impl SimCloud {
     pub(crate) fn next_exec_id(&self) -> String {
         format!("e{}", self.inner.exec_seq.fetch_add(1, Ordering::Relaxed))
     }
+
+    /// Counters of faults the installed chaos engine has fired so far
+    /// (zeroes when the cloud was built without a [`FaultPlan`]).
+    pub fn chaos_stats(&self) -> ChaosStats {
+        self.inner
+            .kernel
+            .chaos()
+            .map(|c| c.stats())
+            .unwrap_or_default()
+    }
+
+    /// The injected-fault timeline so far, sorted by virtual time — equal
+    /// across runs with the same seed and [`FaultPlan`]. Empty when no plan
+    /// was installed.
+    pub fn fault_log(&self) -> Vec<FaultRecord> {
+        self.inner
+            .kernel
+            .chaos()
+            .map(|c| c.fault_log())
+            .unwrap_or_default()
+    }
 }
 
 /// Builder for [`SimCloud`].
@@ -133,6 +156,7 @@ pub struct SimCloudBuilder {
     platform: PlatformConfig,
     client_net: NetworkProfile,
     seed: u64,
+    chaos: Option<FaultPlan>,
 }
 
 impl SimCloudBuilder {
@@ -155,10 +179,21 @@ impl SimCloudBuilder {
         self
     }
 
+    /// Installs a deterministic fault-injection plan: every service in this
+    /// cloud consults the resulting [`ChaosEngine`] at its hook points, so
+    /// the same seed and plan replay the exact same fault timeline.
+    pub fn chaos(mut self, plan: FaultPlan) -> SimCloudBuilder {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Builds the cloud and deploys the IBM-PyWren system actions.
     pub fn build(mut self) -> SimCloud {
         self.platform.seed = rustwren_sim::hash::hash2(self.seed, self.platform.seed);
         let kernel = Kernel::new();
+        if let Some(plan) = self.chaos.take() {
+            kernel.install_chaos(Arc::new(ChaosEngine::new(plan)));
+        }
         let store = ObjectStore::new(&kernel);
         let faas = CloudFunctions::new(&kernel, &store, self.platform);
         let inner = Arc::new(CloudInner {

@@ -97,6 +97,13 @@ pub struct RetryPolicy {
     /// Off by default: a task that needs more than the limit will usually
     /// just hit it again.
     pub retry_timeouts: bool,
+    /// Presume a task dead once it has been out this long with **no**
+    /// activation id and **no** status object — the signature of an invoker
+    /// that was killed before spawning its group. `None` (the default)
+    /// leaves such tasks pending forever, the pre-chaos behaviour; jobs
+    /// using [`crate::SpawnStrategy::RemoteInvoker`] under fault injection
+    /// should set it to roughly the expected spawn-to-status latency.
+    pub presumed_dead_after: Option<Duration>,
 }
 
 impl RetryPolicy {
@@ -109,6 +116,7 @@ impl RetryPolicy {
             max_backoff: Duration::from_secs(30),
             jitter: 0.2,
             retry_timeouts: false,
+            presumed_dead_after: None,
         }
     }
 
@@ -270,6 +278,7 @@ mod tests {
             max_backoff: Duration::from_millis(500),
             jitter: 0.0,
             retry_timeouts: false,
+            presumed_dead_after: None,
         };
         assert_eq!(p.base_backoff(1), Duration::from_millis(100));
         assert_eq!(p.base_backoff(2), Duration::from_millis(200));

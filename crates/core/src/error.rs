@@ -38,6 +38,16 @@ pub enum PywrenError {
     EmptyDataSource(String),
     /// An invalid configuration value or malformed user-supplied argument.
     Config(String),
+    /// A staged payload failed its end-to-end checksum verification: the
+    /// bytes read back from storage are not the bytes that were written
+    /// (corruption or truncation in flight). Retryable — the stored object
+    /// is typically intact, so a re-fetch or task re-execution heals it.
+    Integrity {
+        /// The offending object, as `bucket/key`.
+        key: String,
+        /// What the verifier observed (missing stamp, checksum mismatch).
+        detail: String,
+    },
     /// The pre-flight analyzer rejected the job plan
     /// ([`crate::AnalyzeMode::Deny`] with error-severity findings).
     Plan {
@@ -71,6 +81,9 @@ impl fmt::Display for PywrenError {
                 write!(f, "data source matched no objects: {what}")
             }
             PywrenError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            PywrenError::Integrity { key, detail } => {
+                write!(f, "data integrity violation at `{key}`: {detail}")
+            }
             PywrenError::Plan { diagnostics } => {
                 write!(
                     f,
@@ -162,6 +175,18 @@ mod tests {
         assert!(s.contains("rejected by pre-flight analysis"));
         assert!(s.contains("W001 error: parents fill the limit"));
         assert!(s.contains("help: reduce fanout"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn integrity_error_displays_key_and_detail() {
+        let e = PywrenError::Integrity {
+            key: "rustwren-runtime/jobs/e/j/t00001/result".into(),
+            detail: WireError::MissingStamp.to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("data integrity violation"));
+        assert!(s.contains("jobs/e/j/t00001/result"));
         assert!(e.source().is_none());
     }
 

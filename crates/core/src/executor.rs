@@ -28,6 +28,16 @@ use crate::wire::Value;
 /// Client threads used to upload task inputs to COS before invocation.
 const UPLOAD_THREADS: usize = 64;
 
+/// Consecutive status-poll failures tolerated (when retry is enabled)
+/// before `wait`/`get_result` give up — rides out bounded COS outage
+/// windows instead of surfacing the first transient listing error.
+const MAX_POLL_FAILURES: u32 = 16;
+
+/// Re-fetch budget for a checksum-stamped object that fails verification:
+/// the stored bytes are intact, only the read was corrupted, so a refetch
+/// normally heals it.
+const INTEGRITY_REFETCHES: u32 = 3;
+
 /// Options for [`Executor::map_reduce`] (§4.3).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MapReduceOpts {
@@ -102,6 +112,9 @@ struct RecoveryCounters {
     retries_exhausted: AtomicU64,
     speculative_launches: AtomicU64,
     statuses_repaired: AtomicU64,
+    integrity_retries: AtomicU64,
+    integrity_failures: AtomicU64,
+    cleaned_objects: AtomicU64,
 }
 
 struct ExecInner {
@@ -111,6 +124,11 @@ struct ExecInner {
     agent_action: String,
     job_seq: AtomicU64,
     pending: parking_lot::Mutex<Vec<ResponseFuture>>,
+    /// Internal-stage futures (e.g. the map phase behind a tracked reducer)
+    /// that the recovery machinery watches and heals, but whose results are
+    /// never returned to the caller. Without this, a map task dying under
+    /// fault injection would starve its reducer forever.
+    guarded: parking_lot::Mutex<Vec<ResponseFuture>>,
     /// job id → function name, for re-invoking failed tasks.
     job_funcs: parking_lot::Mutex<std::collections::HashMap<u64, String>>,
     /// (job id, task) → recovery state for the retry/speculation machinery.
@@ -271,6 +289,7 @@ impl ExecutorBuilder {
                 agent_action,
                 job_seq: AtomicU64::new(1),
                 pending: parking_lot::Mutex::new(Vec::new()),
+                guarded: parking_lot::Mutex::new(Vec::new()),
                 job_funcs: parking_lot::Mutex::new(std::collections::HashMap::new()),
                 recovery: parking_lot::Mutex::new(std::collections::HashMap::new()),
                 counters: RecoveryCounters::default(),
@@ -386,6 +405,10 @@ impl Executor {
             opts.chunk_size,
             max_object_bytes,
         )?;
+        self.inner
+            .guarded
+            .lock()
+            .extend(map_futures.iter().cloned());
 
         // Reduce phase.
         let poll = self.inner.config.reduce_poll_interval;
@@ -499,6 +522,10 @@ impl Executor {
             .collect();
         let map_futures =
             self.run_job_planned(map_func, map_specs, None, opts.chunk_size, max_object_bytes)?;
+        self.inner
+            .guarded
+            .lock()
+            .extend(map_futures.iter().cloned());
 
         let poll = self.inner.config.reduce_poll_interval;
         let reduce_specs: Vec<TaskSpec> = (0..opts.reducers)
@@ -617,11 +644,13 @@ impl Executor {
         let bucket = &self.inner.config.storage_bucket;
         let exec_id = &self.inner.exec_id;
 
-        // 1. Stage the "serialized function" once per job.
-        self.inner.cos.put(
+        // 1. Stage the "serialized function" once per job (checksum-stamped
+        // like every staged object).
+        crate::job::put_stamped(
+            &self.inner.cos,
             bucket,
             &func_key(exec_id, job_id),
-            Bytes::from(vec![0u8; f.code_size() as usize]),
+            &vec![0u8; f.code_size() as usize],
         )?;
 
         // 2. Stage the per-task inputs from a client upload pool.
@@ -642,7 +671,10 @@ impl Executor {
                 if let Some(extra) = &extra {
                     desc = desc.with("extra", extra.clone());
                 }
-                (format!("{}/input", p.future().task_prefix()), desc.encode())
+                (
+                    format!("{}/input", p.future().task_prefix()),
+                    crate::wire::stamp(&desc.encode()),
+                )
             })
             .collect();
         self.parallel_upload(uploads)?;
@@ -804,15 +836,23 @@ impl Executor {
             if !unclassified {
                 continue;
             }
-            let Ok(raw) = self.inner.cos.get(f.bucket(), &f.status_key()) else {
-                // Vanished between LIST and GET, or unreachable this round:
-                // treat as still pending and re-poll.
-                done.remove(f);
-                continue;
-            };
-            let succeeded = Value::decode(&raw)
-                .ok()
-                .is_some_and(|s| s.get("state").and_then(Value::as_str) == Some("done"));
+            // A status that fails its checksum stamp is classified as an
+            // error finish (and so retried/exhausted below) rather than
+            // re-polled forever: the object itself may be damaged, so only
+            // a re-execution reliably heals it.
+            let (status, integrity) =
+                match crate::job::get_verified(&self.inner.cos, f.bucket(), &f.status_key()) {
+                    Ok(raw) => (Value::decode(&raw).ok(), false),
+                    Err(PywrenError::Integrity { .. }) => (None, true),
+                    Err(_) => {
+                        // Vanished between LIST and GET, or unreachable this
+                        // round: treat as still pending and re-poll.
+                        done.remove(f);
+                        continue;
+                    }
+                };
+            let succeeded =
+                status.is_some_and(|s| s.get("state").and_then(Value::as_str) == Some("done"));
             if succeeded {
                 let mut recovery = self.inner.recovery.lock();
                 if let Some(r) = recovery.get_mut(&key) {
@@ -828,6 +868,12 @@ impl Executor {
                     .is_some_and(|r| r.attempts < retry.max_attempts)
             };
             if retryable {
+                if integrity {
+                    self.inner
+                        .counters
+                        .integrity_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 // Clear the stale completion markers so polling sees the
                 // rerun, then back off before re-invoking.
                 self.inner.cos.delete(f.bucket(), &f.status_key())?;
@@ -838,6 +884,12 @@ impl Executor {
                 }
                 done.remove(f);
             } else {
+                if integrity {
+                    self.inner
+                        .counters
+                        .integrity_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 if retry.enabled() {
                     self.inner
                         .counters
@@ -865,6 +917,7 @@ impl Executor {
             Skip,
             Reinvoke,
             Classify(ActivationId, u32),
+            PresumeDead(u32),
         }
         let now = self.inner.cloud.kernel().now();
         for f in tracked {
@@ -881,6 +934,18 @@ impl Executor {
                         (Some(t), _) if now >= t => Action::Reinvoke,
                         (Some(_), _) => Action::Skip,
                         (None, Some(id)) if retry.enabled() => Action::Classify(id, r.attempts),
+                        // No activation id (remote-invoker spawning) and no
+                        // status: if the task has been out past the
+                        // presumed-dead deadline, its invoker likely died
+                        // before ever spawning it.
+                        (None, None)
+                            if retry.enabled()
+                                && retry.presumed_dead_after.is_some_and(|dead| {
+                                    now.duration_since(r.invoked_at) >= dead
+                                }) =>
+                        {
+                            Action::PresumeDead(r.attempts)
+                        }
                         (None, _) => Action::Skip,
                     },
                 }
@@ -919,36 +984,73 @@ impl Executor {
                             Outcome::Success => unreachable!("handled above"),
                         };
                         let message = format!("{message} (after {attempts} attempt(s))");
-                        let start = {
-                            let recovery = self.inner.recovery.lock();
-                            recovery
-                                .get(&key)
-                                .map_or(0.0, |r| r.invoked_at.as_secs_f64())
-                        };
-                        self.inner.cos.put(
-                            f.bucket(),
-                            &f.status_key(),
-                            status_value("error", Some(&message), start, now.as_secs_f64())
-                                .encode(),
-                        )?;
-                        self.inner
-                            .counters
-                            .statuses_repaired
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.repair_status(f, &key, &message, now)?;
                         if retryable {
                             self.inner
                                 .counters
                                 .retries_exhausted
                                 .fetch_add(1, Ordering::Relaxed);
                         }
+                        done.insert(f.clone());
+                    }
+                }
+                Action::PresumeDead(attempts) => {
+                    if attempts < retry.max_attempts {
+                        // Same treatment as a silent death: drop partials
+                        // and schedule a fresh execution with backoff.
+                        self.inner.cos.delete(f.bucket(), &f.status_key())?;
+                        self.inner.cos.delete(f.bucket(), &f.result_key())?;
                         let mut recovery = self.inner.recovery.lock();
                         if let Some(r) = recovery.get_mut(&key) {
-                            r.exhausted = true;
+                            r.retry_at = Some(now + self.backoff_delay(retry, key, r.attempts));
                         }
+                    } else {
+                        let dead = retry.presumed_dead_after.unwrap_or_default();
+                        let message = format!(
+                            "presumed dead: no activation and no status after {dead:?} \
+                             (after {attempts} attempt(s))"
+                        );
+                        self.repair_status(f, &key, &message, now)?;
+                        self.inner
+                            .counters
+                            .retries_exhausted
+                            .fetch_add(1, Ordering::Relaxed);
                         done.insert(f.clone());
                     }
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Writes a (stamped) error status on behalf of a task that died
+    /// without reporting one, and marks it exhausted.
+    fn repair_status(
+        &self,
+        f: &ResponseFuture,
+        key: &(u64, u32),
+        message: &str,
+        now: SimInstant,
+    ) -> Result<()> {
+        let start = {
+            let recovery = self.inner.recovery.lock();
+            recovery
+                .get(key)
+                .map_or(0.0, |r| r.invoked_at.as_secs_f64())
+        };
+        crate::job::put_stamped(
+            &self.inner.cos,
+            f.bucket(),
+            &f.status_key(),
+            &status_value("error", Some(message), start, now.as_secs_f64()).encode(),
+        )?;
+        self.inner
+            .counters
+            .statuses_repaired
+            .fetch_add(1, Ordering::Relaxed);
+        let mut recovery = self.inner.recovery.lock();
+        if let Some(r) = recovery.get_mut(key) {
+            r.exhausted = true;
         }
         Ok(())
     }
@@ -1099,6 +1201,23 @@ impl Executor {
                 .counters
                 .statuses_repaired
                 .load(Ordering::Relaxed),
+            integrity_retries: self
+                .inner
+                .counters
+                .integrity_retries
+                .load(Ordering::Relaxed),
+            integrity_failures: self
+                .inner
+                .counters
+                .integrity_failures
+                .load(Ordering::Relaxed),
+            cleaned_objects: self.inner.counters.cleaned_objects.load(Ordering::Relaxed),
+            faults_injected: self
+                .inner
+                .cloud
+                .kernel()
+                .chaos()
+                .map_or(0, |c| c.stats().total()),
         }
     }
 
@@ -1114,13 +1233,28 @@ impl Executor {
         if tracked.is_empty() {
             return Ok((Vec::new(), Vec::new()));
         }
+        let watched = self.with_guarded(&tracked);
+        let mut poll_failures = 0u32;
         loop {
-            let mut done = self.poll_done(&tracked)?;
-            self.recover(&tracked, &mut done)?;
+            let polled = self
+                .poll_done(&watched)
+                .and_then(|mut done| self.recover(&watched, &mut done).map(|()| done));
+            let done = match polled {
+                Ok(done) => {
+                    poll_failures = 0;
+                    done
+                }
+                Err(_) if self.tolerate_poll_failure(&mut poll_failures) => {
+                    rustwren_sim::sleep(self.inner.config.poll_interval);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let done_tracked = tracked.iter().filter(|f| done.contains(*f)).count();
             let satisfied = match policy {
                 WaitPolicy::Always => true,
-                WaitPolicy::AnyCompleted => !done.is_empty(),
-                WaitPolicy::AllCompleted => done.len() == tracked.len(),
+                WaitPolicy::AnyCompleted => done_tracked > 0,
+                WaitPolicy::AllCompleted => done_tracked == tracked.len(),
             };
             if satisfied {
                 let (d, p) = tracked.into_iter().partition(|f| done.contains(f));
@@ -1151,7 +1285,23 @@ impl Executor {
     /// Additionally [`PywrenError::Timeout`] if the deadline passes.
     pub fn get_result_with(&self, opts: GetResultOpts) -> Result<Vec<Value>> {
         let futures: Vec<ResponseFuture> = std::mem::take(&mut *self.inner.pending.lock());
-        self.resolve(&futures, &opts)
+        let result = self.resolve(&futures, &opts);
+        // The jobs behind these futures are finished (or surfaced a final
+        // error); their internal stages no longer need guarding.
+        self.inner.guarded.lock().clear();
+        result
+    }
+
+    /// The union of `futures` and the guarded internal-stage futures, for
+    /// the poll/recover loop to watch.
+    fn with_guarded(&self, futures: &[ResponseFuture]) -> Vec<ResponseFuture> {
+        let mut watched = futures.to_vec();
+        for g in self.inner.guarded.lock().iter() {
+            if !watched.contains(g) {
+                watched.push(g.clone());
+            }
+        }
+        watched
     }
 
     /// Resolves an explicit set of futures (used by composition and tests).
@@ -1164,20 +1314,35 @@ impl Executor {
             return Ok(Vec::new());
         }
         let deadline = opts.timeout.map(|t| self.inner.cloud.kernel().now() + t);
+        let watched = self.with_guarded(futures);
+        let mut poll_failures = 0u32;
         loop {
-            let mut done = self.poll_done(futures)?;
-            self.recover(futures, &mut done)?;
+            let polled = self
+                .poll_done(&watched)
+                .and_then(|mut done| self.recover(&watched, &mut done).map(|()| done));
+            let done = match polled {
+                Ok(done) => {
+                    poll_failures = 0;
+                    done
+                }
+                Err(_) if self.tolerate_poll_failure(&mut poll_failures) => {
+                    rustwren_sim::sleep(self.inner.config.poll_interval);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let done_tracked = futures.iter().filter(|f| done.contains(*f)).count();
             if let Some(cb) = &opts.progress {
-                cb(done.len(), futures.len());
+                cb(done_tracked, futures.len());
             }
-            if done.len() == futures.len() {
+            if done_tracked == futures.len() {
                 break;
             }
             if let Some(d) = deadline {
                 if self.inner.cloud.kernel().now() >= d {
                     return Err(PywrenError::Timeout {
-                        done: done.len(),
-                        pending: futures.len() - done.len(),
+                        done: done_tracked,
+                        pending: futures.len() - done_tracked,
                     });
                 }
             }
@@ -1233,9 +1398,64 @@ impl Executor {
             .collect())
     }
 
+    /// Whether a storage failure during status polling should be ridden
+    /// out: only when automatic retry is on, and only for up to
+    /// [`MAX_POLL_FAILURES`] consecutive rounds.
+    fn tolerate_poll_failure(&self, poll_failures: &mut u32) -> bool {
+        if !self.inner.config.retry.enabled() || *poll_failures >= MAX_POLL_FAILURES {
+            return false;
+        }
+        *poll_failures += 1;
+        true
+    }
+
+    /// Reads a checksum-stamped staged object, re-fetching up to
+    /// [`INTEGRITY_REFETCHES`] times on stamp failures (the stored object is
+    /// intact; only the read path corrupts). Healed refetches count as
+    /// integrity retries; an exhausted budget surfaces the typed
+    /// [`PywrenError::Integrity`] error and counts as an integrity failure.
+    fn fetch_verified(&self, bucket: &str, key: &str) -> Result<Bytes> {
+        let mut integrity_attempts = 0u32;
+        let mut storage_attempts = 0u32;
+        loop {
+            match crate::job::get_verified(&self.inner.cos, bucket, key) {
+                Ok(payload) => {
+                    if integrity_attempts > 0 {
+                        self.inner
+                            .counters
+                            .integrity_retries
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(payload);
+                }
+                Err(e @ PywrenError::Integrity { .. }) => {
+                    integrity_attempts += 1;
+                    if integrity_attempts > INTEGRITY_REFETCHES {
+                        self.inner
+                            .counters
+                            .integrity_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                }
+                // With retry on, ride out transient storage failures the
+                // same way the polling loop does — the COS client's own
+                // per-request retries have already been exhausted here.
+                Err(e @ PywrenError::Storage(_)) if self.inner.config.retry.enabled() => {
+                    storage_attempts += 1;
+                    if storage_attempts > INTEGRITY_REFETCHES {
+                        return Err(e);
+                    }
+                    rustwren_sim::sleep(self.inner.config.poll_interval);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Fetches one completed task's result, following future-set markers.
     fn fetch_result(&self, f: &ResponseFuture, opts: &GetResultOpts) -> Result<Value> {
-        let status_raw = self.inner.cos.get(f.bucket(), &f.status_key())?;
+        let status_raw = self.fetch_verified(f.bucket(), &f.status_key())?;
         let status = Value::decode(&status_raw)?;
         let state = status.req_str("state").map_err(|m| PywrenError::Task {
             task: f.label(),
@@ -1251,7 +1471,7 @@ impl Executor {
                     .to_owned(),
             });
         }
-        let raw = self.inner.cos.get(f.bucket(), &f.result_key())?;
+        let raw = self.fetch_verified(f.bucket(), &f.result_key())?;
         let value = Value::decode(&raw)?;
         match ResponseFuture::set_from_value(&value) {
             Ok(Some(subfutures)) => {
@@ -1299,7 +1519,12 @@ impl Executor {
         for key in &keys {
             self.inner.cos.delete(bucket, key)?;
         }
+        self.inner
+            .counters
+            .cleaned_objects
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
         self.inner.pending.lock().clear();
+        self.inner.guarded.lock().clear();
         Ok(keys.len())
     }
 
@@ -1382,7 +1607,7 @@ impl Executor {
         futures
             .iter()
             .map(|f| {
-                let raw = self.inner.cos.get(f.bucket(), &f.status_key())?;
+                let raw = self.fetch_verified(f.bucket(), &f.status_key())?;
                 let status = Value::decode(&raw)?;
                 let field = |k: &str| {
                     status

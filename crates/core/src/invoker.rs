@@ -88,6 +88,14 @@ fn run_invoker(
         })
         .collect::<std::result::Result<_, _>>()?;
 
+    // Chaos invoker-kill: die before spawning the group, so none of this
+    // invoker's tasks ever receives an activation — exercising the
+    // client-side recovery path for tasks with no id and no status.
+    crate::job::chaos_crash_point(
+        crate::job::PHASE_INVOKER,
+        rustwren_sim::hash::hash2(ctx.activation_id().0, 0x1412),
+    );
+
     let client = ctx.faas_client();
     let count = tasks.len();
     let handles: Vec<_> = chunk_round_robin(tasks, threads)

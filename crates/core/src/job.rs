@@ -23,13 +23,76 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use rustwren_faas::{ActionError, ActivationCtx};
+use rustwren_sim::hash::hash2;
 use rustwren_store::CosClient;
 
 use crate::cloud::{CloudInner, SimCloud};
+use crate::error::PywrenError;
 use crate::future::ResponseFuture;
 use crate::partition::{read_aligned, Partition};
 use crate::task::TaskCtx;
-use crate::wire::Value;
+use crate::wire::{self, Value};
+
+/// Chaos crash phase: the agent has decoded its payload but not yet run the
+/// user function (models a container dying mid-download).
+pub const PHASE_BEFORE_RUN: &str = "agent:before-run";
+/// Chaos crash phase: the user function finished but the result was not yet
+/// written to COS.
+pub const PHASE_AFTER_COMPUTE: &str = "agent:after-compute";
+/// Chaos crash phase: the result object was written but the `done` status
+/// was not — the client sees a task with a result and no status.
+pub const PHASE_AFTER_PUT: &str = "agent:after-put";
+/// Chaos crash phase: a remote invoker activation dies before spawning its
+/// task group (models an invoker kill — its tasks never get activations).
+pub const PHASE_INVOKER: &str = "invoker";
+
+/// Panics if the installed chaos engine schedules a crash for `phase` now.
+/// `token` individualizes the draw (the activation id, typically).
+pub(crate) fn chaos_crash_point(phase: &str, token: u64) {
+    if let Some(chaos) = rustwren_sim::chaos::current() {
+        if chaos.should_crash(phase, token) {
+            panic!("chaos: injected crash at {phase}");
+        }
+    }
+}
+
+/// Writes a staged object with the end-to-end checksum stamp. Every staged
+/// write in the system (func, input, status, result, shuffle) goes through
+/// here, so readers can always demand a valid stamp.
+pub(crate) fn put_stamped(
+    cos: &CosClient,
+    bucket: &str,
+    key: &str,
+    payload: &[u8],
+) -> Result<(), rustwren_store::StoreError> {
+    cos.put(bucket, key, wire::stamp(payload)).map(|_| ())
+}
+
+/// Reads a staged object and verifies its checksum stamp, surfacing a
+/// failure as the typed [`PywrenError::Integrity`].
+pub(crate) fn get_verified(
+    cos: &CosClient,
+    bucket: &str,
+    key: &str,
+) -> crate::error::Result<Bytes> {
+    // A stamp failure means the *read* was corrupted — the stored object is
+    // intact — so a couple of immediate re-fetches usually heal it without
+    // burning a whole task attempt.
+    let mut last = None;
+    for _ in 0..3 {
+        let raw = cos.get(bucket, key).map_err(PywrenError::Storage)?;
+        match wire::verify_stamped(&raw) {
+            Ok(_) => return Ok(raw.slice(wire::STAMP_LEN..)),
+            Err(e) => {
+                last = Some(PywrenError::Integrity {
+                    key: format!("{bucket}/{key}"),
+                    detail: e.to_string(),
+                });
+            }
+        }
+    }
+    Err(last.expect("loop ran at least once"))
+}
 
 /// Key of a job's function blob.
 pub(crate) fn func_key(exec_id: &str, job_id: u64) -> String {
@@ -180,19 +243,24 @@ pub(crate) fn run_agent(
     let cos = ctx.cos_client();
     let fut = payload.future();
     let started = ctx.now().as_secs_f64();
+    let crash_token = hash2(ctx.activation_id().0, 0xA6E7);
 
+    chaos_crash_point(PHASE_BEFORE_RUN, crash_token);
     let outcome = execute_task(&cloud, ctx, &cos, &payload);
 
     let ended = ctx.now().as_secs_f64();
     // Best-effort status/result write: the client's wait() relies on it.
     match &outcome {
         Ok(result) => {
-            cos.put(&payload.bucket, &fut.result_key(), result.encode())
+            chaos_crash_point(PHASE_AFTER_COMPUTE, crash_token);
+            put_stamped(&cos, &payload.bucket, &fut.result_key(), &result.encode())
                 .map_err(|e| ActionError(format!("writing result: {e}")))?;
-            cos.put(
+            chaos_crash_point(PHASE_AFTER_PUT, crash_token);
+            put_stamped(
+                &cos,
                 &payload.bucket,
                 &fut.status_key(),
-                status_value("done", None, started, ended).encode(),
+                &status_value("done", None, started, ended).encode(),
             )
             .map_err(|e| ActionError(format!("writing status: {e}")))?;
             Ok(Bytes::from_static(b"ok"))
@@ -200,17 +268,21 @@ pub(crate) fn run_agent(
         Err(msg) => {
             // Under speculative execution two copies of the task race; a
             // completed `done` status must never be clobbered by a slower
-            // copy's error (first successful completion wins).
-            let done_already = cos
-                .get(&payload.bucket, &fut.status_key())
+            // copy's error (first successful completion wins). A status
+            // that fails its stamp check is treated as not-done: wrongly
+            // overwriting a corrupted-on-read `done` status is safe (the
+            // stored object wins at most once), silently keeping a bad one
+            // is not.
+            let done_already = get_verified(&cos, &payload.bucket, &fut.status_key())
                 .ok()
                 .and_then(|raw| Value::decode(&raw).ok())
                 .is_some_and(|s| s.get("state").and_then(Value::as_str) == Some("done"));
             if !done_already {
-                cos.put(
+                put_stamped(
+                    &cos,
                     &payload.bucket,
                     &fut.status_key(),
-                    status_value("error", Some(msg), started, ended).encode(),
+                    &status_value("error", Some(msg), started, ended).encode(),
                 )
                 .map_err(|e| ActionError(format!("writing status: {e}")))?;
             }
@@ -227,12 +299,18 @@ fn execute_task(
 ) -> Result<Value, String> {
     let fut = payload.future();
     // Download the "pickled" function, as the real agent does.
-    let _code = cos
-        .get(&payload.bucket, &func_key(&payload.exec_id, payload.job_id))
-        .map_err(|e| format!("fetching function: {e}"))?;
-    let input_raw = cos
-        .get(&payload.bucket, &format!("{}/input", fut.task_prefix()))
-        .map_err(|e| format!("fetching input: {e}"))?;
+    let _code = get_verified(
+        cos,
+        &payload.bucket,
+        &func_key(&payload.exec_id, payload.job_id),
+    )
+    .map_err(|e| format!("fetching function: {e}"))?;
+    let input_raw = get_verified(
+        cos,
+        &payload.bucket,
+        &format!("{}/input", fut.task_prefix()),
+    )
+    .map_err(|e| format!("fetching input: {e}"))?;
     let desc = Value::decode(&input_raw).map_err(|e| format!("decoding input: {e}"))?;
 
     let func = cloud
@@ -285,10 +363,11 @@ fn write_shuffle_partitions(
     }
     let total = pairs.len();
     for (r, bucket) in buckets.into_iter().enumerate() {
-        cos.put(
+        put_stamped(
+            cos,
             &payload.bucket,
             &shuffle_key(&fut.task_prefix(), r),
-            Value::List(bucket).encode(),
+            &Value::List(bucket).encode(),
         )
         .map_err(|e| format!("writing shuffle partition {r}: {e}"))?;
     }
@@ -315,8 +394,7 @@ fn build_shuffle_reduce_input(
 
     let mut groups: std::collections::BTreeMap<String, Value> = std::collections::BTreeMap::new();
     for d in &deps {
-        let raw = cos
-            .get(d.bucket(), &shuffle_key(&d.task_prefix(), index))
+        let raw = get_verified(cos, d.bucket(), &shuffle_key(&d.task_prefix(), index))
             .map_err(|e| format!("fetching shuffle partition: {e}"))?;
         let pairs = Value::decode(&raw).map_err(|e| format!("decoding shuffle data: {e}"))?;
         for pair in pairs.as_list().ok_or("shuffle object must hold a list")? {
@@ -380,8 +458,7 @@ fn build_input_base(ctx: &ActivationCtx, cos: &CosClient, desc: &Value) -> Resul
 
             let mut results = Vec::with_capacity(deps.len());
             for d in &deps {
-                let status_raw = cos
-                    .get(d.bucket(), &d.status_key())
+                let status_raw = get_verified(cos, d.bucket(), &d.status_key())
                     .map_err(|e| format!("fetching dep status: {e}"))?;
                 let status =
                     Value::decode(&status_raw).map_err(|e| format!("decoding dep status: {e}"))?;
@@ -392,8 +469,7 @@ fn build_input_base(ctx: &ActivationCtx, cos: &CosClient, desc: &Value) -> Resul
                         .unwrap_or("unknown error");
                     return Err(format!("map task {} failed: {msg}", d.label()));
                 }
-                let result_raw = cos
-                    .get(d.bucket(), &d.result_key())
+                let result_raw = get_verified(cos, d.bucket(), &d.result_key())
                     .map_err(|e| format!("fetching dep result: {e}"))?;
                 results.push(Value::decode(&result_raw).map_err(|e| format!("decoding dep: {e}"))?);
             }

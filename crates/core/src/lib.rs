@@ -52,6 +52,13 @@
 //!   platform limits before invocation ([`AnalyzeMode`], rules W001–W006
 //!   from [`rustwren_analyze`]); `Deny` mode rejects doomed plans with
 //!   [`PywrenError::Plan`].
+//! * **Chaos engineering & data integrity** — a deterministic
+//!   fault-injection plan ([`FaultPlan`], installed via
+//!   [`SimCloudBuilder::chaos`]) schedules COS outages/brownouts, payload
+//!   corruption, activation crashes and cold-start storms on the virtual
+//!   clock; every staged object is checksum-stamped ([`wire::stamp`]) and
+//!   verified on read, surfacing corruption as typed
+//!   [`PywrenError::Integrity`] errors that the [`RetryPolicy`] heals.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -81,11 +88,15 @@ pub use executor::{
     Executor, ExecutorBuilder, GetResultOpts, MapReduceOpts, ShuffleOpts, TaskTiming,
 };
 pub use future::{ResponseFuture, WaitPolicy, FUTURES_MARKER};
+pub use job::{PHASE_AFTER_COMPUTE, PHASE_AFTER_PUT, PHASE_BEFORE_RUN, PHASE_INVOKER};
 pub use partition::{DataSource, ObjectRef};
 pub use registry::{FunctionRegistry, RemoteFn, SizedFn, DEFAULT_CODE_SIZE};
 pub use rustwren_analyze::{
     analyze, AnalyzeMode, CloudProfile, Diagnostic, JobPlan, PlanHints, Rule, Severity,
     SpawnProfile,
+};
+pub use rustwren_sim::chaos::{
+    ChaosStats, CorruptMode, FaultPlan, FaultRecord, PathScope, TimeWindow,
 };
 pub use stats::RecoveryStats;
 pub use task::TaskCtx;

@@ -26,10 +26,24 @@ pub struct RecoveryStats {
     /// Error statuses the client wrote on behalf of tasks that died without
     /// reporting one (crash/timeout before the agent's status write).
     pub statuses_repaired: u64,
+    /// Checksum-stamp failures that were healed by a re-fetch or task
+    /// re-execution (corrupted/truncated reads caught in flight).
+    pub integrity_retries: u64,
+    /// Checksum-stamp failures that exhausted their refetch budget and
+    /// surfaced as typed [`crate::PywrenError::Integrity`] errors.
+    pub integrity_failures: u64,
+    /// Staged objects deleted by [`crate::Executor::clean`].
+    pub cleaned_objects: u64,
+    /// Faults injected by the installed chaos engine (COS faults,
+    /// corruptions, crashes, forced cold starts), `0` when no engine is
+    /// installed. Lets a chaos sweep confirm its plan actually fired.
+    pub faults_injected: u64,
 }
 
 impl RecoveryStats {
-    /// Total recovery actions taken.
+    /// Total invocation-level recovery actions taken (retries, speculative
+    /// launches, status repairs — integrity refetches are finer-grained and
+    /// counted separately).
     pub fn total_actions(&self) -> u64 {
         self.retries + self.speculative_launches + self.statuses_repaired
     }

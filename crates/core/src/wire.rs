@@ -64,6 +64,18 @@ pub enum WireError {
     TrailingBytes(usize),
     /// Nesting exceeded the decoder's depth limit.
     TooDeep,
+    /// A payload expected to carry a checksum stamp did not start with the
+    /// stamp magic (or was too short to hold one) — typically a truncated
+    /// response.
+    MissingStamp,
+    /// The payload's content checksum did not match its stamp: the bytes
+    /// were corrupted between write and read.
+    ChecksumMismatch {
+        /// Checksum recorded in the stamp at write time.
+        expected: u64,
+        /// Checksum computed over the received payload.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -74,6 +86,13 @@ impl fmt::Display for WireError {
             WireError::BadUtf8 => f.write_str("invalid utf-8 in string value"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after value"),
             WireError::TooDeep => write!(f, "nesting deeper than {MAX_DEPTH} levels"),
+            WireError::MissingStamp => {
+                f.write_str("payload is not checksum-stamped (truncated or foreign bytes)")
+            }
+            WireError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: stamped {expected:#018x}, computed {actual:#018x}"
+            ),
         }
     }
 }
@@ -88,6 +107,62 @@ const TAG_STR: u8 = 4;
 const TAG_BYTES: u8 = 5;
 const TAG_LIST: u8 = 6;
 const TAG_MAP: u8 = 7;
+
+/// Leading byte of a checksum-stamped payload. Deliberately outside the
+/// value tag range (0–7), so stamped bytes can never decode as a bare
+/// [`Value`] by accident — and a stamp stripped twice fails loudly.
+pub const STAMP_MAGIC: u8 = 0xC5;
+
+/// Bytes of stamp overhead: the magic plus a little-endian u64 checksum.
+pub const STAMP_LEN: usize = 9;
+
+/// Content checksum used by [`stamp`]/[`verify_stamped`]: a 64-bit FNV-1a
+/// fold finished with an avalanche mix, so single-byte flips and
+/// truncations change the digest with overwhelming probability. Not
+/// cryptographic — it detects corruption, not tampering.
+pub fn checksum64(data: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche so length-extension-ish patterns don't collide.
+    rustwren_sim::hash::mix64(h ^ (data.len() as u64))
+}
+
+/// Prefixes `payload` with [`STAMP_MAGIC`] and its [`checksum64`], producing
+/// the on-store representation of every staged object (func, data, status,
+/// result). Verified on read by [`verify_stamped`].
+pub fn stamp(payload: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(STAMP_LEN + payload.len());
+    out.push(STAMP_MAGIC);
+    out.extend_from_slice(&checksum64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Bytes::from(out)
+}
+
+/// Checks a stamped payload and returns the inner bytes.
+///
+/// # Errors
+///
+/// [`WireError::MissingStamp`] when the bytes are too short or don't start
+/// with [`STAMP_MAGIC`] (e.g. a truncated response), and
+/// [`WireError::ChecksumMismatch`] when the payload's recomputed checksum
+/// disagrees with the stamp.
+pub fn verify_stamped(data: &[u8]) -> Result<&[u8], WireError> {
+    if data.len() < STAMP_LEN || data[0] != STAMP_MAGIC {
+        return Err(WireError::MissingStamp);
+    }
+    let expected = u64::from_le_bytes(data[1..STAMP_LEN].try_into().expect("9-byte header"));
+    let payload = &data[STAMP_LEN..];
+    let actual = checksum64(payload);
+    if actual != expected {
+        return Err(WireError::ChecksumMismatch { expected, actual });
+    }
+    Ok(payload)
+}
 
 impl Value {
     /// Builds a `Value::Bytes` (explicit to avoid ambiguity with lists).
@@ -595,5 +670,61 @@ mod tests {
             .with("a", Value::from(vec![Value::Int(1), Value::from("xy")]))
             .with("b", Value::bytes(vec![1, 2, 3]));
         assert_eq!(v.encoded_len(), v.encode().len());
+    }
+
+    #[test]
+    fn stamp_roundtrips() {
+        let payload = Value::map().with("state", "done").encode();
+        let stamped = stamp(&payload);
+        assert_eq!(stamped.len(), payload.len() + STAMP_LEN);
+        assert_eq!(stamped[0], STAMP_MAGIC);
+        assert_eq!(verify_stamped(&stamped).unwrap(), payload.as_ref());
+    }
+
+    #[test]
+    fn stamp_detects_any_single_byte_flip() {
+        let payload = b"the quick brown fox".to_vec();
+        let stamped = stamp(&payload);
+        for i in 0..stamped.len() {
+            let mut bad = stamped.to_vec();
+            bad[i] ^= 0x5A;
+            assert!(verify_stamped(&bad).is_err(), "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn stamp_detects_truncation_at_every_length() {
+        let stamped = stamp(&Value::Int(42).encode());
+        for cut in 0..stamped.len() {
+            let err = verify_stamped(&stamped[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::MissingStamp | WireError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stamp_magic_is_outside_value_tag_range() {
+        // Stamped bytes must never decode as a plain value.
+        assert_eq!(
+            Value::decode(&stamp(&Value::Null.encode())),
+            Err(WireError::BadTag(STAMP_MAGIC))
+        );
+    }
+
+    #[test]
+    fn empty_payload_stamps_and_verifies() {
+        let stamped = stamp(&[]);
+        assert_eq!(verify_stamped(&stamped).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn checksum_distinguishes_length_patterns() {
+        assert_ne!(checksum64(&[0u8; 8]), checksum64(&[0u8; 9]));
+        assert_ne!(checksum64(b"ab"), checksum64(b"ba"));
     }
 }

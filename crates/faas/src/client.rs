@@ -8,25 +8,25 @@
 //! WAN spawning slow in the paper's §5.1.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use rustwren_sim::hash::hash2;
+use rustwren_sim::hash::{hash2, hash_str};
 use rustwren_sim::NetworkProfile;
 
 use crate::activation::{ActivationId, ActivationRecord};
 use crate::error::InvokeError;
 use crate::platform::CloudFunctions;
 
-/// A virtual-time client for [`CloudFunctions`]. Cheap to clone.
+/// A virtual-time client for [`CloudFunctions`]. Cheap to clone. Like
+/// [`rustwren_store::CosClient`], request tokens are a pure function of
+/// `(seed, action, virtual instant)`, so concurrent clones never perturb
+/// each other's jitter or failure draws.
 #[derive(Clone)]
 pub struct FaasClient {
     platform: CloudFunctions,
     net: NetworkProfile,
     seed: u64,
-    seq: Arc<AtomicU64>,
     max_attempts: u32,
     max_throttle_attempts: u32,
 }
@@ -47,7 +47,6 @@ impl FaasClient {
             platform: platform.clone(),
             net,
             seed,
-            seq: Arc::new(AtomicU64::new(0)),
             max_attempts: 5,
             max_throttle_attempts: 200,
         }
@@ -102,10 +101,11 @@ impl FaasClient {
     /// exhausting retries.
     pub fn invoke(&self, action: &str, payload: Bytes) -> Result<ActivationId, InvokeError> {
         let api_overhead = self.platform.config().api_overhead;
+        let path = hash_str(action);
         let mut net_attempts = 0;
         let mut throttle_attempts = 0;
         loop {
-            let token = hash2(self.seed, self.seq.fetch_add(1, Ordering::Relaxed));
+            let token = hash2(self.seed, hash2(path, rustwren_sim::now().as_nanos()));
             rustwren_sim::sleep(self.net.request_cost(payload.len() as u64, token) + api_overhead);
             if self.net.fails(token) {
                 net_attempts += 1;
@@ -150,7 +150,10 @@ impl FaasClient {
     ) -> Result<ActivationRecord, InvokeError> {
         let id = self.invoke(action, payload)?;
         let record = self.platform.wait(id);
-        let token = hash2(self.seed, self.seq.fetch_add(1, Ordering::Relaxed));
+        let token = hash2(
+            self.seed,
+            hash2(hash_str(action), rustwren_sim::now().as_nanos()),
+        );
         let result_len = record.result.as_ref().map_or(0, Bytes::len) as u64;
         rustwren_sim::sleep(self.net.request_cost(result_len, token));
         Ok(record)

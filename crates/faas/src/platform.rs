@@ -135,8 +135,8 @@ impl PlatformConfig {
 }
 
 struct Container {
-    /// Unique container id, used to derive the deterministic speed factor.
-    #[allow(dead_code)]
+    /// Unique container id, used to derive the deterministic speed factor
+    /// and as the order-independent LRU-eviction tie-break.
     id: u64,
     action: String,
     worker: usize,
@@ -696,10 +696,23 @@ impl CloudFunctions {
         loop {
             let waiter = {
                 let now = self.inner.kernel.now();
+                // Chaos cold-start storms bypass the warm pool: the warm
+                // container stays idle (it may still expire) while the
+                // activation pays the full cold-start path.
+                let storm = self
+                    .inner
+                    .kernel
+                    .chaos()
+                    .is_some_and(|c| c.cold_storm_active());
                 let mut pool = self.inner.pool.lock();
                 Self::expire_idle_locked(&mut pool, now, cfg.container_idle_timeout);
 
-                if let Some(c) = pool.warm.get_mut(action_name).and_then(|v| v.pop()) {
+                let warm_available = pool.warm.get(action_name).is_some_and(|v| !v.is_empty());
+                if storm && warm_available {
+                    if let Some(chaos) = self.inner.kernel.chaos() {
+                        chaos.record_forced_cold(action_name);
+                    }
+                } else if let Some(c) = pool.warm.get_mut(action_name).and_then(|v| v.pop()) {
                     pool.stats.warm_starts += 1;
                     return (c, false, None);
                 }
@@ -828,15 +841,18 @@ impl CloudFunctions {
     /// Returns whether one was evicted (leaving `total_containers`
     /// decremented, i.e. one slot free).
     fn evict_lru_locked(pool: &mut PoolState) -> bool {
-        let mut oldest: Option<(&String, usize, SimInstant)> = None;
+        // Tie-break equal `last_used` on container id: `warm` is a HashMap,
+        // and its iteration order must never leak into which container dies
+        // (determinism, see the sim kernel's serialization contract).
+        let mut oldest: Option<(&String, usize, SimInstant, u64)> = None;
         for (action, v) in &pool.warm {
             for (i, c) in v.iter().enumerate() {
-                if oldest.is_none_or(|(_, _, t)| c.last_used < t) {
-                    oldest = Some((action, i, c.last_used));
+                if oldest.is_none_or(|(_, _, t, id)| (c.last_used, c.id) < (t, id)) {
+                    oldest = Some((action, i, c.last_used, c.id));
                 }
             }
         }
-        if let Some((action, idx, _)) = oldest.map(|(a, i, t)| (a.clone(), i, t)) {
+        if let Some((action, idx, ..)) = oldest.map(|(a, i, t, id)| (a.clone(), i, t, id)) {
             pool.warm
                 .get_mut(&action)
                 .expect("action present")
@@ -1035,6 +1051,34 @@ mod tests {
         assert_eq!(faas.stats().cold_starts, 1);
         assert_eq!(faas.stats().warm_starts, 1);
         assert_eq!(faas.stats().image_pulls, 1);
+    }
+
+    #[test]
+    fn cold_storm_bypasses_warm_pool() {
+        use rustwren_sim::chaos::{ChaosEngine, FaultPlan, TimeWindow};
+        use std::sync::Arc;
+
+        let (kernel, faas) = setup(PlatformConfig::default());
+        kernel.install_chaos(Arc::new(ChaosEngine::new(
+            FaultPlan::new(7).cold_storm(TimeWindow::starting_at(Duration::from_secs(60))),
+        )));
+        faas.register_action("echo", ActionConfig::default(), echo_action())
+            .unwrap();
+        let chaos = kernel.chaos().unwrap();
+        kernel.run("client", || {
+            let id1 = faas.invoke("echo", Bytes::new()).unwrap();
+            faas.wait(id1);
+            // Outside the storm window a warm start is still possible.
+            let id2 = faas.invoke("echo", Bytes::new()).unwrap();
+            assert!(!faas.wait(id2).cold_start);
+            rustwren_sim::sleep(Duration::from_secs(60));
+            // Inside the window the warm container is bypassed.
+            let id3 = faas.invoke("echo", Bytes::new()).unwrap();
+            assert!(faas.wait(id3).cold_start);
+        });
+        assert_eq!(chaos.stats().forced_cold_starts, 1);
+        assert_eq!(faas.stats().cold_starts, 2);
+        assert_eq!(faas.stats().warm_starts, 1);
     }
 
     #[test]

@@ -26,6 +26,20 @@ pub fn hash2(a: u64, b: u64) -> u64 {
     mix64(mix64(a) ^ b.rotate_left(17))
 }
 
+/// Hashes a string to a 64-bit token (FNV-1a, finalized with [`mix64`]).
+///
+/// Used to fold request identities (like `"GET bucket/key"`) into the token
+/// stream, so two simulated threads issuing requests to *different* paths
+/// draw from independent streams no matter how the OS interleaves them.
+pub fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h)
+}
+
 /// Maps a token to a uniform float in `[0, 1)`.
 pub fn unit_f64(token: u64) -> f64 {
     // Use the top 53 bits for a full-precision mantissa.
@@ -51,6 +65,13 @@ mod tests {
     #[test]
     fn hash2_argument_order_matters() {
         assert_ne!(hash2(1, 2), hash2(2, 1));
+    }
+
+    #[test]
+    fn hash_str_is_deterministic_and_spread() {
+        assert_eq!(hash_str("GET b/k"), hash_str("GET b/k"));
+        assert_ne!(hash_str("GET b/k0"), hash_str("GET b/k1"));
+        assert_ne!(hash_str(""), hash_str("x"));
     }
 
     #[test]

@@ -6,7 +6,25 @@
 //! synchronization primitive from [`crate::sync`]). Virtual time advances
 //! only when every registered thread is blocked: the kernel then pops the
 //! earliest pending timer, moves the clock to its deadline, and wakes its
-//! waiters. Signals always wake threads at the *current* virtual instant.
+//! waiter. Signals always wake threads at the *current* virtual instant.
+//!
+//! # Determinism: cooperative serialization
+//!
+//! The kernel runs **at most one simulated thread at a time**. A wake (timer
+//! expiry, event fire, semaphore release) does not start the woken thread;
+//! it appends the thread to a FIFO *ready queue*. Only when the currently
+//! running thread blocks (or exits) does the kernel dispatch the next ready
+//! thread; when the ready queue is empty it pops exactly one timer — the
+//! earliest `(deadline, seq)` — and dispatches its waiter. Threads spawned
+//! from inside the simulation likewise start parked and join the ready
+//! queue.
+//!
+//! This cooperative hand-off makes the entire simulation a pure function of
+//! program order: two threads due at the same virtual instant execute in
+//! timer-sequence order, never concurrently, so lock-acquisition order,
+//! resource-pool picks and id assignment can never depend on OS scheduling.
+//! Same seed ⇒ bit-identical run, which is what lets the chaos engine
+//! ([`crate::chaos`]) promise exact fault-timeline replay.
 //!
 //! Because simulated processes are ordinary threads, arbitrary user code —
 //! including code that spawns further simulated threads mid-flight — runs
@@ -40,7 +58,7 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::fmt::Write as _;
 use std::panic::{self, AssertUnwindSafe};
@@ -78,6 +96,10 @@ struct WaiterSync {
     /// The owning thread has decremented the runnable count and is (about to
     /// be) parked on `cv`.
     parked: bool,
+    /// The dispatcher released this thread to run. A woken thread stays
+    /// parked (in the ready queue) until released — this is what serializes
+    /// execution to one simulated thread at a time.
+    released: bool,
     /// The wake was a deadlock broadcast: the woken thread must re-raise the
     /// recorded deadlock report instead of resuming.
     deadlocked: bool,
@@ -161,10 +183,15 @@ pub(crate) struct State {
     next_waiter_id: u64,
     next_resource_id: u64,
     timer_seq: u64,
-    /// Registered threads currently executing (not blocked).
+    /// Registered threads currently executing (not blocked). Under
+    /// cooperative serialization this is 0 or 1 except for externally
+    /// entered threads ([`Kernel::run`] callers).
     runnable: usize,
     /// Registered threads total (runnable + blocked).
     live: usize,
+    /// Threads woken (or freshly spawned) but not yet dispatched, in
+    /// deterministic FIFO order.
+    ready: VecDeque<Arc<Waiter>>,
     timers: BinaryHeap<Reverse<TimerEntry>>,
     /// waiter id → what it is blocked on, for deadlock diagnostics.
     blocked: HashMap<u64, BlockedInfo>,
@@ -220,6 +247,7 @@ pub struct KernelStats {
 struct Inner {
     state: Mutex<State>,
     stack_size: usize,
+    chaos: Mutex<Option<Arc<crate::chaos::ChaosEngine>>>,
 }
 
 /// A deterministic virtual-time kernel. Cheap to clone (shared handle).
@@ -285,6 +313,7 @@ impl Kernel {
                     timer_seq: 0,
                     runnable: 0,
                     live: 0,
+                    ready: VecDeque::new(),
                     timers: BinaryHeap::new(),
                     blocked: HashMap::new(),
                     resources: HashMap::new(),
@@ -292,8 +321,22 @@ impl Kernel {
                     stats: KernelStats::default(),
                 }),
                 stack_size,
+                chaos: Mutex::new(None),
             }),
         }
+    }
+
+    /// Installs a fault-injection engine on this kernel. Substrates running
+    /// on the kernel's simulated threads reach it via
+    /// [`chaos::current`](crate::chaos::current). Installing replaces any
+    /// previous engine.
+    pub fn install_chaos(&self, engine: Arc<crate::chaos::ChaosEngine>) {
+        *self.inner.chaos.lock() = Some(engine);
+    }
+
+    /// The fault-injection engine installed on this kernel, if any.
+    pub fn chaos(&self) -> Option<Arc<crate::chaos::ChaosEngine>> {
+        self.inner.chaos.lock().clone()
     }
 
     /// Current virtual time.
@@ -400,22 +443,32 @@ impl Kernel {
 
     /// Spawns a simulated thread running `f` and returns a join handle.
     ///
-    /// May be called from inside or outside the simulation; the new thread
-    /// starts runnable at the current virtual instant.
+    /// May be called from inside or outside the simulation. When the caller
+    /// is itself a simulated thread on this kernel, the new thread starts
+    /// *parked* in the ready queue and runs (at the current virtual instant)
+    /// only once the spawner blocks — preserving one-thread-at-a-time
+    /// determinism. External callers' threads start runnable immediately.
     pub fn spawn<T, F>(&self, name: impl Into<String>, f: F) -> SimJoinHandle<T>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
         let name = name.into();
+        let from_sim = try_current_waiter(self).is_some();
         let waiter = {
             let mut st = self.inner.state.lock();
             st.live += 1;
-            st.runnable += 1;
             st.stats.threads_started += 1;
             let id = st.next_waiter_id;
             st.next_waiter_id += 1;
-            Waiter::new(id, name.clone())
+            let waiter = Waiter::new(id, name.clone());
+            if from_sim {
+                waiter.sync.lock().notified = true;
+                st.ready.push_back(Arc::clone(&waiter));
+            } else {
+                st.runnable += 1;
+            }
+            waiter
         };
         let done = Event::named(self, format!("join:{name}"));
         let slot: Arc<Mutex<Option<thread::Result<T>>>> = Arc::new(Mutex::new(None));
@@ -426,6 +479,16 @@ impl Kernel {
             .name(name)
             .stack_size(self.inner.stack_size)
             .spawn(move || {
+                if from_sim {
+                    // Wait for the dispatcher before executing any user code.
+                    let mut ws = waiter.sync.lock();
+                    while !ws.released {
+                        waiter.cv.wait(&mut ws);
+                    }
+                    ws.released = false;
+                    ws.notified = false;
+                    drop(ws);
+                }
                 CURRENT.with(|c| {
                     *c.borrow_mut() = Some(ThreadCtx {
                         kernel: kernel.clone(),
@@ -522,16 +585,19 @@ impl Kernel {
                 },
             );
             while st.runnable == 0 {
-                Self::advance_locked(&mut st);
+                if !Self::release_next_locked(&mut st) {
+                    Self::advance_locked(&mut st);
+                }
             }
         }
         let deadlocked = {
             let mut ws = waiter.sync.lock();
-            while !ws.notified {
+            while !ws.released {
                 waiter.cv.wait(&mut ws);
             }
+            ws.released = false;
             ws.notified = false;
-            debug_assert!(!ws.parked, "wake_locked must clear `parked`");
+            debug_assert!(!ws.parked, "dispatch must clear `parked`");
             std::mem::take(&mut ws.deadlocked)
         };
         if deadlocked {
@@ -548,6 +614,12 @@ impl Kernel {
 
     /// Wakes `waiter` at the current virtual instant. Must be called with the
     /// kernel state lock held.
+    ///
+    /// The waiter does not start running: if parked, it moves to the ready
+    /// queue and runs only when [`release_next_locked`] dispatches it — one
+    /// simulated thread at a time, in deterministic FIFO order.
+    ///
+    /// [`release_next_locked`]: Kernel::release_next_locked
     pub(crate) fn wake_locked(st: &mut State, waiter: &Arc<Waiter>) {
         let mut ws = waiter.sync.lock();
         if ws.notified {
@@ -556,18 +628,49 @@ impl Kernel {
         ws.notified = true;
         if ws.parked {
             ws.parked = false;
-            st.runnable += 1;
             st.blocked.remove(&waiter.id);
-            waiter.cv.notify_one();
+            st.ready.push_back(Arc::clone(waiter));
         }
+    }
+
+    /// Dispatches the next ready thread, if any. Must be called with the
+    /// kernel state lock held. Returns whether a thread was released.
+    fn release_next_locked(st: &mut State) -> bool {
+        match st.ready.pop_front() {
+            Some(w) => {
+                st.runnable += 1;
+                let mut ws = w.sync.lock();
+                ws.released = true;
+                w.cv.notify_one();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Immediately releases `waiter` outside the ready queue. Only used by
+    /// the deadlock broadcast, where every blocked thread must wake into the
+    /// panic and no dispatcher will run again.
+    fn release_now_locked(st: &mut State, waiter: &Arc<Waiter>) {
+        let mut ws = waiter.sync.lock();
+        ws.notified = true;
+        ws.released = true;
+        if ws.parked {
+            ws.parked = false;
+            st.blocked.remove(&waiter.id);
+            st.runnable += 1;
+        }
+        waiter.cv.notify_one();
     }
 
     pub(crate) fn lock_state(&self) -> parking_lot::MutexGuard<'_, State> {
         self.inner.state.lock()
     }
 
-    /// Advances the clock to the earliest timer deadline and wakes every
-    /// timer due at that instant.
+    /// Advances the clock to the earliest timer deadline and wakes that one
+    /// timer's waiter (into the ready queue). Timers sharing a deadline are
+    /// popped one per call, in `seq` order, so their threads execute
+    /// serially and deterministically rather than racing.
     ///
     /// # Panics
     ///
@@ -585,21 +688,18 @@ impl Kernel {
                     st.blocked.values().map(|b| Arc::clone(&b.waiter)).collect();
                 for w in &waiters {
                     w.sync.lock().deadlocked = true;
-                    Self::wake_locked(st, w);
+                    Self::release_now_locked(st, w);
                 }
                 panic!("{report}");
             }
         };
         debug_assert!(deadline >= st.now, "timer scheduled in the past");
-        st.now = deadline;
-        st.stats.clock_advances += 1;
-        while let Some(Reverse(e)) = st.timers.peek() {
-            if e.deadline != deadline {
-                break;
-            }
-            let Reverse(e) = st.timers.pop().expect("peeked entry exists");
-            Self::wake_locked(st, &e.waiter);
+        if deadline > st.now {
+            st.stats.clock_advances += 1;
         }
+        st.now = deadline;
+        let Reverse(e) = st.timers.pop().expect("peeked entry exists");
+        Self::wake_locked(st, &e.waiter);
     }
 
     /// Renders the deadlock report: one line per blocked thread (with the
@@ -735,7 +835,9 @@ impl Kernel {
             return;
         }
         while st.runnable == 0 && st.live > 0 {
-            Self::advance_locked(&mut st);
+            if !Self::release_next_locked(&mut st) {
+                Self::advance_locked(&mut st);
+            }
         }
     }
 }
@@ -853,6 +955,13 @@ where
 /// Panics if the calling thread is not registered with a kernel.
 pub fn kernel() -> Kernel {
     current_ctx("rustwren_sim::kernel").kernel
+}
+
+/// The kernel of the current simulated thread, or `None` when the calling
+/// thread is not registered with one. Used by hooks (e.g. fault injection)
+/// that must stay silent off the simulation.
+pub(crate) fn try_kernel() -> Option<Kernel> {
+    CURRENT.with(|c| c.borrow().clone()).map(|ctx| ctx.kernel)
 }
 
 #[cfg(test)]

@@ -37,17 +37,24 @@
 //!   object-store and FaaS simulators.
 //! * [`hash`] — deterministic mixing used for per-request jitter so repeated
 //!   runs produce identical virtual timelines.
+//! * [`chaos`] — seed-deterministic fault injection (outage windows, payload
+//!   corruption, crash points, cold-start storms) scheduled on the virtual
+//!   clock.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod hash;
 mod kernel;
 mod net;
 pub mod sync;
 mod time;
 
+pub use chaos::{
+    ChaosEngine, ChaosStats, CorruptMode, FaultPlan, FaultRecord, PathScope, TimeWindow,
+};
 pub use kernel::{kernel, now, sleep, spawn, Kernel, KernelStats, ResourceId, SimJoinHandle};
 pub use net::NetworkProfile;
 pub use time::SimInstant;

@@ -74,9 +74,35 @@ impl NetworkProfile {
     }
 
     /// Returns this profile with a different failure rate.
+    ///
+    /// # Panics
+    /// Panics if `rate` is NaN, negative, or greater than 1.
     pub fn with_failure_rate(mut self, rate: f64) -> NetworkProfile {
+        assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "NetworkProfile::with_failure_rate: rate must be a finite \
+             probability in [0, 1], got {rate}"
+        );
         self.failure_rate = rate;
         self
+    }
+
+    /// Checks the profile's fields for values that would silently misbehave
+    /// downstream: `failure_rate` must be a finite probability in `[0, 1]`
+    /// and `bandwidth` must be non-zero. Consumers (the COS and FaaS client
+    /// constructors) call this at construction so a malformed profile fails
+    /// fast instead of producing NaN latencies or never-succeeding requests.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.failure_rate.is_finite() || !(0.0..=1.0).contains(&self.failure_rate) {
+            return Err(format!(
+                "failure_rate must be a finite probability in [0, 1], got {}",
+                self.failure_rate
+            ));
+        }
+        if self.bandwidth == 0 {
+            return Err("bandwidth must be non-zero".to_owned());
+        }
+        Ok(())
     }
 
     /// Time to complete a request carrying `bytes` of payload, identified by
@@ -153,6 +179,36 @@ mod tests {
         let fails = (0..100_000u64).filter(|&t| p.fails(t)).count();
         let rate = fails as f64 / 100_000.0;
         assert!((rate - 0.1).abs() < 0.01, "observed failure rate {rate}");
+    }
+
+    #[test]
+    fn validate_accepts_presets() {
+        for p in [
+            NetworkProfile::wan(),
+            NetworkProfile::lan(),
+            NetworkProfile::datacenter(),
+            NetworkProfile::instant(),
+        ] {
+            assert_eq!(p.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_failure_rates_and_bandwidth() {
+        for rate in [f64::NAN, f64::INFINITY, -0.1, 1.1] {
+            let mut p = NetworkProfile::lan();
+            p.failure_rate = rate;
+            assert!(p.validate().is_err(), "rate {rate} should be rejected");
+        }
+        let mut p = NetworkProfile::lan();
+        p.bandwidth = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn with_failure_rate_rejects_nan() {
+        let _ = NetworkProfile::lan().with_failure_rate(f64::NAN);
     }
 
     #[test]

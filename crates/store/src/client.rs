@@ -9,12 +9,10 @@
 //! exponential backoff like the real COS SDKs.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use rustwren_sim::hash::hash2;
+use rustwren_sim::hash::{hash2, hash_str};
 use rustwren_sim::NetworkProfile;
 
 use crate::error::StoreError;
@@ -54,8 +52,11 @@ impl Default for CosCosts {
 
 /// A virtual-time client for the simulated object store.
 ///
-/// Cheap to clone; clones share the retry budget configuration and token
-/// sequence (so timings stay deterministic per client identity).
+/// Cheap to clone. Each request's jitter/failure token is a pure function of
+/// the client seed, the request path and the virtual instant it is issued —
+/// never of a shared mutable sequence — so concurrent clones (parallel
+/// upload/fetch lanes) cannot perturb each other's draws and a run's full
+/// request timeline replays exactly from the same seed.
 ///
 /// # Examples
 ///
@@ -81,7 +82,6 @@ pub struct CosClient {
     net: NetworkProfile,
     costs: CosCosts,
     seed: u64,
-    seq: Arc<AtomicU64>,
     max_attempts: u32,
 }
 
@@ -97,13 +97,20 @@ impl fmt::Debug for CosClient {
 impl CosClient {
     /// Creates a client reaching `store` over `net`. `seed` individualizes
     /// this client's jitter/failure stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` fails [`NetworkProfile::validate`] (NaN or
+    /// out-of-range failure rate, zero bandwidth).
     pub fn new(store: &ObjectStore, net: NetworkProfile, seed: u64) -> CosClient {
+        if let Err(e) = net.validate() {
+            panic!("CosClient::new: invalid network profile: {e}");
+        }
         CosClient {
             store: store.clone(),
             net,
             costs: CosCosts::default(),
             seed,
-            seq: Arc::new(AtomicU64::new(0)),
             max_attempts: 4,
         }
     }
@@ -136,15 +143,37 @@ impl CosClient {
         &self.net
     }
 
-    fn charge(&self, op: &str, payload: u64, service: Duration) -> Result<(), StoreError> {
+    /// Charges one operation against the network and any installed chaos
+    /// engine; `op` is the display form for errors and fault logs, while
+    /// `bucket`/`key` let scoped faults (outages, brownouts) match the
+    /// request. Returns the token of the successful attempt so callers can
+    /// derive further deterministic draws (e.g. GET corruption) without
+    /// consuming extra sequence numbers.
+    fn charge(
+        &self,
+        op: &str,
+        bucket: &str,
+        key: &str,
+        payload: u64,
+        service: Duration,
+    ) -> Result<u64, StoreError> {
+        let chaos = rustwren_sim::chaos::current();
+        let path = hash_str(op);
         let mut attempt = 0;
         loop {
             attempt += 1;
-            let token = hash2(self.seed, self.seq.fetch_add(1, Ordering::Relaxed));
+            // Stateless token: (seed, path, issue instant). Attempts are
+            // separated by non-zero service/backoff sleeps, so each retry
+            // draws fresh; no shared counter means OS thread interleaving
+            // can never leak into the timing or fault stream.
+            let token = hash2(self.seed, hash2(path, rustwren_sim::now().as_nanos()));
             let cost = self.net.request_cost(payload, token) + service;
             rustwren_sim::sleep(cost);
-            if !self.net.fails(token) {
-                return Ok(());
+            let injected = chaos
+                .as_deref()
+                .is_some_and(|c| c.cos_attempt_fails(op, bucket, key, token));
+            if !injected && !self.net.fails(token) {
+                return Ok(token);
             }
             if attempt >= self.max_attempts {
                 return Err(StoreError::Network {
@@ -157,6 +186,19 @@ impl CosClient {
         }
     }
 
+    /// Applies any scheduled GET corruption to a response body. The draw is
+    /// derived from the successful request's token, so installing a chaos
+    /// engine never perturbs the client's token sequence (timings stay
+    /// comparable with fault-free runs).
+    fn maybe_corrupt(&self, bucket: &str, key: &str, token: u64, data: Bytes) -> Bytes {
+        match rustwren_sim::chaos::current()
+            .and_then(|c| c.corrupt_get(bucket, key, hash2(token, 0xC0DE), &data))
+        {
+            Some(mangled) => Bytes::from(mangled),
+            None => data,
+        }
+    }
+
     /// `PUT` an object.
     ///
     /// # Errors
@@ -166,6 +208,8 @@ impl CosClient {
     pub fn put(&self, bucket: &str, key: &str, data: Bytes) -> Result<ObjectMeta, StoreError> {
         self.charge(
             &format!("PUT {bucket}/{key}"),
+            bucket,
+            key,
             data.len() as u64,
             self.costs.data_op,
         )?;
@@ -218,6 +262,8 @@ impl CosClient {
                     for (i, (start, end)) in parts.into_iter().enumerate() {
                         client.charge(
                             &format!("PUT {bucket}/{key} part {lane}.{i}"),
+                            &bucket,
+                            &key,
                             (end - start) as u64,
                             client.costs.data_op,
                         )?;
@@ -238,6 +284,8 @@ impl CosClient {
         // Complete-multipart-upload request.
         self.charge(
             &format!("POST {bucket}/{key} complete"),
+            bucket,
+            key,
             512,
             self.costs.head_op,
         )?;
@@ -253,12 +301,14 @@ impl CosClient {
     pub fn get(&self, bucket: &str, key: &str) -> Result<Bytes, StoreError> {
         // HEAD-sized request out, payload back: charge on payload size.
         let data = self.store.get(bucket, key)?;
-        self.charge(
+        let token = self.charge(
             &format!("GET {bucket}/{key}"),
+            bucket,
+            key,
             data.len() as u64,
             self.costs.data_op,
         )?;
-        Ok(data)
+        Ok(self.maybe_corrupt(bucket, key, token, data))
     }
 
     /// `GET` a byte range `[start, end)` of an object.
@@ -275,12 +325,14 @@ impl CosClient {
         end: u64,
     ) -> Result<Bytes, StoreError> {
         let data = self.store.get_range(bucket, key, start, end)?;
-        self.charge(
+        let token = self.charge(
             &format!("GET {bucket}/{key}[{start}..{end}]"),
+            bucket,
+            key,
             data.len() as u64,
             self.costs.data_op,
         )?;
-        Ok(data)
+        Ok(self.maybe_corrupt(bucket, key, token, data))
     }
 
     /// `HEAD` an object.
@@ -290,7 +342,13 @@ impl CosClient {
     /// Store errors from the service, or [`StoreError::Network`] after
     /// exhausting retries.
     pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
-        self.charge(&format!("HEAD {bucket}/{key}"), 256, self.costs.head_op)?;
+        self.charge(
+            &format!("HEAD {bucket}/{key}"),
+            bucket,
+            key,
+            256,
+            self.costs.head_op,
+        )?;
         self.store.head(bucket, key)
     }
 
@@ -301,7 +359,13 @@ impl CosClient {
     /// Store errors from the service, or [`StoreError::Network`] after
     /// exhausting retries.
     pub fn head_bucket(&self, bucket: &str) -> Result<BucketMeta, StoreError> {
-        self.charge(&format!("HEAD {bucket}"), 256, self.costs.head_op)?;
+        self.charge(
+            &format!("HEAD {bucket}"),
+            bucket,
+            "",
+            256,
+            self.costs.head_op,
+        )?;
         self.store.head_bucket(bucket)
     }
 
@@ -316,6 +380,8 @@ impl CosClient {
         let batches = (entries.len() as u64).div_ceil(1_000).max(1) as u32;
         self.charge(
             &format!("LIST {bucket}/{prefix}*"),
+            bucket,
+            prefix,
             entries.len() as u64 * self.costs.list_entry_bytes,
             self.costs.list_op * batches,
         )?;
@@ -329,7 +395,13 @@ impl CosClient {
     /// Store errors from the service, or [`StoreError::Network`] after
     /// exhausting retries.
     pub fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
-        self.charge(&format!("DELETE {bucket}/{key}"), 64, self.costs.delete_op)?;
+        self.charge(
+            &format!("DELETE {bucket}/{key}"),
+            bucket,
+            key,
+            64,
+            self.costs.delete_op,
+        )?;
         self.store.delete(bucket, key)
     }
 
@@ -339,7 +411,13 @@ impl CosClient {
     ///
     /// [`StoreError::Network`] after exhausting retries.
     pub fn exists(&self, bucket: &str, key: &str) -> Result<bool, StoreError> {
-        self.charge(&format!("HEAD {bucket}/{key}"), 256, self.costs.head_op)?;
+        self.charge(
+            &format!("HEAD {bucket}/{key}"),
+            bucket,
+            key,
+            256,
+            self.costs.head_op,
+        )?;
         Ok(self.store.exists(bucket, key))
     }
 }
@@ -348,6 +426,7 @@ impl CosClient {
 mod tests {
     use super::*;
     use rustwren_sim::Kernel;
+    use std::sync::Arc;
 
     fn setup(net: NetworkProfile) -> (Kernel, CosClient) {
         let kernel = Kernel::new();
@@ -495,6 +574,94 @@ mod tests {
             })
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chaos_outage_window_fails_scoped_requests() {
+        use rustwren_sim::chaos::{ChaosEngine, FaultPlan, PathScope, TimeWindow};
+
+        let (kernel, client) = setup(NetworkProfile::instant());
+        kernel.install_chaos(Arc::new(ChaosEngine::new(FaultPlan::new(11).cos_outage(
+            PathScope::prefix("jobs/"),
+            TimeWindow::between(Duration::from_secs(1), Duration::from_secs(5000)),
+        ))));
+        kernel.run("client", || {
+            // Before the window: everything works.
+            client
+                .put("b", "jobs/e/j/func", Bytes::from_static(b"v"))
+                .unwrap();
+            rustwren_sim::sleep(Duration::from_secs(2));
+            // Inside the window: scoped keys fail after retries...
+            let err = client.get("b", "jobs/e/j/func").unwrap_err();
+            assert!(matches!(err, StoreError::Network { .. }), "got {err:?}");
+            // ...but out-of-scope keys are untouched.
+            client
+                .put("b", "raw/part-0", Bytes::from_static(b"v"))
+                .unwrap();
+        });
+    }
+
+    #[test]
+    fn chaos_corruption_mangles_response_not_store() {
+        use rustwren_sim::chaos::{ChaosEngine, CorruptMode, FaultPlan, PathScope, TimeWindow};
+
+        let (kernel, client) = setup(NetworkProfile::instant());
+        kernel.install_chaos(Arc::new(ChaosEngine::new(
+            FaultPlan::new(13)
+                .corrupt_get(
+                    PathScope::any(),
+                    TimeWindow::always(),
+                    CorruptMode::FlipByte,
+                    1.0,
+                )
+                .once(),
+        )));
+        kernel.run("client", || {
+            let body = Bytes::from(vec![9u8; 64]);
+            client.put("b", "k", body.clone()).unwrap();
+            let first = client.get("b", "k").unwrap();
+            assert_ne!(first, body, "first GET should be corrupted");
+            assert_eq!(first.len(), body.len());
+            // The stored object is intact; a re-fetch heals.
+            let second = client.get("b", "k").unwrap();
+            assert_eq!(second, body);
+        });
+    }
+
+    #[test]
+    fn chaos_does_not_perturb_timing_when_not_firing() {
+        use rustwren_sim::chaos::{ChaosEngine, FaultPlan, PathScope, TimeWindow};
+
+        let run = |with_chaos: bool| {
+            let (kernel, client) = setup(NetworkProfile::wan());
+            if with_chaos {
+                // A plan whose window never opens: must be timing-invisible.
+                kernel.install_chaos(Arc::new(ChaosEngine::new(FaultPlan::new(1).cos_outage(
+                    PathScope::any(),
+                    TimeWindow::between(Duration::from_secs(9_000), Duration::from_secs(9_001)),
+                ))));
+            }
+            kernel.run("client", || {
+                for i in 0..20 {
+                    client
+                        .put("b", &format!("k{i}"), Bytes::from(vec![1u8; 1000]))
+                        .unwrap();
+                    let _ = client.get("b", &format!("k{i}")).unwrap();
+                }
+                rustwren_sim::now().as_nanos()
+            })
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid network profile")]
+    fn constructor_rejects_invalid_profile() {
+        let kernel = Kernel::new();
+        let store = ObjectStore::new(&kernel);
+        let mut net = NetworkProfile::lan();
+        net.failure_rate = f64::NAN;
+        let _ = CosClient::new(&store, net, 1);
     }
 
     #[test]

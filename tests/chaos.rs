@@ -293,3 +293,382 @@ fn speculative_copies_rescue_stragglers_without_corrupting_results() {
     let runs = executions.lock().unwrap();
     assert_eq!(runs[&59], 2, "the straggler ran exactly one backup copy");
 }
+
+// ---------------------------------------------------------------------------
+// Deterministic chaos engine + end-to-end integrity: the acceptance harness.
+//
+// Every run below must terminate (the kernel panics on deadlock), and must
+// either produce results bitwise-identical to a fault-free run at the same
+// seed or fail with a clean typed error — never silently corrupted output.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+use rustwren::core::{
+    CorruptMode, DataSource, FaultPlan, MapReduceOpts, PathScope, SpawnStrategy, TimeWindow,
+    PHASE_AFTER_COMPUTE, PHASE_AFTER_PUT, PHASE_BEFORE_RUN, PHASE_INVOKER,
+};
+
+/// Task count for the harness jobs: enough fan-out to hit every hook.
+const TASKS: i64 = 24;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum JobKind {
+    Map,
+    MapReduce,
+}
+
+fn chaos_cloud(seed: u64, plan: Option<FaultPlan>) -> SimCloud {
+    let mut builder = SimCloud::builder()
+        .seed(seed)
+        .client_network(NetworkProfile::lan());
+    if let Some(plan) = plan {
+        builder = builder.chaos(plan);
+    }
+    builder.build()
+}
+
+fn register_pure_fns(cloud: &SimCloud) {
+    cloud.register_fn("square", |_ctx: &TaskCtx, v: Value| {
+        let n = v.as_i64().ok_or("int")?;
+        Ok(Value::Int(n * n))
+    });
+    cloud.register_fn("sum", |_ctx: &TaskCtx, v: Value| {
+        let total: i64 = v
+            .req_list("results")?
+            .iter()
+            .filter_map(Value::as_i64)
+            .sum();
+        Ok(Value::Int(total))
+    });
+}
+
+/// Runs one harness job on `cloud`, returning its results and the
+/// executor's recovery counters.
+fn run_job(
+    cloud: &SimCloud,
+    kind: JobKind,
+    retry: RetryPolicy,
+) -> rustwren::core::Result<(Vec<Value>, RecoveryStats)> {
+    register_pure_fns(cloud);
+    cloud.run(|| {
+        let exec = cloud.executor().retry(retry).build()?;
+        match kind {
+            JobKind::Map => {
+                exec.map("square", (0..TASKS).map(Value::from))?;
+            }
+            JobKind::MapReduce => {
+                exec.map_reduce(
+                    "square",
+                    DataSource::Values((0..TASKS).map(Value::from).collect()),
+                    "sum",
+                    MapReduceOpts::default(),
+                )?;
+            }
+        }
+        let results = exec.get_result()?;
+        Ok((results, exec.recovery_stats()))
+    })
+}
+
+/// The fault-free reference output for `kind` at `seed`.
+fn fault_free(seed: u64, kind: JobKind) -> Vec<Value> {
+    let cloud = chaos_cloud(seed, None);
+    run_job(&cloud, kind, RetryPolicy::disabled())
+        .expect("fault-free run succeeds")
+        .0
+}
+
+/// A recovery policy generous enough to outlast every sweep plan.
+fn sweep_retry() -> RetryPolicy {
+    RetryPolicy {
+        presumed_dead_after: Some(Duration::from_secs(10)),
+        ..RetryPolicy::with_attempts(8)
+    }
+}
+
+/// The fault schedules swept by the acceptance harness, seeded per run.
+fn sweep_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "brownout",
+            FaultPlan::new(seed).cos_brownout(
+                PathScope::any(),
+                TimeWindow::between(Duration::ZERO, Duration::from_secs(30)),
+                0.25,
+            ),
+        ),
+        (
+            "outage",
+            FaultPlan::new(seed).cos_outage(
+                PathScope::prefix("jobs/"),
+                TimeWindow::between(Duration::from_secs(2), Duration::from_secs(4)),
+            ),
+        ),
+        (
+            "corruption",
+            FaultPlan::new(seed)
+                .corrupt_get(
+                    PathScope::prefix("jobs/"),
+                    TimeWindow::always(),
+                    CorruptMode::FlipByte,
+                    0.2,
+                )
+                .corrupt_get(
+                    PathScope::prefix("jobs/"),
+                    TimeWindow::always(),
+                    CorruptMode::Truncate,
+                    0.1,
+                ),
+        ),
+        (
+            "crashes",
+            FaultPlan::new(seed)
+                .crash(PHASE_BEFORE_RUN, TimeWindow::always(), 0.15)
+                .crash(PHASE_AFTER_COMPUTE, TimeWindow::always(), 0.1)
+                .crash(PHASE_AFTER_PUT, TimeWindow::always(), 0.1)
+                .cold_storm(TimeWindow::between(Duration::ZERO, Duration::from_secs(10))),
+        ),
+    ]
+}
+
+/// The sweep's seed matrix: three baked-in seeds, plus an optional extra
+/// from `RUSTWREN_CHAOS_SEED` so CI can fan the sweep out over fresh seeds
+/// without touching the source.
+fn sweep_seeds() -> Vec<u64> {
+    let mut seeds = vec![41u64, 42, 43];
+    if let Some(extra) = std::env::var("RUSTWREN_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        if !seeds.contains(&extra) {
+            seeds.push(extra);
+        }
+    }
+    seeds
+}
+
+#[test]
+fn chaos_sweep_terminates_with_identical_results_or_typed_errors() {
+    let mut runs = 0u32;
+    let mut successes = 0u32;
+    let mut faults = 0u64;
+    let seeds = sweep_seeds();
+    for seed in seeds.iter().copied() {
+        for kind in [JobKind::Map, JobKind::MapReduce] {
+            let expected = fault_free(seed, kind);
+            for (name, plan) in sweep_plans(seed) {
+                runs += 1;
+                let cloud = chaos_cloud(seed, Some(plan));
+                let outcome = run_job(&cloud, kind, sweep_retry());
+                faults += cloud.chaos_stats().total();
+                match outcome {
+                    Ok((results, _)) => {
+                        assert_eq!(
+                            results, expected,
+                            "seed {seed} plan {name} {kind:?}: silent corruption"
+                        );
+                        successes += 1;
+                    }
+                    Err(e) => {
+                        // A typed error is an acceptable outcome; garbage
+                        // results or a hang are not.
+                        eprintln!("seed {seed} plan {name} {kind:?}: {e}");
+                        assert!(
+                            !e.to_string().is_empty(),
+                            "seed {seed} plan {name} {kind:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(runs, seeds.len() as u32 * 2 * 4);
+    assert!(faults > 0, "the sweep injected faults");
+    assert!(
+        successes * 4 >= runs * 3,
+        "recovery healed most runs: {successes}/{runs}"
+    );
+}
+
+#[test]
+fn fault_timeline_replays_exactly_for_same_seed_and_plan() {
+    let mk_plan = || {
+        FaultPlan::new(77)
+            .cos_brownout(
+                PathScope::any(),
+                TimeWindow::between(Duration::ZERO, Duration::from_secs(20)),
+                0.3,
+            )
+            .corrupt_get(
+                PathScope::prefix("jobs/"),
+                TimeWindow::always(),
+                CorruptMode::FlipByte,
+                0.15,
+            )
+            .crash(PHASE_BEFORE_RUN, TimeWindow::always(), 0.1)
+    };
+    // The property under test is *replay*, not survival: whether the run
+    // heals or dies with a typed error, the second run must do exactly the
+    // same thing at exactly the same virtual instants. MapReduce exercises
+    // paths a plain map never touches (reducer agents polling and fetching
+    // map results mid-fault), so both job shapes are pinned.
+    for kind in [JobKind::Map, JobKind::MapReduce] {
+        let run = || {
+            let cloud = chaos_cloud(9, Some(mk_plan()));
+            let outcome = run_job(&cloud, kind, sweep_retry())
+                .map(|(results, _)| results)
+                .map_err(|e| e.to_string());
+            (outcome, cloud.fault_log(), cloud.chaos_stats())
+        };
+        let (outcome1, log1, stats1) = run();
+        let (outcome2, log2, stats2) = run();
+        assert!(!log1.is_empty(), "the plan fired ({kind:?})");
+        assert_eq!(log1, log2, "same seed + plan, same fault timeline");
+        assert_eq!(stats1, stats2);
+        assert_eq!(outcome1, outcome2);
+    }
+}
+
+#[test]
+fn integrity_faults_are_counted_and_healed() {
+    let seed = 61;
+    let expected = fault_free(seed, JobKind::Map);
+    let plan = FaultPlan::new(seed).corrupt_get(
+        PathScope::prefix("jobs/"),
+        TimeWindow::always(),
+        CorruptMode::FlipByte,
+        0.25,
+    );
+    let cloud = chaos_cloud(seed, Some(plan));
+    let (results, stats) =
+        run_job(&cloud, JobKind::Map, RetryPolicy::with_attempts(6)).expect("corruption healed");
+    assert_eq!(results, expected, "healed run matches the baseline");
+    assert!(cloud.chaos_stats().corruptions > 0);
+    assert_eq!(stats.faults_injected, cloud.chaos_stats().total());
+    assert!(
+        stats.integrity_retries + stats.retries > 0,
+        "corrupted reads were detected and recovered: {stats:?}"
+    );
+}
+
+#[test]
+fn total_corruption_surfaces_typed_integrity_error_not_garbage() {
+    let plan = FaultPlan::new(62).corrupt_get(
+        PathScope::prefix("jobs/"),
+        TimeWindow::always(),
+        CorruptMode::FlipByte,
+        1.0,
+    );
+    let cloud = chaos_cloud(62, Some(plan));
+    register_pure_fns(&cloud);
+    cloud.run(|| {
+        let exec = cloud.executor().build().unwrap();
+        exec.map("square", (0..4).map(Value::from)).unwrap();
+        let err = exec.get_result().unwrap_err();
+        assert!(
+            matches!(err, PywrenError::Integrity { .. }),
+            "typed integrity error, got: {err}"
+        );
+        assert!(exec.recovery_stats().integrity_failures > 0);
+    });
+}
+
+#[test]
+fn invoker_kill_is_presumed_dead_and_respawned() {
+    let seed = 55;
+    let expected = fault_free(seed, JobKind::Map);
+    let plan = FaultPlan::new(seed)
+        .crash(PHASE_INVOKER, TimeWindow::always(), 1.0)
+        .once();
+    let cloud = chaos_cloud(seed, Some(plan));
+    register_pure_fns(&cloud);
+    let (results, stats) = cloud.run(|| {
+        let exec = cloud
+            .executor()
+            .spawn(SpawnStrategy::RemoteInvoker {
+                group_size: 8,
+                invoker_threads: 2,
+            })
+            .retry(RetryPolicy {
+                presumed_dead_after: Some(Duration::from_secs(5)),
+                ..RetryPolicy::with_attempts(3)
+            })
+            .build()
+            .unwrap();
+        exec.map("square", (0..TASKS).map(Value::from)).unwrap();
+        (exec.get_result().unwrap(), exec.recovery_stats())
+    });
+    assert_eq!(results, expected);
+    assert_eq!(cloud.chaos_stats().crashes, 1, "exactly one invoker died");
+    assert!(
+        stats.retries >= 1,
+        "the dead invoker's tasks were respawned: {stats:?}"
+    );
+}
+
+#[test]
+fn clean_deletes_staged_objects_and_counts_them() {
+    let cloud = chaos_cloud(60, None);
+    register_pure_fns(&cloud);
+    cloud.run(|| {
+        let exec = cloud.executor().build().unwrap();
+        exec.map("square", (0..5).map(Value::from)).unwrap();
+        exec.get_result().unwrap();
+        let deleted = exec.clean().unwrap();
+        assert!(deleted > 0, "the job staged objects");
+        assert_eq!(exec.recovery_stats().cleaned_objects, deleted as u64);
+        assert_eq!(exec.clean().unwrap(), 0, "nothing left to delete");
+    });
+}
+
+/// One fault of the given kind, armed to fire exactly once at `t`.
+fn single_fault_plan(seed: u64, kind: u32, t: Duration) -> FaultPlan {
+    let window = TimeWindow::between(t, t + Duration::from_secs(1));
+    let open_ended = TimeWindow::starting_at(t);
+    let plan = FaultPlan::new(seed);
+    match kind {
+        0 => plan.cos_outage(PathScope::any(), window).once(),
+        1 => plan.cos_brownout(PathScope::any(), window, 1.0).once(),
+        2 => plan
+            .corrupt_get(
+                PathScope::prefix("jobs/"),
+                open_ended,
+                CorruptMode::FlipByte,
+                1.0,
+            )
+            .once(),
+        3 => plan
+            .corrupt_get(
+                PathScope::prefix("jobs/"),
+                open_ended,
+                CorruptMode::Truncate,
+                1.0,
+            )
+            .once(),
+        4 => plan.crash(PHASE_BEFORE_RUN, open_ended, 1.0).once(),
+        5 => plan.crash(PHASE_AFTER_COMPUTE, open_ended, 1.0).once(),
+        6 => plan.crash(PHASE_AFTER_PUT, open_ended, 1.0).once(),
+        _ => plan.cold_storm(TimeWindow::between(t, t + Duration::from_secs(5))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single injected fault — every kind, at an arbitrary firing time —
+    /// with recovery enabled yields results identical to the fault-free
+    /// baseline at the same seed.
+    #[test]
+    fn any_single_fault_is_absorbed(kind in 0u32..8, at_secs in 0u64..20, seed in 100u64..200) {
+        let plan = single_fault_plan(seed, kind, Duration::from_secs(at_secs));
+        let expected = fault_free(seed, JobKind::Map);
+        let cloud = chaos_cloud(seed, Some(plan));
+        let retry = RetryPolicy {
+            presumed_dead_after: Some(Duration::from_secs(8)),
+            ..RetryPolicy::with_attempts(4)
+        };
+        let (results, _) = run_job(&cloud, JobKind::Map, retry)
+            .expect("a single fault with recovery enabled is always absorbed");
+        prop_assert_eq!(results, expected);
+    }
+}
