@@ -13,16 +13,18 @@ use rustwren_analyze::{
 use rustwren_faas::{ActivationId, FaasClient, Outcome};
 use rustwren_sim::hash::{hash2, unit_f64};
 use rustwren_sim::{NetworkProfile, SimInstant};
-use rustwren_store::CosClient;
+use rustwren_store::{CosClient, OpCounters};
 
 use crate::cloud::SimCloud;
-use crate::config::{ExecutorConfig, RetryPolicy, SpawnStrategy, SpeculationConfig};
+use crate::config::{
+    DataPathConfig, ExecutorConfig, RetryPolicy, SpawnStrategy, SpeculationConfig,
+};
 use crate::error::{PywrenError, Result};
 use crate::future::{ResponseFuture, WaitPolicy};
 use crate::invoker::{agent_action_name, deploy_agent, spawn_tasks};
 use crate::job::{func_key, status_value, AgentPayload, TaskSpec};
 use crate::partition::{discover, partition_objects, DataSource};
-use crate::stats::RecoveryStats;
+use crate::stats::{CosOpStats, RecoveryStats};
 use crate::wire::Value;
 
 /// Client threads used to upload task inputs to COS before invocation.
@@ -89,6 +91,10 @@ impl fmt::Debug for GetResultOpts {
 /// the executor submitted, keyed by `(job_id, task)`.
 struct TaskRecovery {
     func_name: String,
+    /// The inlined task descriptor, when the task's input rode inside the
+    /// activation payload: retries and re-invocations must re-ship it,
+    /// because no staged input object exists in COS to fall back on.
+    inline: Option<Value>,
     /// Executions so far (1 after the initial invocation).
     attempts: u32,
     /// When the latest primary execution was invoked.
@@ -115,6 +121,7 @@ struct RecoveryCounters {
     integrity_retries: AtomicU64,
     integrity_failures: AtomicU64,
     cleaned_objects: AtomicU64,
+    lists_saved: AtomicU64,
 }
 
 struct ExecInner {
@@ -134,7 +141,13 @@ struct ExecInner {
     /// (job id, task) → recovery state for the retry/speculation machinery.
     recovery: parking_lot::Mutex<std::collections::HashMap<(u64, u32), TaskRecovery>>,
     counters: RecoveryCounters,
+    /// Client for the polling/gathering phase (status LISTs, recovery
+    /// probes, result fetches, cleanup) — its op counters feed
+    /// [`CosOpStats::polling`].
     cos: CosClient,
+    /// Client for the staging phase (func blob, task-input uploads,
+    /// discovery) — its op counters feed [`CosOpStats::staging`].
+    cos_stage: CosClient,
     faas: FaasClient,
 }
 
@@ -235,6 +248,15 @@ impl ExecutorBuilder {
         self
     }
 
+    /// Configures the hot-path data optimisations: inline task inputs and
+    /// the warm-container function-blob cache. Use
+    /// [`DataPathConfig::staged`] to reproduce the original framework's
+    /// 4-round-trips-per-task behaviour.
+    pub fn data_path(mut self, data_path: DataPathConfig) -> ExecutorBuilder {
+        self.config.data_path = data_path;
+        self
+    }
+
     /// Replaces the whole configuration.
     pub fn config(mut self, config: ExecutorConfig) -> ExecutorBuilder {
         self.config = config;
@@ -279,6 +301,9 @@ impl ExecutorBuilder {
             .unwrap_or_else(|| self.cloud.client_network().clone());
         let seed = hash2(self.cloud.inner.seed, hash2(0xE0EC, exec_id.len() as u64));
         let cos = CosClient::new(self.cloud.store(), net.clone(), seed);
+        // Same timing/seed behaviour, separate op-count ledger: per-phase
+        // operation budgets stay attributable (CosOpStats).
+        let cos_stage = cos.clone().with_counters(OpCounters::shared());
         let faas = FaasClient::new(self.cloud.functions(), net, hash2(seed, 0xFA));
         let agent_action = agent_action_name(&self.config.runtime);
         Ok(Executor {
@@ -294,6 +319,7 @@ impl ExecutorBuilder {
                 recovery: parking_lot::Mutex::new(std::collections::HashMap::new()),
                 counters: RecoveryCounters::default(),
                 cos,
+                cos_stage,
                 faas,
             }),
         })
@@ -391,7 +417,7 @@ impl Executor {
                 values.iter().map(|_| String::new()).collect(),
             ),
             _ => {
-                let objects = discover(&self.inner.cos, &source)?;
+                let objects = discover(&self.inner.cos_stage, &source)?;
                 max_object_bytes = objects.iter().map(|o| o.meta.logical_size).max();
                 let parts = partition_objects(&objects, opts.chunk_size)?;
                 let groups = parts.iter().map(|p| p.key.clone()).collect();
@@ -413,9 +439,13 @@ impl Executor {
         // Reduce phase.
         let poll = self.inner.config.reduce_poll_interval;
         let reduce_specs: Vec<TaskSpec> = if opts.reducer_one_per_object {
+            // Order-preserving dedup: first-appearance order decides reducer
+            // order, with a set alongside so this stays O(n) rather than the
+            // former `Vec::contains` scan over every prior group.
+            let mut seen_set: HashSet<&str> = HashSet::with_capacity(groups.len());
             let mut seen: Vec<String> = Vec::new();
             for g in &groups {
-                if !seen.contains(g) {
+                if seen_set.insert(g.as_str()) {
                     seen.push(g.clone());
                 }
             }
@@ -505,7 +535,7 @@ impl Executor {
         let inner_specs: Vec<TaskSpec> = match &source {
             DataSource::Values(values) => values.iter().cloned().map(TaskSpec::Value).collect(),
             _ => {
-                let objects = discover(&self.inner.cos, &source)?;
+                let objects = discover(&self.inner.cos_stage, &source)?;
                 max_object_bytes = objects.iter().map(|o| o.meta.logical_size).max();
                 partition_objects(&objects, opts.chunk_size)?
                     .into_iter()
@@ -552,11 +582,15 @@ impl Executor {
     /// Builds the pre-flight [`JobPlan`] the analyzer sees for a job of
     /// `specs` submitted under the name `func`: task count, resolved spawn
     /// strategy, partition sizes, reducer fan-in, plus the configured
-    /// [`rustwren_analyze::PlanHints`].
+    /// [`rustwren_analyze::PlanHints`]. `descs` are the encoded-to-be task
+    /// descriptors: those small enough to ride inline in the activation
+    /// payload count toward the per-task payload estimate (W003), since
+    /// they occupy container memory instead of a staged COS object.
     fn plan_for(
         &self,
         func: &str,
         specs: &[TaskSpec],
+        descs: &[Value],
         chunk_size: Option<u64>,
         max_object_bytes: Option<u64>,
     ) -> JobPlan {
@@ -587,6 +621,17 @@ impl Executor {
         if let [TaskSpec::Reduce { deps, .. }] | [TaskSpec::ShuffleReduce { deps, .. }] = specs {
             plan.reducer_fanin = Some(deps.len());
         }
+        let threshold = self.inner.config.data_path.inline_input_max_bytes;
+        if threshold > 0 {
+            let biggest_inline = descs
+                .iter()
+                .map(Value::encoded_len)
+                .filter(|&len| len <= threshold)
+                .max();
+            if let Some(b) = biggest_inline {
+                plan.est_payload_bytes = Some(b as u64);
+            }
+        }
         plan.apply_hints(&self.inner.config.plan_hints);
         plan
     }
@@ -605,6 +650,7 @@ impl Executor {
         &self,
         func: &str,
         specs: &[TaskSpec],
+        descs: &[Value],
         chunk_size: Option<u64>,
         max_object_bytes: Option<u64>,
     ) -> Result<()> {
@@ -612,7 +658,7 @@ impl Executor {
         if mode == AnalyzeMode::Off {
             return Ok(());
         }
-        let plan = self.plan_for(func, specs, chunk_size, max_object_bytes);
+        let plan = self.plan_for(func, specs, descs, chunk_size, max_object_bytes);
         let diagnostics = self.analyze_plan(&plan);
         if diagnostics.is_empty() {
             return Ok(());
@@ -634,7 +680,20 @@ impl Executor {
         chunk_size: Option<u64>,
         max_object_bytes: Option<u64>,
     ) -> Result<Vec<ResponseFuture>> {
-        self.preflight(func, &specs, chunk_size, max_object_bytes)?;
+        // Encode the task descriptors up front: the analyzer needs their
+        // sizes (inline inputs count toward the activation payload), and
+        // staging needs the values themselves.
+        let descs: Vec<Value> = specs
+            .iter()
+            .map(|s| {
+                let mut desc = s.to_value();
+                if let Some(extra) = &extra {
+                    desc = desc.with("extra", extra.clone());
+                }
+                desc
+            })
+            .collect();
+        self.preflight(func, &specs, &descs, chunk_size, max_object_bytes)?;
         let registry = self.inner.cloud.registry();
         let Some(f) = registry.get(func) else {
             return Err(PywrenError::UnknownFunction(func.to_owned()));
@@ -643,44 +702,51 @@ impl Executor {
         self.inner.job_funcs.lock().insert(job_id, func.to_owned());
         let bucket = &self.inner.config.storage_bucket;
         let exec_id = &self.inner.exec_id;
+        let data_path = &self.inner.config.data_path;
 
         // 1. Stage the "serialized function" once per job (checksum-stamped
         // like every staged object).
         crate::job::put_stamped(
-            &self.inner.cos,
+            &self.inner.cos_stage,
             bucket,
             &func_key(exec_id, job_id),
             &vec![0u8; f.code_size() as usize],
         )?;
 
-        // 2. Stage the per-task inputs from a client upload pool.
-        let payloads: Vec<AgentPayload> = (0..specs.len() as u32)
-            .map(|task| AgentPayload {
+        // 2. Stage the per-task inputs from a client upload pool — except
+        // descriptors small enough to ride inline in the activation payload,
+        // which skip COS entirely (no input PUT here, no input GET in the
+        // agent).
+        let threshold = data_path.inline_input_max_bytes;
+        let mut payloads: Vec<AgentPayload> = Vec::with_capacity(specs.len());
+        let mut uploads: Vec<(String, Bytes)> = Vec::new();
+        for (task, desc) in descs.into_iter().enumerate() {
+            let mut payload = AgentPayload {
                 bucket: bucket.clone(),
                 exec_id: exec_id.clone(),
                 job_id,
-                task,
+                task: task as u32,
                 func_name: func.to_owned(),
-            })
-            .collect();
-        let uploads: Vec<(String, Bytes)> = payloads
-            .iter()
-            .zip(&specs)
-            .map(|(p, s)| {
-                let mut desc = s.to_value();
-                if let Some(extra) = &extra {
-                    desc = desc.with("extra", extra.clone());
-                }
-                (
-                    format!("{}/input", p.future().task_prefix()),
+                inline: None,
+                cache: data_path.func_cache,
+                batch: data_path.batched_dep_watch,
+                inline_max: data_path.inline_input_max_bytes,
+            };
+            if threshold > 0 && desc.encoded_len() <= threshold {
+                payload.inline = Some(desc);
+            } else {
+                uploads.push((
+                    format!("{}/input", payload.future().task_prefix()),
                     crate::wire::stamp(&desc.encode()),
-                )
-            })
-            .collect();
+                ));
+            }
+            payloads.push(payload);
+        }
         self.parallel_upload(uploads)?;
 
         // 3. Invoke.
         let futures: Vec<ResponseFuture> = payloads.iter().map(AgentPayload::future).collect();
+        let inlines: Vec<Option<Value>> = payloads.iter().map(|p| p.inline.clone()).collect();
         let ids = spawn_tasks(
             &self.inner.faas,
             &self.inner.config.spawn,
@@ -689,11 +755,12 @@ impl Executor {
         )?;
         let now = self.inner.cloud.kernel().now();
         let mut recovery = self.inner.recovery.lock();
-        for (f, id) in futures.iter().zip(ids) {
+        for ((f, id), inline) in futures.iter().zip(ids).zip(inlines) {
             recovery.insert(
                 (f.job_id(), f.task()),
                 TaskRecovery {
                     func_name: func.to_owned(),
+                    inline,
                     attempts: 1,
                     invoked_at: now,
                     activation: id,
@@ -722,7 +789,7 @@ impl Executor {
             .into_iter()
             .enumerate()
             .map(|(t, chunk)| {
-                let cos = self.inner.cos.clone();
+                let cos = self.inner.cos_stage.clone();
                 let bucket = bucket.clone();
                 rustwren_sim::spawn(format!("upload-{t}"), move || {
                     for (key, data) in chunk {
@@ -747,7 +814,12 @@ impl Executor {
     /// Polls which of `futures` have a status object in COS. One LIST per
     /// distinct job prefix; listed keys are matched against a precomputed
     /// status-key index so polling stays cheap at thousands of tasks.
-    fn poll_done(&self, futures: &[ResponseFuture]) -> Result<HashSet<ResponseFuture>> {
+    ///
+    /// Also returns how many prefix LISTs the snapshot took, so the
+    /// recovery pass — which consumes the same snapshot instead of
+    /// re-listing the identical prefixes in the same cycle — can account
+    /// the operations it avoided ([`RecoveryStats::lists_saved`]).
+    fn poll_done(&self, futures: &[ResponseFuture]) -> Result<(HashSet<ResponseFuture>, u64)> {
         let mut prefixes: Vec<(String, String)> = Vec::new();
         let mut by_status_key: std::collections::HashMap<String, &ResponseFuture> =
             std::collections::HashMap::with_capacity(futures.len());
@@ -758,6 +830,7 @@ impl Executor {
             }
             by_status_key.insert(f.status_key(), f);
         }
+        let listed_prefixes = prefixes.len() as u64;
         let mut done = HashSet::new();
         for (bucket, prefix) in prefixes {
             let listed = self.inner.cos.list(&bucket, &prefix)?;
@@ -767,7 +840,7 @@ impl Executor {
                 }
             }
         }
-        Ok(done)
+        Ok((done, listed_prefixes))
     }
 
     /// The automatic fault-recovery pass, run between status polls by
@@ -800,12 +873,20 @@ impl Executor {
         &self,
         tracked: &[ResponseFuture],
         done: &mut HashSet<ResponseFuture>,
+        listed_prefixes: u64,
     ) -> Result<()> {
         let retry = self.inner.config.retry.clone();
         let speculation = self.inner.config.speculation.clone();
         if !retry.enabled() && !speculation.enabled {
             return Ok(());
         }
+        // The recovery pass derives "which tasks have a status" from the
+        // poll tick's listing snapshot (`done`) instead of re-listing the
+        // same prefixes itself — one LIST per prefix per cycle, not two.
+        self.inner
+            .counters
+            .lists_saved
+            .fetch_add(listed_prefixes, Ordering::Relaxed);
         self.classify_completed(tracked, done, &retry)?;
         self.handle_pending(tracked, done, &retry)?;
         if speculation.enabled {
@@ -1125,12 +1206,12 @@ impl Executor {
     /// bookkeeping untouched.
     fn relaunch(&self, f: &ResponseFuture, speculative: bool) -> Result<()> {
         let key = (f.job_id(), f.task());
-        let func_name = {
+        let (func_name, inline) = {
             let recovery = self.inner.recovery.lock();
             let Some(r) = recovery.get(&key) else {
                 return Ok(());
             };
-            r.func_name.clone()
+            (r.func_name.clone(), r.inline.clone())
         };
         let payload = AgentPayload {
             bucket: f.bucket().to_owned(),
@@ -1138,6 +1219,10 @@ impl Executor {
             job_id: f.job_id(),
             task: f.task(),
             func_name,
+            inline,
+            cache: self.inner.config.data_path.func_cache,
+            batch: self.inner.config.data_path.batched_dep_watch,
+            inline_max: self.inner.config.data_path.inline_input_max_bytes,
         };
         let ids = spawn_tasks(
             &self.inner.faas,
@@ -1218,6 +1303,21 @@ impl Executor {
                 .kernel()
                 .chaos()
                 .map_or(0, |c| c.stats().total()),
+            lists_saved: self.inner.counters.lists_saved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-phase COS operation counts for this executor: client-side
+    /// staging, client-side polling/gathering, and in-cloud agent traffic.
+    /// The agent phase is tallied by the FaaS platform, so it covers every
+    /// executor sharing the cloud; the client phases are exclusively this
+    /// executor's. Benches and tests assert operation budgets from these
+    /// instead of inferring them from virtual timings.
+    pub fn cos_op_stats(&self) -> CosOpStats {
+        CosOpStats {
+            staging: self.inner.cos_stage.counters().snapshot(),
+            polling: self.inner.cos.counters().snapshot(),
+            agent: self.inner.cloud.functions().agent_op_counts(),
         }
     }
 
@@ -1236,9 +1336,9 @@ impl Executor {
         let watched = self.with_guarded(&tracked);
         let mut poll_failures = 0u32;
         loop {
-            let polled = self
-                .poll_done(&watched)
-                .and_then(|mut done| self.recover(&watched, &mut done).map(|()| done));
+            let polled = self.poll_done(&watched).and_then(|(mut done, prefixes)| {
+                self.recover(&watched, &mut done, prefixes).map(|()| done)
+            });
             let done = match polled {
                 Ok(done) => {
                     poll_failures = 0;
@@ -1317,9 +1417,9 @@ impl Executor {
         let watched = self.with_guarded(futures);
         let mut poll_failures = 0u32;
         loop {
-            let polled = self
-                .poll_done(&watched)
-                .and_then(|mut done| self.recover(&watched, &mut done).map(|()| done));
+            let polled = self.poll_done(&watched).and_then(|(mut done, prefixes)| {
+                self.recover(&watched, &mut done, prefixes).map(|()| done)
+            });
             let done = match polled {
                 Ok(done) => {
                     poll_failures = 0;
@@ -1471,8 +1571,15 @@ impl Executor {
                     .to_owned(),
             });
         }
-        let raw = self.fetch_verified(f.bucket(), &f.result_key())?;
-        let value = Value::decode(&raw)?;
+        let value = match status.get("result") {
+            // Small results ride inside the status object — no separate
+            // `…/result` GET (nor the object itself) exists for them.
+            Some(v) => v.clone(),
+            None => {
+                let raw = self.fetch_verified(f.bucket(), &f.result_key())?;
+                Value::decode(&raw)?
+            }
+        };
         match ResponseFuture::set_from_value(&value) {
             Ok(Some(subfutures)) => {
                 // Composition-aware: transparently await the sub-job. A
@@ -1529,8 +1636,9 @@ impl Executor {
     }
 
     /// Re-invokes tasks of this executor (e.g. after a
-    /// [`PywrenError::Task`] from `get_result`): their staged inputs are
-    /// still in COS, so the agents simply run again, overwriting the old
+    /// [`PywrenError::Task`] from `get_result`): staged inputs are still in
+    /// COS and inline inputs are re-shipped from the executor's retained
+    /// descriptors, so the agents simply run again, overwriting the old
     /// status and result. The futures are tracked again for `get_result`.
     ///
     /// # Errors
@@ -1553,6 +1661,14 @@ impl Executor {
                         f.job_id()
                     ))
                 })?;
+            // An inline task has no staged input to fall back on; re-ship
+            // the descriptor retained at submit time.
+            let inline = {
+                let recovery = self.inner.recovery.lock();
+                recovery
+                    .get(&(f.job_id(), f.task()))
+                    .and_then(|r| r.inline.clone())
+            };
             // Clear stale completion markers so polling sees the rerun.
             self.inner.cos.delete(f.bucket(), &f.status_key())?;
             self.inner.cos.delete(f.bucket(), &f.result_key())?;
@@ -1562,6 +1678,10 @@ impl Executor {
                 job_id: f.job_id(),
                 task: f.task(),
                 func_name,
+                inline,
+                cache: self.inner.config.data_path.func_cache,
+                batch: self.inner.config.data_path.batched_dep_watch,
+                inline_max: self.inner.config.data_path.inline_input_max_bytes,
             });
         }
         let ids = spawn_tasks(
@@ -1579,6 +1699,7 @@ impl Executor {
                 (payload.job_id, payload.task),
                 TaskRecovery {
                     func_name: payload.func_name,
+                    inline: payload.inline,
                     attempts: 1,
                     invoked_at: now,
                     activation: id,

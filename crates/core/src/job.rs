@@ -68,9 +68,11 @@ pub(crate) fn put_stamped(
     cos.put(bucket, key, wire::stamp(payload)).map(|_| ())
 }
 
-/// Reads a staged object and verifies its checksum stamp, surfacing a
-/// failure as the typed [`PywrenError::Integrity`].
-pub(crate) fn get_verified(
+/// Reads a staged object and verifies its checksum stamp, returning the
+/// *whole stamped representation* (magic + checksum + payload) — the form
+/// the container-local blob cache stores, so cache hits can be re-validated
+/// against the same stamp. Surfaces failure as [`PywrenError::Integrity`].
+pub(crate) fn get_stamped_raw(
     cos: &CosClient,
     bucket: &str,
     key: &str,
@@ -82,7 +84,7 @@ pub(crate) fn get_verified(
     for _ in 0..3 {
         let raw = cos.get(bucket, key).map_err(PywrenError::Storage)?;
         match wire::verify_stamped(&raw) {
-            Ok(_) => return Ok(raw.slice(wire::STAMP_LEN..)),
+            Ok(_) => return Ok(raw),
             Err(e) => {
                 last = Some(PywrenError::Integrity {
                     key: format!("{bucket}/{key}"),
@@ -94,30 +96,61 @@ pub(crate) fn get_verified(
     Err(last.expect("loop ran at least once"))
 }
 
+/// Reads a staged object and verifies its checksum stamp, surfacing a
+/// failure as the typed [`PywrenError::Integrity`].
+pub(crate) fn get_verified(
+    cos: &CosClient,
+    bucket: &str,
+    key: &str,
+) -> crate::error::Result<Bytes> {
+    get_stamped_raw(cos, bucket, key).map(|raw| raw.slice(wire::STAMP_LEN..))
+}
+
 /// Key of a job's function blob.
 pub(crate) fn func_key(exec_id: &str, job_id: u64) -> String {
     format!("jobs/{exec_id}/{job_id}/func")
 }
 
-/// The small payload carried by each agent invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The small payload carried by each agent invocation. With the inline
+/// data path, the task descriptor itself may ride along (`inline`),
+/// eliminating the staged input object and its PUT/GET round trip.
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct AgentPayload {
     pub bucket: String,
     pub exec_id: String,
     pub job_id: u64,
     pub task: u32,
     pub func_name: String,
+    /// Inlined task descriptor: when set, the agent uses this instead of
+    /// fetching `…/input` from COS (which is never staged for such tasks).
+    pub inline: Option<Value>,
+    /// Whether the agent may serve the function blob from the
+    /// container-local cache instead of re-fetching it from COS.
+    pub cache: bool,
+    /// Whether reducers watch dependencies with one batched LIST per poll
+    /// tick (instead of the legacy O(deps) per-key probes).
+    pub batch: bool,
+    /// Inline-result threshold: results whose encoding is at most this many
+    /// bytes ride inside the status object (one PUT completes the task and
+    /// delivers the result). `0` always stages the result separately.
+    pub inline_max: usize,
 }
 
 impl AgentPayload {
     pub(crate) fn encode(&self) -> Bytes {
-        Value::map()
+        let mut v = Value::map()
             .with("bucket", self.bucket.as_str())
             .with("exec", self.exec_id.as_str())
             .with("job", self.job_id as i64)
             .with("task", i64::from(self.task))
             .with("func", self.func_name.as_str())
-            .encode()
+            .with("cache", self.cache)
+            .with("batch", self.batch)
+            .with("ilmax", self.inline_max as i64);
+        if let Some(inline) = &self.inline {
+            v = v.with("inline", inline.clone());
+        }
+        v.encode()
     }
 
     pub(crate) fn decode(raw: &[u8]) -> Result<AgentPayload, String> {
@@ -128,6 +161,11 @@ impl AgentPayload {
             job_id: v.req_i64("job")? as u64,
             task: v.req_i64("task")? as u32,
             func_name: v.req_str("func")?.to_owned(),
+            inline: v.get("inline").cloned(),
+            // Absent on payloads from older clients: staged semantics.
+            cache: v.get("cache").and_then(Value::as_bool).unwrap_or(false),
+            batch: v.get("batch").and_then(Value::as_bool).unwrap_or(false),
+            inline_max: v.get("ilmax").and_then(Value::as_i64).unwrap_or(0).max(0) as usize,
         })
     }
 
@@ -253,16 +291,20 @@ pub(crate) fn run_agent(
     match &outcome {
         Ok(result) => {
             chaos_crash_point(PHASE_AFTER_COMPUTE, crash_token);
-            put_stamped(&cos, &payload.bucket, &fut.result_key(), &result.encode())
-                .map_err(|e| ActionError(format!("writing result: {e}")))?;
+            let encoded = result.encode();
+            let mut status = status_value("done", None, started, ended);
+            if payload.inline_max > 0 && encoded.len() <= payload.inline_max {
+                // Small results ride inside the status object: a single PUT
+                // both marks the task done and delivers the result, so no
+                // `…/result` object (and no gather GET for it) ever exists.
+                status = status.with("result", result.clone());
+            } else {
+                put_stamped(&cos, &payload.bucket, &fut.result_key(), &encoded)
+                    .map_err(|e| ActionError(format!("writing result: {e}")))?;
+            }
             chaos_crash_point(PHASE_AFTER_PUT, crash_token);
-            put_stamped(
-                &cos,
-                &payload.bucket,
-                &fut.status_key(),
-                &status_value("done", None, started, ended).encode(),
-            )
-            .map_err(|e| ActionError(format!("writing status: {e}")))?;
+            put_stamped(&cos, &payload.bucket, &fut.status_key(), &status.encode())
+                .map_err(|e| ActionError(format!("writing status: {e}")))?;
             Ok(Bytes::from_static(b"ok"))
         }
         Err(msg) => {
@@ -298,20 +340,23 @@ fn execute_task(
     payload: &AgentPayload,
 ) -> Result<Value, String> {
     let fut = payload.future();
-    // Download the "pickled" function, as the real agent does.
-    let _code = get_verified(
-        cos,
-        &payload.bucket,
-        &func_key(&payload.exec_id, payload.job_id),
-    )
-    .map_err(|e| format!("fetching function: {e}"))?;
-    let input_raw = get_verified(
-        cos,
-        &payload.bucket,
-        &format!("{}/input", fut.task_prefix()),
-    )
-    .map_err(|e| format!("fetching input: {e}"))?;
-    let desc = Value::decode(&input_raw).map_err(|e| format!("decoding input: {e}"))?;
+    // Download the "pickled" function, as the real agent does — via the
+    // warm-container blob cache when the client allows it.
+    let _code = fetch_func_blob(ctx, cos, payload)?;
+    let desc = match &payload.inline {
+        // The descriptor rode inside the activation payload: no staged
+        // input object exists for this task.
+        Some(desc) => desc.clone(),
+        None => {
+            let input_raw = get_verified(
+                cos,
+                &payload.bucket,
+                &format!("{}/input", fut.task_prefix()),
+            )
+            .map_err(|e| format!("fetching input: {e}"))?;
+            Value::decode(&input_raw).map_err(|e| format!("decoding input: {e}"))?
+        }
+    };
 
     let func = cloud
         .registry()
@@ -329,19 +374,65 @@ fn execute_task(
         "shuffle-map" => {
             let reducers = desc.req_i64("reducers")?.max(1) as usize;
             let inner = desc.get("inner").ok_or("missing field `inner`")?;
-            let input = build_input(ctx, cos, inner)?;
+            let input = build_input(ctx, cos, inner, payload.batch)?;
             let output = call(input)?;
             write_shuffle_partitions(cos, payload, &fut, output, reducers)
         }
         "shuffle-reduce" => {
-            let input = build_shuffle_reduce_input(ctx, cos, &desc)?;
+            let input = build_shuffle_reduce_input(ctx, cos, &desc, payload.batch)?;
             call(input)
         }
         _ => {
-            let input = build_input(ctx, cos, &desc)?;
+            let input = build_input(ctx, cos, &desc, payload.batch)?;
             call(input)
         }
     }
+}
+
+/// Fetches the job's function blob, serving warm-container repeats from the
+/// [`rustwren_faas::BlobCache`] when the payload allows it. The cache holds
+/// the *stamped* bytes, so every hit is re-validated against the end-to-end
+/// checksum: an entry poisoned in container memory (the chaos engine's
+/// `PoisonCache` fault) fails validation, is dropped, and heals via a fresh
+/// COS fetch — corruption never silently reaches the user function.
+fn fetch_func_blob(
+    ctx: &ActivationCtx,
+    cos: &CosClient,
+    payload: &AgentPayload,
+) -> Result<Bytes, String> {
+    let key = func_key(&payload.exec_id, payload.job_id);
+    if !payload.cache {
+        return get_verified(cos, &payload.bucket, &key)
+            .map_err(|e| format!("fetching function: {e}"));
+    }
+    let cache = ctx.blob_cache();
+    if let Some(mut stamped) = cache.get(&key) {
+        if let Some(chaos) = rustwren_sim::chaos::current() {
+            let token = hash2(ctx.activation_id().0, 0xCACE);
+            if let Some(poisoned) = chaos.poison_cached_blob(&payload.bucket, &key, token, &stamped)
+            {
+                // The fault corrupts the cached copy itself, not just this
+                // read — keep the damage in the cache so the heal is real.
+                stamped = Bytes::from(poisoned);
+                cache.insert(&key, stamped.clone());
+            }
+        }
+        if wire::verify_stamped(&stamped).is_ok() {
+            ctx.note_blob_cache(true);
+            return Ok(stamped.slice(wire::STAMP_LEN..));
+        }
+        cache.remove(&key);
+        let fresh = get_stamped_raw(cos, &payload.bucket, &key)
+            .map_err(|e| format!("refetching poisoned cached function: {e}"))?;
+        cache.insert(&key, fresh.clone());
+        ctx.note_blob_cache_heal();
+        return Ok(fresh.slice(wire::STAMP_LEN..));
+    }
+    let stamped = get_stamped_raw(cos, &payload.bucket, &key)
+        .map_err(|e| format!("fetching function: {e}"))?;
+    cache.insert(&key, stamped.clone());
+    ctx.note_blob_cache(false);
+    Ok(stamped.slice(wire::STAMP_LEN..))
 }
 
 /// Hash-partitions a shuffling map task's `(key, value)` pairs into one COS
@@ -382,6 +473,7 @@ fn build_shuffle_reduce_input(
     ctx: &ActivationCtx,
     cos: &CosClient,
     desc: &Value,
+    batch: bool,
 ) -> Result<Value, String> {
     let deps = desc
         .req_list("deps")?
@@ -390,13 +482,21 @@ fn build_shuffle_reduce_input(
         .collect::<Result<Vec<_>, _>>()?;
     let index = desc.req_i64("index")?.max(0) as usize;
     let poll = Duration::from_millis(desc.req_i64("poll_ms")?.max(1) as u64);
-    wait_for_deps(ctx, cos, &deps, poll)?;
 
-    let mut groups: std::collections::BTreeMap<String, Value> = std::collections::BTreeMap::new();
-    for d in &deps {
+    // Gather each map's shuffle partition as soon as its status lands,
+    // slotted by dep index; the final merge runs in dep order, so the
+    // grouped output is bitwise-identical to a barrier-then-gather pass.
+    let mut slots: Vec<Option<Value>> = vec![None; deps.len()];
+    for_each_dep_done(ctx, cos, &deps, poll, batch, |i, d| {
         let raw = get_verified(cos, d.bucket(), &shuffle_key(&d.task_prefix(), index))
             .map_err(|e| format!("fetching shuffle partition: {e}"))?;
-        let pairs = Value::decode(&raw).map_err(|e| format!("decoding shuffle data: {e}"))?;
+        slots[i] = Some(Value::decode(&raw).map_err(|e| format!("decoding shuffle data: {e}"))?);
+        Ok(())
+    })?;
+
+    let mut groups: std::collections::BTreeMap<String, Value> = std::collections::BTreeMap::new();
+    for pairs in &slots {
+        let pairs = pairs.as_ref().expect("every dep fetched");
         for pair in pairs.as_list().ok_or("shuffle object must hold a list")? {
             let k = pair.req_str("k")?;
             let v = pair.get("v").cloned().unwrap_or(Value::Null);
@@ -416,8 +516,13 @@ fn build_shuffle_reduce_input(
 
 /// Materializes the user function's input from the task descriptor,
 /// merging any job-level `extra` entries into map-shaped inputs.
-fn build_input(ctx: &ActivationCtx, cos: &CosClient, desc: &Value) -> Result<Value, String> {
-    let input = build_input_base(ctx, cos, desc)?;
+fn build_input(
+    ctx: &ActivationCtx,
+    cos: &CosClient,
+    desc: &Value,
+    batch: bool,
+) -> Result<Value, String> {
+    let input = build_input_base(ctx, cos, desc, batch)?;
     let Some(extra) = desc.get("extra").and_then(Value::as_map) else {
         return Ok(input);
     };
@@ -434,7 +539,12 @@ fn build_input(ctx: &ActivationCtx, cos: &CosClient, desc: &Value) -> Result<Val
     }
 }
 
-fn build_input_base(ctx: &ActivationCtx, cos: &CosClient, desc: &Value) -> Result<Value, String> {
+fn build_input_base(
+    ctx: &ActivationCtx,
+    cos: &CosClient,
+    desc: &Value,
+    batch: bool,
+) -> Result<Value, String> {
     match desc.req_str("kind")? {
         "value" => Ok(desc.get("value").cloned().unwrap_or(Value::Null)),
         "partition" => {
@@ -454,10 +564,13 @@ fn build_input_base(ctx: &ActivationCtx, cos: &CosClient, desc: &Value) -> Resul
             let poll = Duration::from_millis(desc.req_i64("poll_ms")?.max(1) as u64);
             let group = desc.get("group").cloned().unwrap_or(Value::Null);
 
-            wait_for_deps(ctx, cos, &deps, poll)?;
-
-            let mut results = Vec::with_capacity(deps.len());
-            for d in &deps {
+            // Gather map results in *completion order* as each status
+            // lands, instead of waiting for the full barrier and then
+            // downloading everything at once. Results are slotted by dep
+            // index, so the reduce function still sees them in submission
+            // order — only the download timing changes.
+            let mut slots: Vec<Option<Value>> = vec![None; deps.len()];
+            for_each_dep_done(ctx, cos, &deps, poll, batch, |i, d| {
                 let status_raw = get_verified(cos, d.bucket(), &d.status_key())
                     .map_err(|e| format!("fetching dep status: {e}"))?;
                 let status =
@@ -469,10 +582,21 @@ fn build_input_base(ctx: &ActivationCtx, cos: &CosClient, desc: &Value) -> Resul
                         .unwrap_or("unknown error");
                     return Err(format!("map task {} failed: {msg}", d.label()));
                 }
-                let result_raw = get_verified(cos, d.bucket(), &d.result_key())
-                    .map_err(|e| format!("fetching dep result: {e}"))?;
-                results.push(Value::decode(&result_raw).map_err(|e| format!("decoding dep: {e}"))?);
-            }
+                slots[i] = Some(match status.get("result") {
+                    // The map's result rode inside its status object.
+                    Some(r) => r.clone(),
+                    None => {
+                        let result_raw = get_verified(cos, d.bucket(), &d.result_key())
+                            .map_err(|e| format!("fetching dep result: {e}"))?;
+                        Value::decode(&result_raw).map_err(|e| format!("decoding dep: {e}"))?
+                    }
+                });
+                Ok(())
+            })?;
+            let results: Vec<Value> = slots
+                .into_iter()
+                .map(|s| s.expect("every dep fetched"))
+                .collect();
             Ok(Value::map()
                 .with("group", group)
                 .with("results", Value::List(results)))
@@ -482,33 +606,68 @@ fn build_input_base(ctx: &ActivationCtx, cos: &CosClient, desc: &Value) -> Resul
 }
 
 /// "The reduce function will wait for all the partial results before
-/// processing them" (§4.3): poll COS until every dependency has a status.
-fn wait_for_deps(
+/// processing them" (§4.3) — implemented as a single batched watch: one
+/// LIST per distinct job prefix per poll tick covers every dependency
+/// (instead of O(deps) per-key probes), and `fetch(i, dep)` runs for each
+/// dependency *as its status lands*, so downloads overlap the stragglers
+/// still running rather than queueing behind a full barrier.
+///
+/// With `batch` off, each poll tick probes every still-pending status key
+/// individually — the original data path, kept for ablation and for
+/// payloads from older clients. Either way results are slotted by
+/// dependency index, so the assembled input is bitwise-identical.
+fn for_each_dep_done<F>(
     ctx: &ActivationCtx,
     cos: &CosClient,
     deps: &[ResponseFuture],
     poll: Duration,
-) -> Result<(), String> {
-    // One LIST per distinct job prefix covers all dependencies cheaply;
-    // precompute the wanted status keys so each poll is a set intersection.
+    batch: bool,
+    mut fetch: F,
+) -> Result<(), String>
+where
+    F: FnMut(usize, &ResponseFuture) -> Result<(), String>,
+{
+    // Precompute the wanted status keys so each poll is a set intersection.
     let mut prefixes: Vec<(&str, String)> = Vec::new();
-    let mut wanted: std::collections::HashSet<String> =
-        std::collections::HashSet::with_capacity(deps.len());
-    for d in deps {
+    let mut wanted: std::collections::HashMap<String, usize> =
+        std::collections::HashMap::with_capacity(deps.len());
+    for (i, d) in deps.iter().enumerate() {
         let p = (d.bucket(), d.job_prefix());
         if !prefixes.iter().any(|q| q.0 == p.0 && q.1 == p.1) {
             prefixes.push(p);
         }
-        wanted.insert(d.status_key());
+        wanted.insert(d.status_key(), i);
     }
+    let mut fetched = vec![false; deps.len()];
+    let mut done = 0usize;
     loop {
-        let mut done = 0usize;
-        for (bucket, prefix) in &prefixes {
-            let listed = cos
-                .list(bucket, prefix)
-                .map_err(|e| format!("listing statuses: {e}"))?;
-            for meta in listed {
-                if wanted.contains(&meta.key) {
+        if batch {
+            for (bucket, prefix) in &prefixes {
+                let listed = cos
+                    .list(bucket, prefix)
+                    .map_err(|e| format!("listing statuses: {e}"))?;
+                for meta in listed {
+                    let Some(&i) = wanted.get(&meta.key) else {
+                        continue;
+                    };
+                    if !fetched[i] {
+                        fetched[i] = true;
+                        fetch(i, &deps[i])?;
+                        done += 1;
+                    }
+                }
+            }
+        } else {
+            for (i, d) in deps.iter().enumerate() {
+                if fetched[i] {
+                    continue;
+                }
+                // One existence probe per pending dependency per tick —
+                // a transient error reads as "not there yet" and is
+                // retried next tick.
+                if cos.get(d.bucket(), &d.status_key()).is_ok() {
+                    fetched[i] = true;
+                    fetch(i, d)?;
                     done += 1;
                 }
             }
@@ -549,8 +708,54 @@ mod tests {
             job_id: 4,
             task: 9,
             func_name: "tone".into(),
+            inline: None,
+            cache: false,
+            batch: false,
+            inline_max: 0,
         };
         assert_eq!(AgentPayload::decode(&p.encode()), Ok(p));
+    }
+
+    #[test]
+    fn agent_payload_carries_inline_desc_and_cache_flag() {
+        let p = AgentPayload {
+            bucket: "b".into(),
+            exec_id: "e1".into(),
+            job_id: 4,
+            task: 9,
+            func_name: "tone".into(),
+            inline: Some(Value::map().with("kind", "value").with("value", 7i64)),
+            cache: true,
+            batch: true,
+            inline_max: 64 * 1024,
+        };
+        let decoded = AgentPayload::decode(&p.encode()).expect("decodes");
+        assert_eq!(decoded, p);
+        assert_eq!(
+            decoded
+                .inline
+                .as_ref()
+                .and_then(|d| d.get("kind"))
+                .and_then(Value::as_str),
+            Some("value")
+        );
+        assert!(decoded.cache);
+    }
+
+    #[test]
+    fn agent_payload_without_cache_key_defaults_to_staged_semantics() {
+        // A payload encoded before the data-path fields existed still
+        // decodes — and conservatively disables both optimisations.
+        let old = Value::map()
+            .with("bucket", "b")
+            .with("exec", "e1")
+            .with("job", 4i64)
+            .with("task", 9i64)
+            .with("func", "tone")
+            .encode();
+        let decoded = AgentPayload::decode(&old).expect("decodes");
+        assert_eq!(decoded.inline, None);
+        assert!(!decoded.cache);
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub mod wire;
 
 pub use cloud::{SimCloud, SimCloudBuilder};
 pub use compose::SEQUENCE_FN;
-pub use config::{ExecutorConfig, RetryPolicy, SpawnStrategy, SpeculationConfig};
+pub use config::{DataPathConfig, ExecutorConfig, RetryPolicy, SpawnStrategy, SpeculationConfig};
 pub use convert::FromValue;
 pub use error::{PywrenError, Result};
 pub use executor::{
@@ -98,6 +98,7 @@ pub use rustwren_analyze::{
 pub use rustwren_sim::chaos::{
     ChaosStats, CorruptMode, FaultPlan, FaultRecord, PathScope, TimeWindow,
 };
-pub use stats::RecoveryStats;
+pub use rustwren_store::OpCounts;
+pub use stats::{CosOpStats, RecoveryStats};
 pub use task::TaskCtx;
 pub use wire::Value;

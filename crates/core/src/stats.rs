@@ -9,9 +9,39 @@ use std::time::Duration;
 
 use rustwren_faas::ActivationRecord;
 use rustwren_sim::SimInstant;
+use rustwren_store::OpCounts;
 
 /// One point of a concurrency-over-time series: `(seconds, running)`.
 pub type ConcurrencyPoint = (f64, usize);
+
+/// Per-phase COS operation counts over one executor's lifetime; see
+/// [`crate::Executor::cos_op_stats`]. Each phase is a separate
+/// [`OpCounts`] snapshot, so benches and tests can assert operation
+/// budgets (gets/puts/lists/bytes) instead of inferring them from timings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CosOpStats {
+    /// Client-side staging: func blob and task-input uploads at submit.
+    pub staging: OpCounts,
+    /// Client-side polling and gathering: status LISTs, recovery probes,
+    /// result fetches, cleanup.
+    pub polling: OpCounts,
+    /// In-cloud agent traffic: func/input GETs, result/status PUTs, reduce
+    /// dep-watching — everything issued from inside activations.
+    pub agent: OpCounts,
+}
+
+impl CosOpStats {
+    /// Total COS requests across every phase.
+    pub fn total_ops(&self) -> u64 {
+        self.staging.total_ops() + self.polling.total_ops() + self.agent.total_ops()
+    }
+
+    /// Total payload bytes moved (in + out) across every phase.
+    pub fn total_bytes(&self) -> u64 {
+        let phases = [self.staging, self.polling, self.agent];
+        phases.iter().map(|p| p.bytes_in + p.bytes_out).sum()
+    }
+}
 
 /// Counters of one executor's automatic fault recovery (retry policy and
 /// straggler speculation); see [`crate::Executor::recovery_stats`].
@@ -38,6 +68,9 @@ pub struct RecoveryStats {
     /// corruptions, crashes, forced cold starts), `0` when no engine is
     /// installed. Lets a chaos sweep confirm its plan actually fired.
     pub faults_injected: u64,
+    /// Status LISTs the recovery pass avoided by reusing the poll tick's
+    /// listing snapshot instead of re-listing the same prefixes.
+    pub lists_saved: u64,
 }
 
 impl RecoveryStats {

@@ -197,7 +197,10 @@ impl Value {
         Bytes::from(out)
     }
 
-    fn encoded_len(&self) -> usize {
+    /// Exact number of bytes [`encode`](Value::encode) will produce,
+    /// without allocating — used to decide cheaply whether a task
+    /// descriptor fits the inline-payload threshold.
+    pub fn encoded_len(&self) -> usize {
         match self {
             Value::Null => 1,
             Value::Bool(_) => 2,

@@ -687,11 +687,24 @@ fn clean_removes_all_staged_objects() {
             .is_empty());
 
         let removed = exec.clean().unwrap();
-        assert!(removed > 5 * 3, "blob + inputs + statuses + results");
+        // Inline inputs (the default data path) never reach COS: only the
+        // func blob plus each task's status and result are staged.
+        assert_eq!(removed, 1 + 5, "blob + statuses (results ride inside)");
         assert!(cloud
             .store()
             .list("rustwren-runtime", &prefix)
             .unwrap()
             .is_empty());
+
+        // The legacy staged data path uploads an input object per task too.
+        let staged = cloud
+            .executor()
+            .data_path(rustwren_core::DataPathConfig::staged())
+            .build()
+            .unwrap();
+        staged.map("add7", (0..5).map(Value::from)).unwrap();
+        staged.get_result().unwrap();
+        let removed = staged.clean().unwrap();
+        assert_eq!(removed, 1 + 5 * 3, "blob + inputs + statuses + results");
     });
 }

@@ -37,7 +37,7 @@ pub use activation::{ActivationId, ActivationRecord, Outcome, Phase};
 pub use client::FaasClient;
 pub use error::{ActionError, InvokeError, RegisterError};
 pub use platform::{
-    ActionStats, ActivationCtx, BillingReport, CloudFunctions, PlatformConfig, PlatformLimits,
-    PlatformStats,
+    ActionStats, ActivationCtx, BillingReport, BlobCache, CloudFunctions, PlatformConfig,
+    PlatformLimits, PlatformStats,
 };
 pub use runtime::{DockerRegistry, RuntimeImage, DEFAULT_RUNTIME};

@@ -27,7 +27,7 @@ use parking_lot::Mutex;
 use rustwren_sim::hash::{hash2, unit_f64};
 use rustwren_sim::sync::{Event, Semaphore};
 use rustwren_sim::{Kernel, NetworkProfile, ResourceId, SimInstant};
-use rustwren_store::{CosClient, ObjectStore};
+use rustwren_store::{CosClient, ObjectStore, OpCounters, OpCounts};
 
 use crate::action::{Action, ActionConfig};
 use crate::activation::{ActivationId, ActivationRecord, Outcome, Phase};
@@ -143,6 +143,64 @@ struct Container {
     /// Relative CPU speed; `charge(d)` takes `d / speed` of virtual time.
     speed: f64,
     last_used: SimInstant,
+    /// Container-local blob cache. Follows the container through warm
+    /// reuse and dies with it on LRU eviction, idle expiry, or
+    /// capacity-handoff destruction — exactly the lifetime of `/tmp` in a
+    /// real OpenWhisk container.
+    cache: BlobCache,
+}
+
+/// A container-local byte cache, handed to actions through
+/// [`ActivationCtx::blob_cache`]. Entries live exactly as long as the
+/// container: warm reuse sees earlier entries, while eviction, idle expiry
+/// and cold starts begin empty. Cheap to clone (shared handle).
+///
+/// The platform attaches no validity semantics — consumers that care about
+/// integrity (e.g. checksum-stamped blobs) must validate entries on hit and
+/// [`remove`](BlobCache::remove) anything that fails.
+#[derive(Clone, Default)]
+pub struct BlobCache {
+    entries: Arc<Mutex<HashMap<String, Bytes>>>,
+}
+
+impl fmt::Debug for BlobCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BlobCache")
+            .field("entries", &self.entries.lock().len())
+            .finish()
+    }
+}
+
+impl BlobCache {
+    /// An empty cache.
+    pub fn new() -> BlobCache {
+        BlobCache::default()
+    }
+
+    /// The cached bytes under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        self.entries.lock().get(key).cloned()
+    }
+
+    /// Stores `data` under `key`, replacing any previous entry.
+    pub fn insert(&self, key: &str, data: Bytes) {
+        self.entries.lock().insert(key.to_owned(), data);
+    }
+
+    /// Drops the entry under `key` (e.g. after failed validation).
+    pub fn remove(&self, key: &str) {
+        self.entries.lock().remove(key);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
 }
 
 enum Handoff {
@@ -220,6 +278,12 @@ pub struct PlatformStats {
     pub image_pulls: u64,
     /// Activations that hit the execution time limit.
     pub timeouts: u64,
+    /// Container-local blob-cache hits reported by actions.
+    pub blob_cache_hits: u64,
+    /// Container-local blob-cache misses reported by actions.
+    pub blob_cache_misses: u64,
+    /// Cache entries that failed validation on hit and were refetched.
+    pub blob_cache_heals: u64,
 }
 
 struct RegisteredAction {
@@ -243,6 +307,9 @@ struct Inner {
     /// capacity; activations hold it while they own a container, and
     /// capacity waiters block on it.
     capacity_res: ResourceId,
+    /// COS operations issued from inside activations (the "agent" phase),
+    /// tallied across every [`ActivationCtx::cos_client`].
+    agent_ops: Arc<OpCounters>,
 }
 
 /// A simulated IBM Cloud Functions deployment. Cheap to clone.
@@ -318,6 +385,7 @@ impl CloudFunctions {
                     Semaphore::named(kernel, config.concurrency_limit, "namespace-concurrency")
                 }),
                 capacity_res: kernel.create_resource("capacity", "cluster-containers"),
+                agent_ops: OpCounters::shared(),
                 config,
             }),
         }
@@ -351,6 +419,12 @@ impl CloudFunctions {
     /// Aggregate counters.
     pub fn stats(&self) -> PlatformStats {
         self.inner.pool.lock().stats
+    }
+
+    /// Snapshot of the COS operations issued from inside activations (every
+    /// client handed out by [`ActivationCtx::cos_client`] tallies here).
+    pub fn agent_op_counts(&self) -> OpCounts {
+        self.inner.agent_ops.snapshot()
     }
 
     /// Registers (deploys) an action under `name`.
@@ -646,6 +720,7 @@ impl CloudFunctions {
             started,
             deadline: started + timeout,
             worker: container.worker,
+            cache: container.cache.clone(),
         };
         let invoke_result =
             panic::catch_unwind(AssertUnwindSafe(|| registered.action.invoke(&ctx, payload)));
@@ -793,6 +868,7 @@ impl CloudFunctions {
                 worker,
                 speed,
                 last_used: self.inner.kernel.now(),
+                cache: BlobCache::new(),
             },
             pull,
         )
@@ -887,6 +963,7 @@ pub struct ActivationCtx {
     started: SimInstant,
     deadline: SimInstant,
     worker: usize,
+    cache: BlobCache,
 }
 
 impl fmt::Debug for ActivationCtx {
@@ -945,13 +1022,39 @@ impl ActivationCtx {
         self.platform.append_log(self.id, line);
     }
 
-    /// A COS client over the in-cloud network, seeded per-activation.
+    /// This container's local blob cache. Entries persist across warm
+    /// reuses of the container and disappear with it (eviction, idle
+    /// expiry, cold start) — consumers must validate entries on hit.
+    pub fn blob_cache(&self) -> &BlobCache {
+        &self.cache
+    }
+
+    /// Records a blob-cache lookup in [`PlatformStats`].
+    pub fn note_blob_cache(&self, hit: bool) {
+        let mut pool = self.platform.inner.pool.lock();
+        if hit {
+            pool.stats.blob_cache_hits += 1;
+        } else {
+            pool.stats.blob_cache_misses += 1;
+        }
+    }
+
+    /// Records a cache entry that failed validation on hit and was healed
+    /// by a refetch from storage.
+    pub fn note_blob_cache_heal(&self) {
+        self.platform.inner.pool.lock().stats.blob_cache_heals += 1;
+    }
+
+    /// A COS client over the in-cloud network, seeded per-activation. All
+    /// its operations tally into the platform's agent-phase counters
+    /// ([`CloudFunctions::agent_op_counts`]).
     pub fn cos_client(&self) -> CosClient {
         CosClient::new(
             &self.platform.inner.store,
             self.platform.inner.config.internal_net.clone(),
             hash2(self.platform.inner.config.seed, self.id.0),
         )
+        .with_counters(Arc::clone(&self.platform.inner.agent_ops))
     }
 
     /// A Cloud Functions client over the in-cloud network — the
@@ -1079,6 +1182,69 @@ mod tests {
         assert_eq!(chaos.stats().forced_cold_starts, 1);
         assert_eq!(faas.stats().cold_starts, 2);
         assert_eq!(faas.stats().warm_starts, 1);
+    }
+
+    #[test]
+    fn blob_cache_survives_warm_reuse_and_dies_with_container() {
+        let (kernel, faas) = setup(PlatformConfig {
+            container_idle_timeout: Duration::from_secs(30),
+            ..PlatformConfig::default()
+        });
+        faas.register_action(
+            "cachey",
+            ActionConfig::default(),
+            |ctx: &ActivationCtx, _p: Bytes| {
+                let cache = ctx.blob_cache();
+                let had = cache.get("blob").is_some();
+                ctx.note_blob_cache(had);
+                cache.insert("blob", Bytes::from_static(b"payload"));
+                Ok(Bytes::from(vec![u8::from(had)]))
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            // Cold container: miss, then populate.
+            let id = faas.invoke("cachey", Bytes::new()).unwrap();
+            assert_eq!(faas.wait(id).result.unwrap()[0], 0);
+            // Warm reuse: the cache entry is still there.
+            let id = faas.invoke("cachey", Bytes::new()).unwrap();
+            assert_eq!(faas.wait(id).result.unwrap()[0], 1);
+            // Idle past the timeout: container (and cache) reclaimed.
+            rustwren_sim::sleep(Duration::from_secs(60));
+            let id = faas.invoke("cachey", Bytes::new()).unwrap();
+            let r = faas.wait(id);
+            assert!(r.cold_start);
+            assert_eq!(r.result.unwrap()[0], 0);
+        });
+        let stats = faas.stats();
+        assert_eq!(stats.blob_cache_hits, 1);
+        assert_eq!(stats.blob_cache_misses, 2);
+    }
+
+    #[test]
+    fn cos_client_tallies_into_agent_op_counts() {
+        let (kernel, faas) = setup(PlatformConfig::default());
+        faas.store().create_bucket("b").unwrap();
+        faas.store()
+            .put("b", "k", Bytes::from_static(b"data"))
+            .unwrap();
+        faas.register_action(
+            "reader",
+            ActionConfig::default(),
+            |ctx: &ActivationCtx, _p: Bytes| {
+                ctx.cos_client()
+                    .get("b", "k")
+                    .map_err(|e| ActionError(e.to_string()))
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let id = faas.invoke("reader", Bytes::new()).unwrap();
+            assert!(faas.wait(id).is_success());
+        });
+        let counts = faas.agent_op_counts();
+        assert_eq!(counts.gets, 1);
+        assert_eq!(counts.bytes_in, 4);
     }
 
     #[test]

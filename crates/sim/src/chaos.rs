@@ -176,6 +176,10 @@ enum FaultKind {
         probability: f64,
     },
     ColdStorm,
+    PoisonCache {
+        scope: PathScope,
+        probability: f64,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -304,6 +308,19 @@ impl FaultPlan {
         self.push(FaultKind::ColdStorm, window)
     }
 
+    /// Poison container-local cached blobs: a cache *hit* on an object in
+    /// `scope` during `window` returns bytes with one flipped byte, with
+    /// probability `probability`. The backing store is untouched, so a
+    /// checksum-validating consumer detects the mismatch and heals by
+    /// refetching from storage.
+    ///
+    /// # Panics
+    /// Panics if `probability` is NaN, negative, or greater than 1.
+    pub fn poison_cache(self, scope: PathScope, window: TimeWindow, probability: f64) -> FaultPlan {
+        check_probability("poison_cache probability", probability);
+        self.push(FaultKind::PoisonCache { scope, probability }, window)
+    }
+
     /// Limit the most recently added fault to firing at most `n` times
     /// (not meaningful for [`FaultPlan::cold_storm`], which is purely
     /// window-driven).
@@ -345,12 +362,18 @@ pub struct ChaosStats {
     pub crashes: u64,
     /// Warm containers bypassed by cold-start storms.
     pub forced_cold_starts: u64,
+    /// Container-local cache hits poisoned with a flipped byte.
+    pub cache_poisons: u64,
 }
 
 impl ChaosStats {
     /// Total faults injected across all hooks.
     pub fn total(&self) -> u64 {
-        self.cos_faults + self.corruptions + self.crashes + self.forced_cold_starts
+        self.cos_faults
+            + self.corruptions
+            + self.crashes
+            + self.forced_cold_starts
+            + self.cache_poisons
     }
 }
 
@@ -369,6 +392,7 @@ pub struct ChaosEngine {
     corruptions: AtomicU64,
     crashes: AtomicU64,
     forced_cold_starts: AtomicU64,
+    cache_poisons: AtomicU64,
     log: Mutex<Vec<FaultRecord>>,
 }
 
@@ -399,6 +423,7 @@ impl ChaosEngine {
             corruptions: AtomicU64::new(0),
             crashes: AtomicU64::new(0),
             forced_cold_starts: AtomicU64::new(0),
+            cache_poisons: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
         }
     }
@@ -500,6 +525,44 @@ impl ChaosEngine {
         None
     }
 
+    /// Cache hook: poison the bytes served from a container-local cache
+    /// hit. Returns the mangled bytes (one byte XORed with `0x5A`) if a
+    /// poison fault fired, `None` otherwise. The backing store — and the
+    /// cache entry itself — are untouched; only this hit is poisoned, so a
+    /// checksum-validating consumer refetches and heals. Empty payloads are
+    /// never poisoned.
+    pub fn poison_cached_blob(
+        &self,
+        bucket: &str,
+        key: &str,
+        token: u64,
+        data: &[u8],
+    ) -> Option<Vec<u8>> {
+        if data.is_empty() {
+            return None;
+        }
+        let now = virtual_now();
+        for (idx, state) in self.faults.iter().enumerate() {
+            let (scope, probability) = match &state.fault.kind {
+                FaultKind::PoisonCache { scope, probability } => (scope, *probability),
+                _ => continue,
+            };
+            if !state.fault.window.contains(now) || !scope.matches(bucket, key) {
+                continue;
+            }
+            if self.fires(idx, state, token, probability) {
+                let mut bytes = data.to_vec();
+                let pick = hash2(hash2(self.seed, idx as u64 ^ 0xCAC4E), token);
+                let at = (pick % bytes.len() as u64) as usize;
+                bytes[at] ^= 0x5A;
+                self.cache_poisons.fetch_add(1, Ordering::Relaxed);
+                self.record(now, format!("poison-cache {bucket}/{key}"));
+                return Some(bytes);
+            }
+        }
+        None
+    }
+
     /// Crash hook: should code at `phase` (identified by `token`, e.g. the
     /// activation id) crash now? Callers are expected to `panic!` when this
     /// returns `true`.
@@ -545,6 +608,7 @@ impl ChaosEngine {
             corruptions: self.corruptions.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
             forced_cold_starts: self.forced_cold_starts.load(Ordering::Relaxed),
+            cache_poisons: self.cache_poisons.load(Ordering::Relaxed),
         }
     }
 
@@ -669,6 +733,33 @@ mod tests {
             assert!(probe.corrupt_get("b", "flip/k", 2, &[]).is_none());
         });
         assert_eq!(engine.stats().corruptions, 2);
+    }
+
+    #[test]
+    fn poison_cache_flips_one_byte_on_scoped_hits() {
+        let plan = FaultPlan::new(4)
+            .poison_cache(PathScope::prefix("jobs/"), TimeWindow::always(), 1.0)
+            .once();
+        let engine = Arc::new(ChaosEngine::new(plan));
+        let probe = Arc::clone(&engine);
+        run_sim(engine.clone(), move || {
+            let blob = vec![3u8; 64];
+            assert!(probe.poison_cached_blob("b", "raw/k", 1, &blob).is_none());
+            let mangled = probe
+                .poison_cached_blob("b", "jobs/e/j/func", 1, &blob)
+                .unwrap();
+            assert_eq!(mangled.len(), 64);
+            assert_eq!(mangled.iter().filter(|&&x| x != 3).count(), 1);
+            // once(): the second hit is clean.
+            assert!(probe
+                .poison_cached_blob("b", "jobs/e/j/func", 2, &blob)
+                .is_none());
+            assert!(probe
+                .poison_cached_blob("b", "jobs/e/j/func", 3, &[])
+                .is_none());
+        });
+        assert_eq!(engine.stats().cache_poisons, 1);
+        assert_eq!(engine.stats().total(), 1);
     }
 
     #[test]

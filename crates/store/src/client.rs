@@ -9,6 +9,8 @@
 //! exponential backoff like the real COS SDKs.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -18,6 +20,90 @@ use rustwren_sim::NetworkProfile;
 use crate::error::StoreError;
 use crate::object::{BucketMeta, ObjectMeta};
 use crate::store::ObjectStore;
+
+/// Live operation counters shared by every clone of a [`CosClient`].
+///
+/// Each public client operation increments its class counter and the byte
+/// tallies once per *logical* operation (retries of a failed attempt do not
+/// double-count). Attach a shared set to several clients with
+/// [`CosClient::with_counters`] to account a whole phase (staging, polling,
+/// agent traffic) in one place, and read it back with
+/// [`OpCounters::snapshot`].
+#[derive(Debug, Default)]
+pub struct OpCounters {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    lists: AtomicU64,
+    heads: AtomicU64,
+    deletes: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl OpCounters {
+    /// A fresh set of zeroed counters behind an [`Arc`], ready to share.
+    pub fn shared() -> Arc<OpCounters> {
+        Arc::new(OpCounters::default())
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> OpCounts {
+        OpCounts {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            lists: self.lists.load(Ordering::Relaxed),
+            heads: self.heads.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count(&self, class: &AtomicU64) {
+        class.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A frozen snapshot of [`OpCounters`], comparable and subtractable so
+/// benches and tests can assert per-phase operation budgets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Object-data GETs (full and ranged).
+    pub gets: u64,
+    /// Object PUTs (multipart uploads count one per part).
+    pub puts: u64,
+    /// LIST requests.
+    pub lists: u64,
+    /// HEAD requests (objects, buckets, and `exists` probes).
+    pub heads: u64,
+    /// DELETE requests.
+    pub deletes: u64,
+    /// Payload bytes fetched by GETs.
+    pub bytes_in: u64,
+    /// Payload bytes sent by PUTs.
+    pub bytes_out: u64,
+}
+
+impl OpCounts {
+    /// Total request count across every operation class.
+    pub fn total_ops(&self) -> u64 {
+        self.gets + self.puts + self.lists + self.heads + self.deletes
+    }
+
+    /// Component-wise saturating difference (`self - earlier`), for
+    /// measuring the operations a phase issued between two snapshots.
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            gets: self.gets.saturating_sub(earlier.gets),
+            puts: self.puts.saturating_sub(earlier.puts),
+            lists: self.lists.saturating_sub(earlier.lists),
+            heads: self.heads.saturating_sub(earlier.heads),
+            deletes: self.deletes.saturating_sub(earlier.deletes),
+            bytes_in: self.bytes_in.saturating_sub(earlier.bytes_in),
+            bytes_out: self.bytes_out.saturating_sub(earlier.bytes_out),
+        }
+    }
+}
 
 /// Per-operation service-side latency, independent of payload size.
 ///
@@ -83,6 +169,7 @@ pub struct CosClient {
     costs: CosCosts,
     seed: u64,
     max_attempts: u32,
+    counters: Arc<OpCounters>,
 }
 
 impl fmt::Debug for CosClient {
@@ -112,6 +199,7 @@ impl CosClient {
             costs: CosCosts::default(),
             seed,
             max_attempts: 4,
+            counters: OpCounters::shared(),
         }
     }
 
@@ -131,6 +219,20 @@ impl CosClient {
         assert!(attempts > 0, "max_attempts must be at least 1");
         self.max_attempts = attempts;
         self
+    }
+
+    /// Shares `counters` with this client: every operation it (and its
+    /// future clones) issues is tallied there. Lets several clients —
+    /// e.g. all the upload lanes of one staging phase — account into a
+    /// single per-phase set.
+    pub fn with_counters(mut self, counters: Arc<OpCounters>) -> CosClient {
+        self.counters = counters;
+        self
+    }
+
+    /// The operation counters this client tallies into.
+    pub fn counters(&self) -> &Arc<OpCounters> {
+        &self.counters
     }
 
     /// The underlying raw store (zero-cost access, for assertions in tests).
@@ -206,6 +308,10 @@ impl CosClient {
     /// Store errors from the service, or [`StoreError::Network`] after
     /// exhausting retries.
     pub fn put(&self, bucket: &str, key: &str, data: Bytes) -> Result<ObjectMeta, StoreError> {
+        self.counters.count(&self.counters.puts);
+        self.counters
+            .bytes_out
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.charge(
             &format!("PUT {bucket}/{key}"),
             bucket,
@@ -260,6 +366,11 @@ impl CosClient {
                 let key = key.to_owned();
                 rustwren_sim::spawn(format!("mpu-{lane}"), move || {
                     for (i, (start, end)) in parts.into_iter().enumerate() {
+                        client.counters.count(&client.counters.puts);
+                        client
+                            .counters
+                            .bytes_out
+                            .fetch_add((end - start) as u64, Ordering::Relaxed);
                         client.charge(
                             &format!("PUT {bucket}/{key} part {lane}.{i}"),
                             &bucket,
@@ -301,6 +412,10 @@ impl CosClient {
     pub fn get(&self, bucket: &str, key: &str) -> Result<Bytes, StoreError> {
         // HEAD-sized request out, payload back: charge on payload size.
         let data = self.store.get(bucket, key)?;
+        self.counters.count(&self.counters.gets);
+        self.counters
+            .bytes_in
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         let token = self.charge(
             &format!("GET {bucket}/{key}"),
             bucket,
@@ -325,6 +440,10 @@ impl CosClient {
         end: u64,
     ) -> Result<Bytes, StoreError> {
         let data = self.store.get_range(bucket, key, start, end)?;
+        self.counters.count(&self.counters.gets);
+        self.counters
+            .bytes_in
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         let token = self.charge(
             &format!("GET {bucket}/{key}[{start}..{end}]"),
             bucket,
@@ -342,6 +461,7 @@ impl CosClient {
     /// Store errors from the service, or [`StoreError::Network`] after
     /// exhausting retries.
     pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
+        self.counters.count(&self.counters.heads);
         self.charge(
             &format!("HEAD {bucket}/{key}"),
             bucket,
@@ -359,6 +479,7 @@ impl CosClient {
     /// Store errors from the service, or [`StoreError::Network`] after
     /// exhausting retries.
     pub fn head_bucket(&self, bucket: &str) -> Result<BucketMeta, StoreError> {
+        self.counters.count(&self.counters.heads);
         self.charge(
             &format!("HEAD {bucket}"),
             bucket,
@@ -376,6 +497,7 @@ impl CosClient {
     /// Store errors from the service, or [`StoreError::Network`] after
     /// exhausting retries.
     pub fn list(&self, bucket: &str, prefix: &str) -> Result<Vec<ObjectMeta>, StoreError> {
+        self.counters.count(&self.counters.lists);
         let entries = self.store.list(bucket, prefix)?;
         let batches = (entries.len() as u64).div_ceil(1_000).max(1) as u32;
         self.charge(
@@ -395,6 +517,7 @@ impl CosClient {
     /// Store errors from the service, or [`StoreError::Network`] after
     /// exhausting retries.
     pub fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
+        self.counters.count(&self.counters.deletes);
         self.charge(
             &format!("DELETE {bucket}/{key}"),
             bucket,
@@ -411,6 +534,7 @@ impl CosClient {
     ///
     /// [`StoreError::Network`] after exhausting retries.
     pub fn exists(&self, bucket: &str, key: &str) -> Result<bool, StoreError> {
+        self.counters.count(&self.counters.heads);
         self.charge(
             &format!("HEAD {bucket}/{key}"),
             bucket,
@@ -662,6 +786,56 @@ mod tests {
         let mut net = NetworkProfile::lan();
         net.failure_rate = f64::NAN;
         let _ = CosClient::new(&store, net, 1);
+    }
+
+    #[test]
+    fn op_counters_tally_per_class_and_bytes() {
+        let (kernel, client) = setup(NetworkProfile::lan());
+        let shared = OpCounters::shared();
+        let client = client.with_counters(Arc::clone(&shared));
+        kernel.run("client", || {
+            client.put("b", "k", Bytes::from(vec![0u8; 100])).unwrap();
+            let body = client.get("b", "k").unwrap();
+            assert_eq!(body.len(), 100);
+            client.list("b", "").unwrap();
+            client.exists("b", "k").unwrap();
+            client.head("b", "k").unwrap();
+            client.delete("b", "k").unwrap();
+        });
+        let counts = shared.snapshot();
+        assert_eq!(counts.puts, 1);
+        assert_eq!(counts.gets, 1);
+        assert_eq!(counts.lists, 1);
+        assert_eq!(counts.heads, 2);
+        assert_eq!(counts.deletes, 1);
+        assert_eq!(counts.bytes_out, 100);
+        assert_eq!(counts.bytes_in, 100);
+        assert_eq!(counts.total_ops(), 6);
+    }
+
+    #[test]
+    fn op_counters_are_shared_across_clones_and_diffable() {
+        let (kernel, client) = setup(NetworkProfile::lan());
+        let clone = client.clone();
+        kernel.run("client", || {
+            client.put("b", "a", Bytes::from_static(b"1")).unwrap();
+            clone.put("b", "c", Bytes::from_static(b"2")).unwrap();
+        });
+        let all = client.counters().snapshot();
+        assert_eq!(all.puts, 2);
+        let later = OpCounts {
+            puts: 5,
+            ..Default::default()
+        };
+        assert_eq!(later.since(&all).puts, 3);
+        // Retries must not double-count logical operations.
+        let (kernel, flaky) = setup(NetworkProfile::lan().with_failure_rate(0.5));
+        kernel.run("client", || {
+            for i in 0..50 {
+                let _ = flaky.put("b", &format!("k{i}"), Bytes::from_static(b"v"));
+            }
+        });
+        assert_eq!(flaky.counters().snapshot().puts, 50);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod error;
 mod object;
 mod store;
 
-pub use client::{CosClient, CosCosts};
+pub use client::{CosClient, CosCosts, OpCounters, OpCounts};
 pub use error::StoreError;
 pub use object::{BucketMeta, ObjectMeta};
 pub use store::ObjectStore;

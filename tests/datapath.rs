@@ -1,0 +1,263 @@
+//! Hot-path data-path tests: inline payloads, the warm-container
+//! function-blob cache, and batched dep-watching must never change *what*
+//! a job computes — only how many COS round trips it takes.
+
+use rustwren::core::{
+    DataPathConfig, DataSource, FaultPlan, MapReduceOpts, PathScope, SimCloud, TaskCtx, TimeWindow,
+    Value,
+};
+use rustwren::faas::PlatformConfig;
+use rustwren::sim::NetworkProfile;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+const BUCKET: &str = "rustwren-runtime";
+
+fn cloud_with(seed: u64, plan: Option<FaultPlan>) -> SimCloud {
+    // A small container pool forces warm reuse inside a single job — the
+    // regime where the blob cache (and cache poisoning) actually engages.
+    let platform = PlatformConfig {
+        cluster_containers: 8,
+        ..PlatformConfig::default()
+    };
+    let mut builder = SimCloud::builder()
+        .seed(seed)
+        .platform(platform)
+        .client_network(NetworkProfile::lan());
+    if let Some(plan) = plan {
+        builder = builder.chaos(plan);
+    }
+    let cloud = builder.build();
+    cloud.register_fn("add7", |_ctx: &TaskCtx, v: Value| {
+        Ok(Value::Int(v.as_i64().ok_or("int")? + 7))
+    });
+    cloud
+}
+
+/// Encoded size of the descriptor the executor stages for a plain
+/// `map(Value::Int(_))` task — reconstructed here so the threshold sweep
+/// can pin the exact boundary.
+fn value_desc_len(v: &Value) -> usize {
+    Value::map()
+        .with("kind", "value")
+        .with("value", v.clone())
+        .encoded_len()
+}
+
+/// Runs a 12-task map under `data_path` and returns (encoded results,
+/// staged input-object count).
+fn run_map(seed: u64, data_path: DataPathConfig) -> (Vec<Bytes>, usize) {
+    let cloud = cloud_with(seed, None);
+    cloud.run(|| {
+        let exec = cloud.executor().data_path(data_path).build().unwrap();
+        exec.map("add7", (0..12).map(Value::from)).unwrap();
+        let results = exec.get_result().unwrap();
+        let inputs = cloud
+            .store()
+            .list(BUCKET, &format!("jobs/{}/", exec.exec_id()))
+            .unwrap()
+            .into_iter()
+            .filter(|m| m.key.ends_with("/input"))
+            .count();
+        (results.iter().map(Value::encode).collect(), inputs)
+    })
+}
+
+#[test]
+fn inline_and_staged_runs_are_bitwise_identical_across_thresholds() {
+    let exact = value_desc_len(&Value::Int(0));
+    // Threshold 0 stages everything; `exact` and `exact + 1` inline
+    // everything; the default (64 KiB) inlines these tiny descriptors too.
+    let (staged_results, staged_inputs) = run_map(5, DataPathConfig::staged());
+    assert_eq!(staged_inputs, 12, "threshold 0 stages one input per task");
+
+    for threshold in [exact, exact + 1, DataPathConfig::DEFAULT_INLINE_MAX_BYTES] {
+        let dp = DataPathConfig {
+            inline_input_max_bytes: threshold,
+            ..DataPathConfig::staged()
+        };
+        let (results, inputs) = run_map(5, dp);
+        assert_eq!(inputs, 0, "threshold {threshold} stages no inputs");
+        assert_eq!(
+            results, staged_results,
+            "threshold {threshold}: inline results must be bitwise-identical to staged"
+        );
+    }
+
+    // One byte below the boundary: descriptors no longer fit, so the job
+    // falls back to the staged path wholesale.
+    let dp = DataPathConfig {
+        inline_input_max_bytes: exact - 1,
+        ..DataPathConfig::staged()
+    };
+    let (results, inputs) = run_map(5, dp);
+    assert_eq!(inputs, 12, "below-threshold descriptors are staged");
+    assert_eq!(results, staged_results);
+}
+
+#[test]
+fn inline_and_cache_cut_cos_ops_without_changing_results() {
+    let run = |dp: DataPathConfig| {
+        let cloud = cloud_with(6, None);
+        cloud.run(|| {
+            let exec = cloud.executor().data_path(dp).build().unwrap();
+            exec.map("add7", (0..50).map(Value::from)).unwrap();
+            let results = exec.get_result().unwrap();
+            (results, exec.cos_op_stats())
+        })
+    };
+    let (base_results, base_ops) = run(DataPathConfig::staged());
+    let (fast_results, fast_ops) = run(DataPathConfig::default());
+    assert_eq!(base_results, fast_results);
+    assert!(
+        fast_ops.agent.gets < base_ops.agent.gets,
+        "cache + inline must cut agent GETs: {} vs {}",
+        fast_ops.agent.gets,
+        base_ops.agent.gets
+    );
+    assert!(
+        fast_ops.staging.puts < base_ops.staging.puts,
+        "inline must cut staging PUTs: {} vs {}",
+        fast_ops.staging.puts,
+        base_ops.staging.puts
+    );
+    assert!(fast_ops.total_ops() < base_ops.total_ops());
+}
+
+#[test]
+fn poisoned_cache_entries_heal_via_refetch() {
+    // Poison *every* cache hit: each warm-container reuse of the func blob
+    // fails its stamp check, drops the entry, and refetches from COS. The
+    // job must still complete with correct results — corruption never
+    // reaches the user function.
+    let plan =
+        FaultPlan::new(91).poison_cache(PathScope::prefix("jobs/"), TimeWindow::always(), 1.0);
+    let cloud = cloud_with(91, Some(plan));
+    let results = cloud.run(|| {
+        let exec = cloud.executor().build().unwrap();
+        exec.map("add7", (0..40).map(Value::from)).unwrap();
+        exec.get_result().unwrap()
+    });
+    assert_eq!(
+        results,
+        (0..40).map(|n| Value::Int(n + 7)).collect::<Vec<_>>()
+    );
+    let stats = cloud.functions().stats();
+    assert!(stats.blob_cache_misses > 0, "cold containers populate");
+    assert!(stats.blob_cache_heals > 0, "poisoned hits healed");
+    assert_eq!(
+        cloud.chaos_stats().cache_poisons,
+        stats.blob_cache_heals,
+        "every poison fired was caught and healed"
+    );
+}
+
+#[test]
+fn warm_containers_hit_the_cache_and_cold_jobs_repopulate() {
+    let cloud = cloud_with(17, None);
+    cloud.run(|| {
+        let exec = cloud.executor().build().unwrap();
+        exec.map("add7", (0..40).map(Value::from)).unwrap();
+        exec.get_result().unwrap();
+        let first = cloud.functions().stats();
+        assert!(first.blob_cache_misses > 0, "cold containers fetch");
+        assert!(
+            first.blob_cache_hits > first.blob_cache_misses,
+            "warm reuse dominates: {} hits vs {} misses",
+            first.blob_cache_hits,
+            first.blob_cache_misses
+        );
+        assert_eq!(first.blob_cache_heals, 0, "no chaos, no heals");
+
+        // A second job stages a fresh func blob under a new key: warm
+        // containers must re-fetch it (a per-job miss), never serve the
+        // previous job's blob.
+        exec.map("add7", (0..40).map(Value::from)).unwrap();
+        exec.get_result().unwrap();
+        let second = cloud.functions().stats();
+        assert!(second.blob_cache_misses > first.blob_cache_misses);
+    });
+}
+
+#[test]
+fn chaos_run_with_cache_and_inline_replays_bitwise() {
+    // Determinism gate for the new data path: same seed + same plan must
+    // reproduce the same results, fault timeline and virtual end time with
+    // inline payloads and the blob cache enabled (the defaults).
+    let mk_plan =
+        || FaultPlan::new(43).poison_cache(PathScope::prefix("jobs/"), TimeWindow::always(), 0.5);
+    let run = || {
+        let cloud = cloud_with(44, Some(mk_plan()));
+        let (results, end) = cloud.run(|| {
+            let exec = cloud.executor().build().unwrap();
+            exec.map("add7", (0..30).map(Value::from)).unwrap();
+            let results = exec.get_result().unwrap();
+            (results, rustwren::sim::now().as_nanos())
+        });
+        (results, end, cloud.fault_log(), cloud.chaos_stats())
+    };
+    let (r1, t1, log1, stats1) = run();
+    let (r2, t2, log2, stats2) = run();
+    assert!(!log1.is_empty(), "the plan fired");
+    assert_eq!(r1, r2, "same results");
+    assert_eq!(t1, t2, "same virtual end time");
+    assert_eq!(log1, log2, "same fault timeline");
+    assert_eq!(stats1, stats2);
+}
+
+/// One storage object per distinct name, sized to split into `chunks`
+/// partitions of 64 bytes each.
+fn seed_objects(cloud: &SimCloud, bucket: &str, sizes: &[usize]) {
+    cloud.store().create_bucket(bucket).unwrap();
+    for (i, &chunks) in sizes.iter().enumerate() {
+        let line = b"0123456789012345678901234567890\n"; // 32 bytes
+        let body: Vec<u8> = line.iter().copied().cycle().take(chunks * 64).collect();
+        cloud
+            .store()
+            .put(bucket, &format!("obj-{i:03}"), Bytes::from(body))
+            .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `reducer_one_per_object` must spawn exactly one reducer per distinct
+    /// source object, in first-appearance (listing) order, regardless of
+    /// how many partitions each object splits into — the order-preserving
+    /// dedup rewrite cannot change what the old quadratic scan produced.
+    #[test]
+    fn reducer_order_matches_first_appearance_of_groups(
+        sizes in prop::collection::vec(1usize..4, 1..8),
+        seed in 0u64..500,
+    ) {
+        let cloud = SimCloud::builder()
+            .seed(seed)
+            .client_network(NetworkProfile::lan())
+            .build();
+        cloud.register_fn("one", |_ctx: &TaskCtx, _v: Value| Ok(Value::Int(1)));
+        cloud.register_fn("group_of", |_ctx: &TaskCtx, v: Value| {
+            Ok(v.get("group").cloned().unwrap_or(Value::Null))
+        });
+        seed_objects(&cloud, "data", &sizes);
+        let results = cloud.run(|| {
+            let exec = cloud.executor().build().unwrap();
+            exec.map_reduce(
+                "one",
+                DataSource::bucket("data"),
+                "group_of",
+                MapReduceOpts {
+                    chunk_size: Some(64),
+                    reducer_one_per_object: true,
+                },
+            )
+            .unwrap();
+            exec.get_result().unwrap()
+        });
+        let expected: Vec<Value> = (0..sizes.len())
+            .map(|i| Value::Str(format!("obj-{i:03}")))
+            .collect();
+        prop_assert_eq!(results, expected);
+    }
+}

@@ -27,10 +27,31 @@ fn paper_fig1_flow() {
         results,
         vec![Value::Int(10), Value::Int(13), Value::Int(16)]
     );
-    // The flow left artifacts in COS, as in Fig 1.
+    // The flow left artifacts in COS, as in Fig 1. With the default data
+    // path these small results ride inside the status objects, so no
+    // separate `…/result` object exists.
     let staged = cloud.store().list("rustwren-runtime", "jobs/").unwrap();
     assert!(staged.iter().any(|m| m.key.ends_with("/func")));
     assert!(staged.iter().any(|m| m.key.ends_with("/status")));
+    assert!(!staged.iter().any(|m| m.key.ends_with("/result")));
+
+    // The original Fig 1 layout — one object per artifact — is preserved
+    // verbatim under the staged (all-optimisations-off) data path.
+    let cloud = SimCloud::builder().seed(1).build();
+    cloud.register_fn("my_function", |_ctx: &TaskCtx, x: Value| {
+        Ok(Value::Int(x.as_i64().ok_or("int")? + 7))
+    });
+    cloud.run(|| {
+        let exec = cloud
+            .executor()
+            .data_path(rustwren::core::DataPathConfig::staged())
+            .build()
+            .unwrap();
+        exec.map("my_function", [Value::Int(3)]).unwrap();
+        exec.get_result().unwrap();
+    });
+    let staged = cloud.store().list("rustwren-runtime", "jobs/").unwrap();
+    assert!(staged.iter().any(|m| m.key.ends_with("/input")));
     assert!(staged.iter().any(|m| m.key.ends_with("/result")));
 }
 
