@@ -20,6 +20,7 @@
 //! | W004 | error/warning | estimated per-task compute vs the execution time limit |
 //! | W005 | warning | degenerate partitions (empty chunks, zero tasks) |
 //! | W006 | warning | single-reducer fan-in hot-spot |
+//! | W007 | warning | retry x speculation amplification of a full-width map beyond the concurrency limit |
 //!
 //! How diagnostics are acted on is the caller's choice via [`AnalyzeMode`]:
 //! `Warn` prints them, `Deny` turns error-severity findings into a hard
@@ -40,6 +41,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod concurrency;
+
+pub use concurrency::{merge_reports, LockCycle, LockOrderReport, LostWakeup};
+
 use std::fmt;
 use std::time::Duration;
 
@@ -55,6 +60,7 @@ pub enum Rule {
     W004,
     W005,
     W006,
+    W007,
 }
 
 impl fmt::Display for Rule {
@@ -66,6 +72,7 @@ impl fmt::Display for Rule {
             Rule::W004 => "W004",
             Rule::W005 => "W005",
             Rule::W006 => "W006",
+            Rule::W007 => "W007",
         })
     }
 }
@@ -214,6 +221,12 @@ pub struct JobPlan {
     /// Number of map results a single reducer consumes, if the job has a
     /// reduce stage.
     pub reducer_fanin: Option<usize>,
+    /// Maximum invocation attempts per task under the executor's retry
+    /// policy (1 = no retries).
+    pub retry_max_attempts: u32,
+    /// Speculative backup copies launched per straggling task (0 =
+    /// speculation disabled).
+    pub speculative_copies: u32,
 }
 
 impl JobPlan {
@@ -231,6 +244,8 @@ impl JobPlan {
             nesting_depth: 0,
             nested_fanout: 0,
             reducer_fanin: None,
+            retry_max_attempts: 1,
+            speculative_copies: 0,
         }
     }
 
@@ -312,6 +327,7 @@ pub fn analyze(plan: &JobPlan, profile: &CloudProfile) -> Vec<Diagnostic> {
     rule_w004_exec_time(plan, profile, &mut diags);
     rule_w005_degenerate_partitions(plan, &mut diags);
     rule_w006_reducer_fanin(plan, &mut diags);
+    rule_w007_retry_speculation_amplification(plan, profile, &mut diags);
     diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
     diags
 }
@@ -519,6 +535,41 @@ fn rule_w006_reducer_fanin(plan: &JobPlan, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// W007: retry x speculation amplification. A map that fits the
+/// concurrency limit on paper can still storm the throttle once the
+/// speculation layer doubles the in-flight width and the retry policy
+/// multiplies the total invocation volume.
+fn rule_w007_retry_speculation_amplification(
+    plan: &JobPlan,
+    profile: &CloudProfile,
+    out: &mut Vec<Diagnostic>,
+) {
+    let attempts = u128::from(plan.retry_max_attempts.max(1));
+    let copies = u128::from(plan.speculative_copies);
+    if attempts == 1 && copies == 0 {
+        return;
+    }
+    let tasks = plan.tasks as u128;
+    let limit = profile.concurrency_limit as u128;
+    // Worst-case simultaneously-live activations: every task plus its
+    // backup copies in flight at once.
+    let width = tasks.saturating_mul(1 + copies);
+    if tasks <= limit && width > limit {
+        let volume = width.saturating_mul(attempts);
+        out.push(Diagnostic {
+            rule: Rule::W007,
+            severity: Severity::Warning,
+            message: format!(
+                "job `{}` fits the concurrency limit at {} task(s), but {} speculative                  cop(ies) per task amplify the in-flight width to {} against a limit of                  {} (worst-case {} invocation(s) with {} retry attempt(s)): backups will                  throttle the very stragglers they are meant to cover",
+                plan.label, tasks, copies, width, limit, volume, attempts
+            ),
+            suggestion: format!(
+                "cap speculation so tasks x (1 + copies) stays within {limit}, lower the                  retry budget, or split the map into waves"
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,6 +716,35 @@ mod tests {
         assert!(!rules(&analyze(&plan, &CloudProfile::default())).contains(&Rule::W006));
         plan.reducer_fanin = None;
         assert!(!rules(&analyze(&plan, &CloudProfile::default())).contains(&Rule::W006));
+    }
+
+    #[test]
+    fn w007_fires_only_when_amplification_crosses_the_limit() {
+        // 600 tasks fit a limit of 1000, but one backup copy per task makes
+        // 1200 simultaneously-live activations.
+        let mut plan = JobPlan::new("map", 600);
+        plan.speculative_copies = 1;
+        plan.retry_max_attempts = 3;
+        let diags = analyze(&plan, &CloudProfile::default());
+        let w007 = diags.iter().find(|d| d.rule == Rule::W007).expect("W007");
+        assert_eq!(w007.severity, Severity::Warning);
+        assert!(w007.message.contains("1200"), "{}", w007.message);
+
+        // Amplified width within the limit: silent.
+        let mut ok = JobPlan::new("map", 400);
+        ok.speculative_copies = 1;
+        ok.retry_max_attempts = 3;
+        assert!(!rules(&analyze(&ok, &CloudProfile::default())).contains(&Rule::W007));
+
+        // No amplification features enabled: silent even when wide (that is
+        // W002's job).
+        let wide = JobPlan::new("map", 2_000);
+        assert!(!rules(&analyze(&wide, &CloudProfile::default())).contains(&Rule::W007));
+
+        // Already wider than the limit without speculation: W002 owns it.
+        let mut over = JobPlan::new("map", 1_500);
+        over.speculative_copies = 1;
+        assert!(!rules(&analyze(&over, &CloudProfile::default())).contains(&Rule::W007));
     }
 
     #[test]

@@ -65,6 +65,7 @@ impl SimCloud {
             client_net: NetworkProfile::wan(),
             seed: 0xC10D,
             chaos: None,
+            kernel: None,
         }
     }
 
@@ -157,6 +158,7 @@ pub struct SimCloudBuilder {
     client_net: NetworkProfile,
     seed: u64,
     chaos: Option<FaultPlan>,
+    kernel: Option<Kernel>,
 }
 
 impl SimCloudBuilder {
@@ -187,10 +189,19 @@ impl SimCloudBuilder {
         self
     }
 
+    /// Builds the cloud on an externally supplied kernel instead of a fresh
+    /// one. This is how the `rustwren-verify` model checker drives a full
+    /// cloud under its exploration schedulers: it configures a kernel
+    /// (scheduler, lock-order recording) and hands it to the builder.
+    pub fn kernel(mut self, kernel: Kernel) -> SimCloudBuilder {
+        self.kernel = Some(kernel);
+        self
+    }
+
     /// Builds the cloud and deploys the IBM-PyWren system actions.
     pub fn build(mut self) -> SimCloud {
         self.platform.seed = rustwren_sim::hash::hash2(self.seed, self.platform.seed);
-        let kernel = Kernel::new();
+        let kernel = self.kernel.take().unwrap_or_default();
         if let Some(plan) = self.chaos.take() {
             kernel.install_chaos(Arc::new(ChaosEngine::new(plan)));
         }

@@ -632,6 +632,12 @@ impl Executor {
                 plan.est_payload_bytes = Some(b as u64);
             }
         }
+        plan.retry_max_attempts = self.inner.config.retry.max_attempts.max(1);
+        plan.speculative_copies = if self.inner.config.speculation.enabled {
+            self.inner.config.speculation.max_speculative as u32
+        } else {
+            0
+        };
         plan.apply_hints(&self.inner.config.plan_hints);
         plan
     }

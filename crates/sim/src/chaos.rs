@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use crate::rawlock::RawMutex;
 
 use crate::hash::{hash2, unit_f64};
 use crate::kernel;
@@ -393,7 +393,7 @@ pub struct ChaosEngine {
     crashes: AtomicU64,
     forced_cold_starts: AtomicU64,
     cache_poisons: AtomicU64,
-    log: Mutex<Vec<FaultRecord>>,
+    log: RawMutex<Vec<FaultRecord>>,
 }
 
 impl fmt::Debug for ChaosEngine {
@@ -424,7 +424,7 @@ impl ChaosEngine {
             crashes: AtomicU64::new(0),
             forced_cold_starts: AtomicU64::new(0),
             cache_poisons: AtomicU64::new(0),
-            log: Mutex::new(Vec::new()),
+            log: RawMutex::new(Vec::new()),
         }
     }
 

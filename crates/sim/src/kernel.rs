@@ -56,18 +56,23 @@
 //! detected the deadlock), so the report propagates out of [`Kernel::run`]
 //! even when the detecting thread was a background activation.
 
+use std::any::Any;
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::fmt::Write as _;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::hooks::{GuardControl, LockOp};
 
+use crate::order::{OrderRecorder, RunOrderReport, Space, SyncKind};
+use crate::rawlock::{RawCondvar, RawMutex, RawMutexGuard};
+use crate::sched::{Choice, ChoiceKind, FifoScheduler, ReplayScheduler, ScheduleTrace, Scheduler};
 use crate::sync::Event;
 use crate::time::SimInstant;
 
@@ -85,8 +90,8 @@ struct ThreadCtx {
 pub(crate) struct Waiter {
     id: u64,
     name: String,
-    sync: Mutex<WaiterSync>,
-    cv: Condvar,
+    sync: RawMutex<WaiterSync>,
+    cv: RawCondvar,
 }
 
 #[derive(Default)]
@@ -116,8 +121,8 @@ impl Waiter {
         Arc::new(Waiter {
             id,
             name,
-            sync: Mutex::new(WaiterSync::default()),
-            cv: Condvar::new(),
+            sync: RawMutex::new(WaiterSync::default()),
+            cv: RawCondvar::new(),
         })
     }
 }
@@ -165,8 +170,27 @@ struct ResourceInfo {
     kind: &'static str,
     /// Human-readable instance label, e.g. `"namespace-concurrency"`.
     label: String,
+    /// Whether the label was generated (`kind#N`). Generated labels vary
+    /// across schedules, so the lock-order recorder must not use them as
+    /// cross-run merge keys.
+    generated: bool,
     /// `(waiter id, thread name)` of current holders, in acquisition order.
     holders: Vec<(u64, String)>,
+}
+
+/// Virtualized shim lock (`parking_lot` `Mutex`/`RwLock`): threads parked in
+/// the kernel waiting to retry a contended acquisition.
+struct VlockEntry {
+    res: ResourceId,
+    /// Arrival-order queue of threads to wake (all at once) on release.
+    waiters: VecDeque<Arc<Waiter>>,
+}
+
+/// Virtualized shim condvar: threads parked until a notify.
+struct VcvEntry {
+    res: ResourceId,
+    /// Arrival-order wait queue; `notify_one` wakes the front entry.
+    waiters: VecDeque<Arc<Waiter>>,
 }
 
 /// Diagnostic record for one blocked thread.
@@ -201,6 +225,23 @@ pub(crate) struct State {
     /// afterwards panics with this report.
     deadlock: Option<Arc<str>>,
     stats: KernelStats,
+    /// The active scheduling policy (default: [`FifoScheduler`]).
+    scheduler: Box<dyn Scheduler>,
+    /// Cached `scheduler.exploring()`; gates all choice-point accounting.
+    exploring: bool,
+    /// Global choice-point counter (see [`crate::sched`]).
+    choice_step: u64,
+    /// Non-default decisions made so far — the replay trace.
+    trace: ScheduleTrace,
+    /// Sync-resource tokens touched since the last choice point (the
+    /// running segment's footprint, for independence-based pruning).
+    segment: Vec<u64>,
+    /// Lock-order recorder, present while recording is enabled.
+    order: Option<OrderRecorder>,
+    /// addr → virtualized shim-lock state.
+    vlocks: HashMap<usize, VlockEntry>,
+    /// addr → virtualized shim-condvar state.
+    vcvs: HashMap<usize, VcvEntry>,
 }
 
 impl State {
@@ -231,6 +272,192 @@ impl State {
             r.holders.clear();
         }
     }
+
+    /// Registers a resource; an empty label gets a generated `kind#N` one.
+    fn create_resource_locked(&mut self, kind: &'static str, label: String) -> ResourceId {
+        let id = self.next_resource_id;
+        self.next_resource_id += 1;
+        let generated = label.is_empty();
+        let label = if generated {
+            format!("{kind}#{id}")
+        } else {
+            label
+        };
+        self.resources.insert(
+            id,
+            ResourceInfo {
+                kind,
+                label,
+                generated,
+                holders: Vec::new(),
+            },
+        );
+        ResourceId(id)
+    }
+
+    /// Appends `res` to the running segment's footprint (exploring only).
+    pub(crate) fn touch(&mut self, res: ResourceId) {
+        if self.exploring {
+            self.segment.push(res.0);
+        }
+    }
+
+    /// The recorder merge label of `res`: its diagnostic label when caller
+    /// supplied, empty for generated labels (whose numbering varies across
+    /// schedules — the recorder derives a toucher-based key instead). Takes
+    /// the field directly so callers can hold `order` mutably alongside.
+    fn merge_label(resources: &HashMap<u64, ResourceInfo>, res: ResourceId) -> &str {
+        match resources.get(&res.0) {
+            Some(r) if !r.generated => &r.label,
+            _ => "",
+        }
+    }
+
+    /// Records that `w` acquired kernel primitive `res` (lock semantics:
+    /// emits order edges against everything `w` holds).
+    pub(crate) fn rec_acquired(&mut self, res: ResourceId, kind: SyncKind, w: &Waiter) {
+        self.touch(res);
+        if let Some(order) = self.order.as_mut() {
+            let label = Self::merge_label(&self.resources, res);
+            let inst = order.intern(Space::Resource, res.0, kind, label, &w.name);
+            order.acquired(w.id, &w.name, inst);
+        }
+    }
+
+    /// Records that `w` released kernel primitive `res`.
+    pub(crate) fn rec_released(&mut self, res: ResourceId, kind: SyncKind, w: &Waiter) {
+        self.touch(res);
+        if let Some(order) = self.order.as_mut() {
+            let label = Self::merge_label(&self.resources, res);
+            let inst = order.intern(Space::Resource, res.0, kind, label, &w.name);
+            order.released(w.id, &w.name, inst);
+        }
+    }
+
+    /// Records a true-ordering publish on `res` (event fire, channel send,
+    /// waitgroup done, barrier arrival): `w`'s history becomes visible to
+    /// later observers.
+    pub(crate) fn rec_publish(&mut self, res: ResourceId, kind: SyncKind, w: &Waiter) {
+        self.touch(res);
+        if let Some(order) = self.order.as_mut() {
+            let label = Self::merge_label(&self.resources, res);
+            let inst = order.intern(Space::Resource, res.0, kind, label, &w.name);
+            order.publish(w.id, &w.name, inst);
+        }
+    }
+
+    /// Records a true-ordering observe on `res` (event wait-return, channel
+    /// recv, waitgroup wait-return, barrier release): `w` inherits the
+    /// published history.
+    pub(crate) fn rec_observe(&mut self, res: ResourceId, kind: SyncKind, w: &Waiter) {
+        self.touch(res);
+        if let Some(order) = self.order.as_mut() {
+            let label = Self::merge_label(&self.resources, res);
+            let inst = order.intern(Space::Resource, res.0, kind, label, &w.name);
+            order.observe(w.id, &w.name, inst);
+        }
+    }
+
+    /// The wait-for resource of the virtualized shim lock at `addr`,
+    /// creating it on first touch.
+    fn vlock_res_locked(&mut self, addr: usize, op: LockOp) -> ResourceId {
+        match self.vlocks.get(&addr) {
+            Some(e) => e.res,
+            None => {
+                let res = self.create_resource_locked(lockop_kind(op), String::new());
+                self.vlocks.insert(
+                    addr,
+                    VlockEntry {
+                        res,
+                        waiters: VecDeque::new(),
+                    },
+                );
+                res
+            }
+        }
+    }
+
+    /// The wait-for resource of the virtualized shim condvar at `addr`,
+    /// creating it on first touch.
+    fn vcv_res_locked(&mut self, addr: usize) -> ResourceId {
+        match self.vcvs.get(&addr) {
+            Some(e) => e.res,
+            None => {
+                let res = self.create_resource_locked("condvar", String::new());
+                self.vcvs.insert(
+                    addr,
+                    VcvEntry {
+                        res,
+                        waiters: VecDeque::new(),
+                    },
+                );
+                res
+            }
+        }
+    }
+
+    fn vrec_acquired(&mut self, addr: usize, res: ResourceId, op: LockOp, w: &Waiter) {
+        self.touch(res);
+        if let Some(order) = self.order.as_mut() {
+            let inst = order.intern(Space::Addr, addr as u64, lockop_sync(op), "", &w.name);
+            order.acquired(w.id, &w.name, inst);
+        }
+    }
+
+    fn vrec_released(&mut self, addr: usize, res: ResourceId, op: LockOp, w: &Waiter) {
+        self.touch(res);
+        if let Some(order) = self.order.as_mut() {
+            let inst = order.intern(Space::Addr, addr as u64, lockop_sync(op), "", &w.name);
+            order.released(w.id, &w.name, inst);
+        }
+    }
+
+    fn vrec_cv_wait(&mut self, addr: usize, w: &Waiter) {
+        if let Some(order) = self.order.as_mut() {
+            let inst = order.intern(Space::Addr, addr as u64, SyncKind::Condvar, "", &w.name);
+            order.cv_blocking_wait(inst);
+        }
+    }
+
+    fn vrec_cv_observe(&mut self, addr: usize, w: &Waiter) {
+        if let Some(order) = self.order.as_mut() {
+            let inst = order.intern(Space::Addr, addr as u64, SyncKind::Condvar, "", &w.name);
+            order.observe(w.id, &w.name, inst);
+        }
+    }
+
+    fn vrec_cv_notify(&mut self, addr: usize, w: &Waiter, had_waiters: bool) {
+        if let Some(order) = self.order.as_mut() {
+            let inst = order.intern(Space::Addr, addr as u64, SyncKind::Condvar, "", &w.name);
+            order.publish(w.id, &w.name, inst);
+            order.cv_notify(inst, had_waiters);
+        }
+    }
+}
+
+/// The wait-for-graph resource kind of a shim lock operation.
+fn lockop_kind(op: LockOp) -> &'static str {
+    match op {
+        LockOp::Mutex => "mutex",
+        LockOp::RwRead | LockOp::RwWrite => "rwlock",
+    }
+}
+
+/// The blocking reason shown in deadlock reports for a shim lock operation.
+fn lockop_reason(op: LockOp) -> &'static str {
+    match op {
+        LockOp::Mutex => "mutex.lock",
+        LockOp::RwRead => "rwlock.read",
+        LockOp::RwWrite => "rwlock.write",
+    }
+}
+
+/// The lock-order recorder class of a shim lock operation.
+fn lockop_sync(op: LockOp) -> SyncKind {
+    match op {
+        LockOp::Mutex => SyncKind::Mutex,
+        LockOp::RwRead | LockOp::RwWrite => SyncKind::RwLock,
+    }
 }
 
 /// Counters describing kernel activity, for tests and reporting.
@@ -244,10 +471,16 @@ pub struct KernelStats {
     pub threads_started: u64,
 }
 
+/// [`Inner::flags`] bit: an exploring scheduler is installed.
+const FLAG_EXPLORING: u8 = 1;
+
 struct Inner {
-    state: Mutex<State>,
+    state: RawMutex<State>,
     stack_size: usize,
-    chaos: Mutex<Option<Arc<crate::chaos::ChaosEngine>>>,
+    chaos: RawMutex<Option<Arc<crate::chaos::ChaosEngine>>>,
+    /// Lock-free mirror of scheduler mode, checked by preemption probes
+    /// before taking the state lock. Mutated only under the state lock.
+    flags: AtomicU8,
 }
 
 /// A deterministic virtual-time kernel. Cheap to clone (shared handle).
@@ -303,10 +536,18 @@ impl Kernel {
     ///
     /// Large fan-out experiments spawn thousands of threads; a smaller stack
     /// keeps address-space usage modest.
+    ///
+    /// When the `RUSTWREN_SCHEDULE` environment variable holds a `v1:` trace
+    /// token (printed by schedule exploration on failure), the kernel starts
+    /// with a [`ReplayScheduler`] for it, reproducing that exact schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `RUSTWREN_SCHEDULE` is set but malformed.
     pub fn with_stack_size(stack_size: usize) -> Kernel {
-        Kernel {
+        let kernel = Kernel {
             inner: Arc::new(Inner {
-                state: Mutex::new(State {
+                state: RawMutex::new(State {
                     now: 0,
                     next_waiter_id: 0,
                     next_resource_id: 0,
@@ -319,11 +560,73 @@ impl Kernel {
                     resources: HashMap::new(),
                     deadlock: None,
                     stats: KernelStats::default(),
+                    scheduler: Box::new(FifoScheduler),
+                    exploring: false,
+                    choice_step: 0,
+                    trace: ScheduleTrace::default(),
+                    segment: Vec::new(),
+                    order: None,
+                    vlocks: HashMap::new(),
+                    vcvs: HashMap::new(),
                 }),
                 stack_size,
-                chaos: Mutex::new(None),
+                chaos: RawMutex::new(None),
+                flags: AtomicU8::new(0),
             }),
+        };
+        crate::vlock::install();
+        if let Ok(token) = std::env::var("RUSTWREN_SCHEDULE") {
+            if !token.is_empty() {
+                let replay = ReplayScheduler::from_token(&token)
+                    .unwrap_or_else(|e| panic!("invalid RUSTWREN_SCHEDULE: {e}"));
+                kernel.set_scheduler(Box::new(replay));
+            }
         }
+        kernel
+    }
+
+    /// Installs a scheduling policy and resets choice-point accounting (step
+    /// counter, replay trace, segment footprint). Call between runs, on an
+    /// idle kernel; the policy applies to every subsequent dispatch.
+    pub fn set_scheduler(&self, scheduler: Box<dyn Scheduler>) {
+        let exploring = scheduler.exploring();
+        let mut st = self.inner.state.lock();
+        st.scheduler = scheduler;
+        st.exploring = exploring;
+        st.choice_step = 0;
+        st.trace = ScheduleTrace::default();
+        st.segment.clear();
+        let mut flags = self.inner.flags.load(Ordering::Relaxed);
+        if exploring {
+            flags |= FLAG_EXPLORING;
+        } else {
+            flags &= !FLAG_EXPLORING;
+        }
+        self.inner.flags.store(flags, Ordering::Relaxed);
+    }
+
+    /// The non-default scheduling decisions made since the scheduler was
+    /// installed — the sparse replay trace. Empty under [`FifoScheduler`].
+    pub fn schedule_trace(&self) -> ScheduleTrace {
+        self.inner.state.lock().trace.clone()
+    }
+
+    /// Starts (or restarts) lock-order recording: every instrumented lock
+    /// acquisition, true-ordering operation and condvar notify/wait from now
+    /// on feeds a per-run order graph. See [`crate::order`].
+    pub fn record_lock_orders(&self) {
+        self.inner.state.lock().order = Some(OrderRecorder::new());
+    }
+
+    /// Finalizes lock-order recording and returns the run's report, or
+    /// `None` when recording was never started.
+    pub fn take_order_report(&self) -> Option<RunOrderReport> {
+        self.inner
+            .state
+            .lock()
+            .order
+            .take()
+            .map(OrderRecorder::into_report)
     }
 
     /// Installs a fault-injection engine on this kernel. Substrates running
@@ -360,27 +663,19 @@ impl Kernel {
     /// names the instance. An empty label gets a generated `kind#N` one.
     /// The id stays valid until [`Kernel::destroy_resource`].
     pub fn create_resource(&self, kind: &'static str, label: impl Into<String>) -> ResourceId {
-        let mut st = self.inner.state.lock();
-        let id = st.next_resource_id;
-        st.next_resource_id += 1;
-        let mut label = label.into();
-        if label.is_empty() {
-            label = format!("{kind}#{id}");
-        }
-        st.resources.insert(
-            id,
-            ResourceInfo {
-                kind,
-                label,
-                holders: Vec::new(),
-            },
-        );
-        ResourceId(id)
+        self.inner
+            .state
+            .lock()
+            .create_resource_locked(kind, label.into())
     }
 
     /// Unregisters a resource created with [`Kernel::create_resource`].
     pub fn destroy_resource(&self, res: ResourceId) {
-        self.inner.state.lock().resources.remove(&res.0);
+        let mut st = self.inner.state.lock();
+        st.resources.remove(&res.0);
+        if let Some(order) = st.order.as_mut() {
+            order.forget(Space::Resource, res.0);
+        }
     }
 
     /// Records the current thread as a holder of `res`, so deadlock reports
@@ -437,7 +732,31 @@ impl Kernel {
         self.deregister(&waiter);
         match result {
             Ok(v) => v,
-            Err(p) => panic::resume_unwind(p),
+            Err(p) => panic::resume_unwind(self.augment_panic(p)),
+        }
+    }
+
+    /// Appends the schedule replay token to a string panic payload when an
+    /// exploring scheduler is installed, so every failure a schedule
+    /// explorer provokes carries its own reproduction recipe.
+    fn augment_panic(&self, payload: Box<dyn Any + Send>) -> Box<dyn Any + Send> {
+        if self.inner.flags.load(Ordering::Relaxed) & FLAG_EXPLORING == 0 {
+            return payload;
+        }
+        let text = if let Some(s) = payload.downcast_ref::<String>() {
+            Some(s.clone())
+        } else {
+            payload
+                .downcast_ref::<&'static str>()
+                .map(|s| (*s).to_owned())
+        };
+        match text {
+            Some(mut s) if !s.contains("RUSTWREN_SCHEDULE=") => {
+                let token = self.inner.state.lock().trace.token();
+                let _ = write!(s, "\nschedule: RUSTWREN_SCHEDULE={token}");
+                Box::new(s)
+            }
+            _ => payload,
         }
     }
 
@@ -454,7 +773,8 @@ impl Kernel {
         F: FnOnce() -> T + Send + 'static,
     {
         let name = name.into();
-        let from_sim = try_current_waiter(self).is_some();
+        let parent = try_current_waiter(self);
+        let from_sim = parent.is_some();
         let waiter = {
             let mut st = self.inner.state.lock();
             st.live += 1;
@@ -462,6 +782,10 @@ impl Kernel {
             let id = st.next_waiter_id;
             st.next_waiter_id += 1;
             let waiter = Waiter::new(id, name.clone());
+            if let (Some(p), Some(order)) = (&parent, st.order.as_mut()) {
+                // Happens-before: the child inherits the spawner's history.
+                order.spawned(p.id, &p.name, id, &name);
+            }
             if from_sim {
                 waiter.sync.lock().notified = true;
                 st.ready.push_back(Arc::clone(&waiter));
@@ -471,7 +795,7 @@ impl Kernel {
             waiter
         };
         let done = Event::named(self, format!("join:{name}"));
-        let slot: Arc<Mutex<Option<thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let slot: Arc<RawMutex<Option<thread::Result<T>>>> = Arc::new(RawMutex::new(None));
         let kernel = self.clone();
         let done2 = done.clone();
         let slot2 = Arc::clone(&slot);
@@ -635,17 +959,41 @@ impl Kernel {
 
     /// Dispatches the next ready thread, if any. Must be called with the
     /// kernel state lock held. Returns whether a thread was released.
+    ///
+    /// With an exploring scheduler installed and ≥ 2 ready threads, this is
+    /// a *Ready* choice point: the scheduler picks which thread runs. The
+    /// default (index 0, queue front) reproduces historical FIFO dispatch.
     fn release_next_locked(st: &mut State) -> bool {
-        match st.ready.pop_front() {
-            Some(w) => {
-                st.runnable += 1;
-                let mut ws = w.sync.lock();
-                ws.released = true;
-                w.cv.notify_one();
-                true
-            }
-            None => false,
+        if st.ready.is_empty() {
+            return false;
         }
+        let idx = if st.exploring && st.ready.len() > 1 {
+            let candidates: Vec<u64> = st.ready.iter().map(|w| w.id).collect();
+            let segment = std::mem::take(&mut st.segment);
+            let step = st.choice_step;
+            st.choice_step += 1;
+            let picked = st
+                .scheduler
+                .choose(&Choice {
+                    kind: ChoiceKind::Ready,
+                    step,
+                    candidates: &candidates,
+                    segment: &segment,
+                })
+                .min(candidates.len() - 1);
+            if picked != 0 {
+                st.trace.record(step, ChoiceKind::Ready, picked);
+            }
+            picked
+        } else {
+            0
+        };
+        let w = st.ready.remove(idx).expect("index in range");
+        st.runnable += 1;
+        let mut ws = w.sync.lock();
+        ws.released = true;
+        w.cv.notify_one();
+        true
     }
 
     /// Immediately releases `waiter` outside the ready queue. Only used by
@@ -663,8 +1011,60 @@ impl Kernel {
         waiter.cv.notify_one();
     }
 
-    pub(crate) fn lock_state(&self) -> parking_lot::MutexGuard<'_, State> {
+    pub(crate) fn lock_state(&self) -> RawMutexGuard<'_, State> {
         self.inner.state.lock()
+    }
+
+    /// A potential preemption probe at an instrumented sync operation.
+    ///
+    /// Free unless an exploring scheduler is installed (one atomic load).
+    /// While exploring, and when at least one other thread is ready, this is
+    /// a *Preempt* choice point: a "yes" sends the running thread to the
+    /// back of the ready queue and dispatches another — the interleaving
+    /// that exposes atomicity bugs between a check and its act.
+    pub(crate) fn preemption_point(&self, _op: &'static str) {
+        if self.inner.flags.load(Ordering::Relaxed) & FLAG_EXPLORING == 0 {
+            return;
+        }
+        let Some(waiter) = try_current_waiter(self) else {
+            return;
+        };
+        let mut st = self.inner.state.lock();
+        if !st.exploring || st.ready.is_empty() || st.deadlock.is_some() {
+            return;
+        }
+        let candidates = [waiter.id];
+        let segment = std::mem::take(&mut st.segment);
+        let step = st.choice_step;
+        st.choice_step += 1;
+        let yield_now = st.scheduler.preempt(&Choice {
+            kind: ChoiceKind::Preempt,
+            step,
+            candidates: &candidates,
+            segment: &segment,
+        });
+        if !yield_now {
+            return;
+        }
+        st.trace.record(step, ChoiceKind::Preempt, 1);
+        // Yield: rejoin the ready queue at the back and run the dispatch
+        // loop. No blocked-map entry — the thread is ready, not blocked, so
+        // a deadlock cannot be declared while it is queued
+        // (release_next_locked always succeeds).
+        st.ready.push_back(Arc::clone(&waiter));
+        st.runnable -= 1;
+        while st.runnable == 0 {
+            if !Self::release_next_locked(&mut st) {
+                Self::advance_locked(&mut st);
+            }
+        }
+        drop(st);
+        let mut ws = waiter.sync.lock();
+        while !ws.released {
+            waiter.cv.wait(&mut ws);
+        }
+        ws.released = false;
+        ws.notified = false;
     }
 
     /// Advances the clock to the earliest timer deadline and wakes that one
@@ -698,8 +1098,48 @@ impl Kernel {
             st.stats.clock_advances += 1;
         }
         st.now = deadline;
-        let Reverse(e) = st.timers.pop().expect("peeked entry exists");
-        Self::wake_locked(st, &e.waiter);
+        let entry = if st.exploring {
+            // Timer choice point: pop everything due at this deadline (the
+            // heap yields ascending seq), let the scheduler pick one, push
+            // the rest back. Index 0 (lowest seq) is the historical default.
+            let mut due: Vec<TimerEntry> = Vec::new();
+            while st
+                .timers
+                .peek()
+                .is_some_and(|Reverse(e)| e.deadline == deadline)
+            {
+                due.push(st.timers.pop().expect("peeked entry exists").0);
+            }
+            let idx = if due.len() > 1 {
+                let candidates: Vec<u64> = due.iter().map(|e| e.seq).collect();
+                let segment = std::mem::take(&mut st.segment);
+                let step = st.choice_step;
+                st.choice_step += 1;
+                let picked = st
+                    .scheduler
+                    .choose(&Choice {
+                        kind: ChoiceKind::Timer,
+                        step,
+                        candidates: &candidates,
+                        segment: &segment,
+                    })
+                    .min(due.len() - 1);
+                if picked != 0 {
+                    st.trace.record(step, ChoiceKind::Timer, picked);
+                }
+                picked
+            } else {
+                0
+            };
+            let e = due.remove(idx);
+            for rest in due {
+                st.timers.push(Reverse(rest));
+            }
+            e
+        } else {
+            st.timers.pop().expect("peeked entry exists").0
+        };
+        Self::wake_locked(st, &entry.waiter);
     }
 
     /// Renders the deadlock report: one line per blocked thread (with the
@@ -735,6 +1175,9 @@ impl Kernel {
         if let Some(cycle) = Self::find_cycle_locked(st) {
             report.push('\n');
             report.push_str(&cycle);
+        }
+        if st.exploring {
+            let _ = write!(report, "\nschedule: RUSTWREN_SCHEDULE={}", st.trace.token());
         }
         report
     }
@@ -840,13 +1283,180 @@ impl Kernel {
             }
         }
     }
+
+    pub(crate) fn downgrade(&self) -> WeakKernel {
+        WeakKernel(Arc::downgrade(&self.inner))
+    }
+
+    // ---- Virtualized shim locks (see `crate::vlock`) --------------------
+
+    /// The calling simulated thread failed a try-acquire on the shim lock at
+    /// `addr`: park it (in virtual time, with a wait-for-graph edge) until a
+    /// release wakes it to retry. Returns `false` when the caller is not a
+    /// simulated thread of this kernel.
+    pub(crate) fn vlock_block(&self, addr: usize, op: LockOp) -> bool {
+        let Some(w) = try_current_waiter(self) else {
+            return false;
+        };
+        crate::vlock::track_addr(addr, self);
+        let res = {
+            let mut st = self.inner.state.lock();
+            let res = st.vlock_res_locked(addr, op);
+            let entry = st.vlocks.get_mut(&addr).expect("entry just ensured");
+            if !entry.waiters.iter().any(|x| x.id == w.id) {
+                entry.waiters.push_back(Arc::clone(&w));
+            }
+            st.touch(res);
+            res
+        };
+        self.block_current_with(&w, Some(res), lockop_reason(op));
+        true
+    }
+
+    /// The calling thread acquired the shim lock at `addr`: record it as a
+    /// holder (for deadlock reports) and feed the lock-order recorder.
+    pub(crate) fn vlock_acquired(&self, addr: usize, op: LockOp) {
+        let Some(w) = try_current_waiter(self) else {
+            return;
+        };
+        crate::vlock::track_addr(addr, self);
+        let mut st = self.inner.state.lock();
+        let res = st.vlock_res_locked(addr, op);
+        let entry = st.vlocks.get_mut(&addr).expect("entry just ensured");
+        if let Some(pos) = entry.waiters.iter().position(|x| x.id == w.id) {
+            entry.waiters.remove(pos);
+        }
+        st.hold_resource_locked(res, &w);
+        st.vrec_acquired(addr, res, op, &w);
+    }
+
+    /// The calling thread released the shim lock at `addr`: wake every
+    /// virtually parked waiter to retry (losers re-park).
+    pub(crate) fn vlock_released(&self, addr: usize, op: LockOp) {
+        let Some(w) = try_current_waiter(self) else {
+            return;
+        };
+        let mut st = self.inner.state.lock();
+        let (res, waiters) = match st.vlocks.get_mut(&addr) {
+            Some(e) => (e.res, e.waiters.drain(..).collect::<Vec<_>>()),
+            None => return,
+        };
+        st.release_resource_locked(res, Some(&w));
+        st.vrec_released(addr, res, op, &w);
+        for waiter in &waiters {
+            Self::wake_locked(&mut st, waiter);
+        }
+    }
+
+    /// The shim lock at `addr` was dropped (possibly on a foreign thread):
+    /// clear all tracking so a reused address becomes a fresh instance.
+    pub(crate) fn vlock_destroyed(&self, addr: usize) {
+        let mut st = self.inner.state.lock();
+        let Some(entry) = st.vlocks.remove(&addr) else {
+            return;
+        };
+        st.resources.remove(&entry.res.0);
+        if let Some(order) = st.order.as_mut() {
+            order.forget(Space::Addr, addr as u64);
+        }
+        for w in &entry.waiters {
+            Self::wake_locked(&mut st, w);
+        }
+    }
+
+    /// Virtualized shim `Condvar::wait`: park in arrival order until a
+    /// notify, releasing and re-acquiring the mutex through `guard`. Returns
+    /// `false` when the caller is not a simulated thread of this kernel.
+    pub(crate) fn vcv_wait(&self, addr: usize, guard: &mut dyn GuardControl) -> bool {
+        let Some(w) = try_current_waiter(self) else {
+            return false;
+        };
+        crate::vlock::track_addr(addr, self);
+        // Probe *before* registering in the wait queue: if the probe yields
+        // and a notify lands during the yield, that notify must see the
+        // queue without us — it must not be consumed by the park below,
+        // which would turn a lost wakeup into a silent spurious return.
+        self.preemption_point("condvar.wait");
+        let res = {
+            let mut st = self.inner.state.lock();
+            let res = st.vcv_res_locked(addr);
+            let entry = st.vcvs.get_mut(&addr).expect("entry just ensured");
+            if !entry.waiters.iter().any(|x| x.id == w.id) {
+                entry.waiters.push_back(Arc::clone(&w));
+            }
+            st.touch(res);
+            st.vrec_cv_wait(addr, &w);
+            res
+        };
+        guard.unlock();
+        self.block_current_with(&w, Some(res), "condvar.wait");
+        {
+            let mut st = self.inner.state.lock();
+            st.vrec_cv_observe(addr, &w);
+        }
+        guard.relock();
+        true
+    }
+
+    /// Virtualized shim condvar notify: wakes the longest-parked waiter
+    /// (`all == false`) or every waiter, in arrival order. Returns the woken
+    /// count; a notify with no waiters is recorded as *dropped* (raw
+    /// material of lost-wakeup analysis).
+    pub(crate) fn vcv_notify(&self, addr: usize, all: bool) -> usize {
+        let Some(w) = try_current_waiter(self) else {
+            return 0;
+        };
+        crate::vlock::track_addr(addr, self);
+        let mut st = self.inner.state.lock();
+        let res = st.vcv_res_locked(addr);
+        st.touch(res);
+        let entry = st.vcvs.get_mut(&addr).expect("entry just ensured");
+        let woken: Vec<Arc<Waiter>> = if all {
+            entry.waiters.drain(..).collect()
+        } else {
+            entry.waiters.pop_front().into_iter().collect()
+        };
+        st.vrec_cv_notify(addr, &w, !woken.is_empty());
+        for waiter in &woken {
+            Self::wake_locked(&mut st, waiter);
+        }
+        woken.len()
+    }
+
+    /// The shim condvar at `addr` was dropped: clear all tracking.
+    pub(crate) fn vcv_destroyed(&self, addr: usize) {
+        let mut st = self.inner.state.lock();
+        let Some(entry) = st.vcvs.remove(&addr) else {
+            return;
+        };
+        st.resources.remove(&entry.res.0);
+        if let Some(order) = st.order.as_mut() {
+            order.forget(Space::Addr, addr as u64);
+        }
+        for w in &entry.waiters {
+            Self::wake_locked(&mut st, w);
+        }
+    }
+}
+
+/// Weak kernel handle used by the shim-lock destroy-routing registry.
+pub(crate) struct WeakKernel(Weak<Inner>);
+
+impl WeakKernel {
+    pub(crate) fn upgrade(&self) -> Option<Kernel> {
+        self.0.upgrade().map(|inner| Kernel { inner })
+    }
+
+    pub(crate) fn is(&self, kernel: &Kernel) -> bool {
+        std::ptr::eq(self.0.as_ptr(), Arc::as_ptr(&kernel.inner))
+    }
 }
 
 /// Handle to a simulated thread spawned with [`Kernel::spawn`] or
 /// [`crate::spawn`].
 pub struct SimJoinHandle<T> {
     done: Event,
-    slot: Arc<Mutex<Option<thread::Result<T>>>>,
+    slot: Arc<RawMutex<Option<thread::Result<T>>>>,
 }
 
 impl<T> fmt::Debug for SimJoinHandle<T> {
@@ -962,6 +1572,14 @@ pub fn kernel() -> Kernel {
 /// that must stay silent off the simulation.
 pub(crate) fn try_kernel() -> Option<Kernel> {
     CURRENT.with(|c| c.borrow().clone()).map(|ctx| ctx.kernel)
+}
+
+/// Whether the calling thread is a simulated thread of a kernel that is
+/// currently exploring schedules. Lets a process-wide panic hook silence
+/// the expected panics of schedule exploration without touching panics
+/// from anywhere else.
+pub fn exploring() -> bool {
+    try_kernel().is_some_and(|k| k.inner.flags.load(Ordering::Relaxed) & FLAG_EXPLORING != 0)
 }
 
 #[cfg(test)]
@@ -1179,6 +1797,89 @@ mod tests {
         k.run("second", || sleep(Duration::from_secs(1)));
         // Clock persists across runs.
         assert_eq!(k.now(), SimInstant::ZERO + Duration::from_secs(2));
+    }
+
+    /// Runs a workload whose outcome depends on the schedule: six threads
+    /// repeatedly sleep to the *same* deadlines (timer choices) and append
+    /// to a shared shim-locked log (ready choices + preemption probes).
+    fn interleaving_probe(k: &Kernel) -> Vec<u64> {
+        k.run("client", || {
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let hs: Vec<_> = (0..6)
+                .map(|i| {
+                    let log = Arc::clone(&log);
+                    spawn(format!("t{i}"), move || {
+                        for _ in 0..3 {
+                            sleep(Duration::from_millis(10));
+                            log.lock().push(i);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            let order = log.lock().clone();
+            order
+        })
+    }
+
+    #[test]
+    fn fifo_records_no_schedule_trace() {
+        let k = Kernel::new();
+        let _ = interleaving_probe(&k);
+        assert!(k.schedule_trace().is_empty());
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_and_replayable() {
+        use crate::sched::RandomScheduler;
+        let k1 = Kernel::new();
+        k1.set_scheduler(Box::new(RandomScheduler::new(42)));
+        let o1 = interleaving_probe(&k1);
+        let trace = k1.schedule_trace();
+
+        // Same seed, fresh kernel: bit-identical interleaving.
+        let k2 = Kernel::new();
+        k2.set_scheduler(Box::new(RandomScheduler::new(42)));
+        assert_eq!(interleaving_probe(&k2), o1);
+
+        // Replaying the recorded trace reproduces the interleaving AND
+        // re-records the identical trace.
+        let k3 = Kernel::new();
+        k3.set_scheduler(Box::new(ReplayScheduler::new(&trace)));
+        assert_eq!(interleaving_probe(&k3), o1);
+        assert_eq!(k3.schedule_trace(), trace);
+    }
+
+    #[test]
+    fn exploring_panic_payloads_carry_schedule_token() {
+        use crate::sched::RandomScheduler;
+        let k = Kernel::new();
+        k.set_scheduler(Box::new(RandomScheduler::new(7)));
+        let err = panic::catch_unwind(AssertUnwindSafe(|| {
+            k.run("client", || panic!("boom {}", 42));
+        }))
+        .expect_err("must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("augmented payload is a String");
+        assert!(msg.contains("boom 42"), "original message kept: {msg}");
+        assert!(
+            msg.contains("schedule: RUSTWREN_SCHEDULE=v1:"),
+            "replay token appended: {msg}"
+        );
+    }
+
+    #[test]
+    fn non_exploring_panic_payloads_are_untouched() {
+        let k = Kernel::new();
+        let err = panic::catch_unwind(AssertUnwindSafe(|| {
+            k.run("client", || panic!("plain"));
+        }))
+        .expect_err("must panic");
+        let msg = err.downcast_ref::<&'static str>().expect("str payload");
+        assert_eq!(*msg, "plain");
     }
 
     #[test]

@@ -40,6 +40,12 @@
 //! * [`chaos`] — seed-deterministic fault injection (outage windows, payload
 //!   corruption, crash points, cold-start storms) scheduled on the virtual
 //!   clock.
+//! * [`sched`] — pluggable schedulers (FIFO, seeded random, replay) that
+//!   decide which ready thread runs at every kernel choice point, plus the
+//!   sparse [`ScheduleTrace`] token format used to replay failing schedules.
+//! * [`order`] — lock-order recording: per-run graphs of held→acquired
+//!   edges with vector-clock happens-before metadata, the raw material for
+//!   AB-BA deadlock and lost-wakeup detection in `rustwren-analyze`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,12 +55,23 @@ pub mod chaos;
 pub mod hash;
 mod kernel;
 mod net;
+pub mod order;
+mod rawlock;
+pub mod sched;
 pub mod sync;
 mod time;
+mod vlock;
 
 pub use chaos::{
     ChaosEngine, ChaosStats, CorruptMode, FaultPlan, FaultRecord, PathScope, TimeWindow,
 };
-pub use kernel::{kernel, now, sleep, spawn, Kernel, KernelStats, ResourceId, SimJoinHandle};
+pub use kernel::{
+    exploring, kernel, now, sleep, spawn, Kernel, KernelStats, ResourceId, SimJoinHandle,
+};
 pub use net::NetworkProfile;
+pub use order::{CondvarObs, LockInstance, OrderEdge, RunOrderReport, SyncKind, VectorClock};
+pub use sched::{
+    Choice, ChoiceKind, FifoScheduler, RandomScheduler, ReplayScheduler, ScheduleTrace, Scheduler,
+    TraceEntry,
+};
 pub use time::SimInstant;

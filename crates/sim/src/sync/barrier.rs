@@ -3,9 +3,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::kernel::{current_waiter, Kernel, ResourceId, Waiter};
+use crate::order::SyncKind;
+use crate::rawlock::RawMutex;
 
 struct BarrierState {
     parties: usize,
@@ -18,7 +18,7 @@ struct BarrierInner {
     kernel: Kernel,
     /// Wait-for-graph resource waits are attributed to.
     res: ResourceId,
-    state: Mutex<BarrierState>,
+    state: RawMutex<BarrierState>,
 }
 
 impl Drop for BarrierInner {
@@ -82,7 +82,7 @@ impl Barrier {
             inner: Arc::new(BarrierInner {
                 kernel: kernel.clone(),
                 res: kernel.create_resource("barrier", ""),
-                state: Mutex::new(BarrierState {
+                state: RawMutex::new(BarrierState {
                     parties,
                     arrived: 0,
                     generation: 0,
@@ -97,18 +97,24 @@ impl Barrier {
     /// [`std::sync::Barrier`].
     pub fn wait(&self) -> bool {
         let waiter = current_waiter(&self.inner.kernel, "Barrier::wait");
+        self.inner.kernel.preemption_point("barrier.wait");
         let my_generation;
         {
             let mut kst = self.inner.kernel.lock_state();
             let mut st = self.inner.state.lock();
             st.arrived += 1;
             my_generation = st.generation;
+            // Happens-before: every arrival publishes into the barrier, and
+            // every departure observes, so all parties of a round are
+            // mutually ordered with the next round.
+            kst.rec_publish(self.inner.res, SyncKind::Barrier, &waiter);
             if st.arrived == st.parties {
                 // Leader: release everyone and reset for the next round.
                 st.arrived = 0;
                 st.generation += 1;
                 let waiters = std::mem::take(&mut st.waiters);
                 drop(st);
+                kst.rec_observe(self.inner.res, SyncKind::Barrier, &waiter);
                 for w in &waiters {
                     Kernel::wake_locked(&mut kst, w);
                 }
@@ -122,8 +128,13 @@ impl Barrier {
             self.inner
                 .kernel
                 .block_current(Some(self.inner.res), "barrier.wait");
+            // Kernel state lock first, then the barrier's own lock — the
+            // same order as the arrival path — so recording cannot deadlock.
+            let mut kst = self.inner.kernel.lock_state();
             let st = self.inner.state.lock();
             if st.generation != my_generation {
+                drop(st);
+                kst.rec_observe(self.inner.res, SyncKind::Barrier, &waiter);
                 return false;
             }
         }

@@ -9,9 +9,9 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
-use crate::kernel::{current_waiter, Kernel, ResourceId, Waiter};
+use crate::kernel::{current_waiter, try_current_waiter, Kernel, ResourceId, Waiter};
+use crate::order::SyncKind;
+use crate::rawlock::RawMutex;
 
 /// Error returned by [`Sender::send`] when every receiver has been dropped.
 /// Carries the unsent value back to the caller.
@@ -78,7 +78,7 @@ struct Chan<T> {
     kernel: Kernel,
     /// Wait-for-graph resource send/recv blocks are attributed to.
     res: ResourceId,
-    state: Mutex<ChanState<T>>,
+    state: RawMutex<ChanState<T>>,
 }
 
 impl<T> Drop for Chan<T> {
@@ -125,7 +125,7 @@ fn channel<T>(kernel: &Kernel, capacity: Option<usize>) -> (Sender<T>, Receiver<
     let chan = Arc::new(Chan {
         kernel: kernel.clone(),
         res: kernel.create_resource("channel", ""),
-        state: Mutex::new(ChanState {
+        state: RawMutex::new(ChanState {
             queue: VecDeque::new(),
             capacity,
             senders: 1,
@@ -193,6 +193,7 @@ impl<T> Sender<T> {
     /// Panics if the calling thread is not a simulated thread on this
     /// channel's kernel and the channel is full (i.e. would need to block).
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.chan.kernel.preemption_point("channel.send");
         let mut value = Some(value);
         loop {
             {
@@ -205,6 +206,11 @@ impl<T> Sender<T> {
                 if has_room {
                     ch.queue
                         .push_back(value.take().expect("value still present"));
+                    if let Some(w) = try_current_waiter(&self.chan.kernel) {
+                        // Happens-before: whoever receives this message
+                        // inherits the sender's history.
+                        st.rec_publish(self.chan.res, SyncKind::Channel, &w);
+                    }
                     if let Some(w) = ch.recv_waiters.pop_front() {
                         Kernel::wake_locked(&mut st, &w);
                     }
@@ -214,6 +220,8 @@ impl<T> Sender<T> {
                 if !ch.send_waiters.iter().any(|w| w.id() == waiter.id()) {
                     ch.send_waiters.push_back(waiter);
                 }
+                drop(ch);
+                st.touch(self.chan.res);
             }
             self.chan
                 .kernel
@@ -273,11 +281,15 @@ impl<T> Receiver<T> {
     /// Panics if the calling thread is not a simulated thread on this
     /// channel's kernel and the channel is empty (i.e. would need to block).
     pub fn recv(&self) -> Result<T, RecvError> {
+        self.chan.kernel.preemption_point("channel.recv");
         loop {
             {
                 let mut st = self.chan.kernel.lock_state();
                 let mut ch = self.chan.state.lock();
                 if let Some(v) = ch.queue.pop_front() {
+                    if let Some(w) = try_current_waiter(&self.chan.kernel) {
+                        st.rec_observe(self.chan.res, SyncKind::Channel, &w);
+                    }
                     if let Some(w) = ch.send_waiters.pop_front() {
                         Kernel::wake_locked(&mut st, &w);
                     }
@@ -290,6 +302,8 @@ impl<T> Receiver<T> {
                 if !ch.recv_waiters.iter().any(|w| w.id() == waiter.id()) {
                     ch.recv_waiters.push_back(waiter);
                 }
+                drop(ch);
+                st.touch(self.chan.res);
             }
             self.chan
                 .kernel
@@ -307,6 +321,9 @@ impl<T> Receiver<T> {
         let mut st = self.chan.kernel.lock_state();
         let mut ch = self.chan.state.lock();
         if let Some(v) = ch.queue.pop_front() {
+            if let Some(w) = try_current_waiter(&self.chan.kernel) {
+                st.rec_observe(self.chan.res, SyncKind::Channel, &w);
+            }
             if let Some(w) = ch.send_waiters.pop_front() {
                 Kernel::wake_locked(&mut st, &w);
             }

@@ -3,9 +3,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
-use crate::kernel::{current_waiter, Kernel, ResourceId, Waiter};
+use crate::kernel::{current_waiter, try_current_waiter, Kernel, ResourceId, Waiter};
+use crate::order::SyncKind;
+use crate::rawlock::RawMutex;
 
 #[derive(Default)]
 struct EventState {
@@ -20,7 +20,7 @@ struct EventInner {
     /// Whether the event created `res` itself (and thus owns its lifecycle
     /// and holder list) or borrows a caller-provided resource.
     owns_res: bool,
-    state: Mutex<EventState>,
+    state: RawMutex<EventState>,
 }
 
 impl Drop for EventInner {
@@ -79,7 +79,7 @@ impl Event {
                 kernel: kernel.clone(),
                 res: kernel.create_resource("event", label),
                 owns_res: true,
-                state: Mutex::new(EventState::default()),
+                state: RawMutex::new(EventState::default()),
             }),
         }
     }
@@ -94,7 +94,7 @@ impl Event {
                 kernel: kernel.clone(),
                 res,
                 owns_res: false,
-                state: Mutex::new(EventState::default()),
+                state: RawMutex::new(EventState::default()),
             }),
         }
     }
@@ -106,8 +106,10 @@ impl Event {
         self.inner.kernel.hold_resource(self.inner.res);
     }
 
-    /// Fires the event, waking all current and future waiters. Idempotent.
+    /// Fires the event, waking all current and future waiters (in arrival
+    /// order). Idempotent.
     pub fn fire(&self) {
+        self.inner.kernel.preemption_point("event.fire");
         let mut st = self.inner.kernel.lock_state();
         let waiters = {
             let mut ev = self.inner.state.lock();
@@ -117,6 +119,10 @@ impl Event {
             ev.fired = true;
             std::mem::take(&mut ev.waiters)
         };
+        if let Some(w) = try_current_waiter(&self.inner.kernel) {
+            // Happens-before: waiters woken by this fire inherit our history.
+            st.rec_publish(self.inner.res, SyncKind::Event, &w);
+        }
         if self.inner.owns_res {
             // The obligation this event stood for is discharged.
             st.clear_resource_holders_locked(self.inner.res);
@@ -140,15 +146,23 @@ impl Event {
     /// Panics if the calling thread is not registered with this kernel.
     pub fn wait(&self) {
         let waiter = current_waiter(&self.inner.kernel, "Event::wait");
+        self.inner.kernel.preemption_point("event.wait");
         loop {
             {
+                // Kernel state lock first, then the event's own lock — the
+                // same order as `fire` — so recording can never deadlock
+                // against a concurrent fire.
+                let mut st = self.inner.kernel.lock_state();
                 let mut ev = self.inner.state.lock();
                 if ev.fired {
+                    st.rec_observe(self.inner.res, SyncKind::Event, &waiter);
                     return;
                 }
                 if !ev.waiters.iter().any(|w| w.id() == waiter.id()) {
                     ev.waiters.push(Arc::clone(&waiter));
                 }
+                drop(ev);
+                st.touch(self.inner.res);
             }
             self.inner
                 .kernel

@@ -3,9 +3,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::kernel::{current_waiter, try_current_waiter, Kernel, ResourceId, Waiter};
+use crate::order::SyncKind;
+use crate::rawlock::RawMutex;
 
 struct SemState {
     permits: usize,
@@ -16,7 +16,7 @@ struct SemInner {
     kernel: Kernel,
     /// Wait-for-graph resource; permit owners are recorded as holders.
     res: ResourceId,
-    state: Mutex<SemState>,
+    state: RawMutex<SemState>,
 }
 
 impl Drop for SemInner {
@@ -79,7 +79,7 @@ impl Semaphore {
             inner: Arc::new(SemInner {
                 kernel: kernel.clone(),
                 res: kernel.create_resource("semaphore", label),
-                state: Mutex::new(SemState {
+                state: RawMutex::new(SemState {
                     permits,
                     waiters: Vec::new(),
                 }),
@@ -110,6 +110,7 @@ impl Semaphore {
     ///
     /// [`release_raw`]: Semaphore::release_raw
     pub fn acquire_raw(&self) {
+        self.inner.kernel.preemption_point("semaphore.acquire");
         loop {
             {
                 let mut st = self.inner.kernel.lock_state();
@@ -119,6 +120,7 @@ impl Semaphore {
                     drop(sem);
                     if let Some(w) = try_current_waiter(&self.inner.kernel) {
                         st.hold_resource_locked(self.inner.res, &w);
+                        st.rec_acquired(self.inner.res, SyncKind::Semaphore, &w);
                     }
                     return;
                 }
@@ -126,6 +128,8 @@ impl Semaphore {
                 if !sem.waiters.iter().any(|w| w.id() == waiter.id()) {
                     sem.waiters.push(waiter);
                 }
+                drop(sem);
+                st.touch(self.inner.res);
             }
             self.inner
                 .kernel
@@ -142,6 +146,7 @@ impl Semaphore {
             drop(sem);
             if let Some(w) = try_current_waiter(&self.inner.kernel) {
                 st.hold_resource_locked(self.inner.res, &w);
+                st.rec_acquired(self.inner.res, SyncKind::Semaphore, &w);
             }
             Some(SemaphoreGuard {
                 sem: Semaphore::clone(self),
@@ -155,6 +160,7 @@ impl Semaphore {
     ///
     /// [`acquire_raw`]: Semaphore::acquire_raw
     pub fn release_raw(&self) {
+        self.inner.kernel.preemption_point("semaphore.release");
         let mut st = self.inner.kernel.lock_state();
         let waiters = {
             let mut sem = self.inner.state.lock();
@@ -163,6 +169,9 @@ impl Semaphore {
         };
         let w = try_current_waiter(&self.inner.kernel);
         st.release_resource_locked(self.inner.res, w.as_deref());
+        if let Some(w) = &w {
+            st.rec_released(self.inner.res, SyncKind::Semaphore, w);
+        }
         for w in &waiters {
             Kernel::wake_locked(&mut st, w);
         }

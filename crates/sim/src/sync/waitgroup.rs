@@ -3,9 +3,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
-use crate::kernel::{current_waiter, Kernel, ResourceId, Waiter};
+use crate::kernel::{current_waiter, try_current_waiter, Kernel, ResourceId, Waiter};
+use crate::order::SyncKind;
+use crate::rawlock::RawMutex;
 
 struct WgState {
     count: usize,
@@ -16,7 +16,7 @@ struct WgInner {
     kernel: Kernel,
     /// Wait-for-graph resource waits are attributed to.
     res: ResourceId,
-    state: Mutex<WgState>,
+    state: RawMutex<WgState>,
 }
 
 impl Drop for WgInner {
@@ -69,7 +69,7 @@ impl WaitGroup {
             inner: Arc::new(WgInner {
                 kernel: kernel.clone(),
                 res: kernel.create_resource("waitgroup", ""),
-                state: Mutex::new(WgState {
+                state: RawMutex::new(WgState {
                     count: 0,
                     waiters: Vec::new(),
                 }),
@@ -93,6 +93,7 @@ impl WaitGroup {
     ///
     /// Panics if called more times than [`add`](WaitGroup::add) registered.
     pub fn done(&self) {
+        self.inner.kernel.preemption_point("waitgroup.done");
         let mut st = self.inner.kernel.lock_state();
         let waiters = {
             let mut wg = self.inner.state.lock();
@@ -107,6 +108,11 @@ impl WaitGroup {
                 Vec::new()
             }
         };
+        if let Some(w) = try_current_waiter(&self.inner.kernel) {
+            // Happens-before: waiters released by the final done inherit the
+            // whole group's history (every done publishes into the group).
+            st.rec_publish(self.inner.res, SyncKind::WaitGroup, &w);
+        }
         for w in &waiters {
             Kernel::wake_locked(&mut st, w);
         }
@@ -115,15 +121,22 @@ impl WaitGroup {
     /// Blocks the current simulated thread until the pending count is zero.
     pub fn wait(&self) {
         let waiter = current_waiter(&self.inner.kernel, "WaitGroup::wait");
+        self.inner.kernel.preemption_point("waitgroup.wait");
         loop {
             {
+                // Kernel state lock first, then the group's own lock — the
+                // same order as `done` — so recording can never deadlock.
+                let mut st = self.inner.kernel.lock_state();
                 let mut wg = self.inner.state.lock();
                 if wg.count == 0 {
+                    st.rec_observe(self.inner.res, SyncKind::WaitGroup, &waiter);
                     return;
                 }
                 if !wg.waiters.iter().any(|w| w.id() == waiter.id()) {
                     wg.waiters.push(Arc::clone(&waiter));
                 }
+                drop(wg);
+                st.touch(self.inner.res);
             }
             self.inner
                 .kernel

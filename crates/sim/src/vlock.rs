@@ -1,0 +1,115 @@
+//! Virtualized shim locks.
+//!
+//! This module is the kernel side of the `parking_lot` shim's
+//! [`hooks`](parking_lot::hooks): it turns lock operations performed by
+//! *simulated* threads into kernel-visible events.
+//!
+//! * **Contended acquisitions block in virtual time.** A simulated thread
+//!   that fails a try-lock parks in the kernel (with a wait-for-graph
+//!   resource, so deadlock reports name the lock) and retries when a
+//!   release wakes it. Without this, a thread that blocks *virtually* while
+//!   holding a std mutex would wedge every other simulated thread that
+//!   touches the lock at the OS level — an undiagnosable hang instead of a
+//!   clean simulation deadlock.
+//! * **Condvars are fully virtualized** with an arrival-order wait queue:
+//!   `notify_one` wakes the longest-waiting thread, deterministically, and
+//!   dropped notifies (no waiter registered) are observable by the
+//!   lock-order recorder — the raw material of lost-wakeup detection.
+//! * **Every acquisition/release feeds the lock-order recorder** (when
+//!   enabled) and counts toward the exploring scheduler's segment
+//!   footprints.
+//!
+//! Operations from threads that are not simulated fall back to plain std
+//! behavior inside the shim and are invisible here. Sharing a shim lock
+//! between simulated and non-simulated threads is not supported while the
+//! simulated side contends (the release would not know which kernel to
+//! wake); nothing in this workspace does that.
+
+use std::collections::HashMap;
+use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+use parking_lot::hooks::{self, GuardControl, LockOp, SimHooks};
+
+use crate::kernel::{try_kernel, Kernel, WeakKernel};
+
+/// Process-wide map from lock/condvar address to the kernels that track it,
+/// so a `Drop` on *any* thread (simulated or not) can clear the tracking
+/// state before the address is reused. Never held together with a kernel
+/// state lock.
+fn registry() -> &'static StdMutex<HashMap<usize, Vec<WeakKernel>>> {
+    static REGISTRY: OnceLock<StdMutex<HashMap<usize, Vec<WeakKernel>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| StdMutex::new(HashMap::new()))
+}
+
+pub(crate) fn track_addr(addr: usize, kernel: &Kernel) {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let kernels = reg.entry(addr).or_default();
+    if !kernels.iter().any(|w| w.is(kernel)) {
+        kernels.push(kernel.downgrade());
+    }
+}
+
+fn untrack_addr(addr: usize) -> Vec<Kernel> {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    reg.remove(&addr)
+        .map(|ks| ks.iter().filter_map(WeakKernel::upgrade).collect())
+        .unwrap_or_default()
+}
+
+struct KernelHooks;
+
+impl SimHooks for KernelHooks {
+    fn preemption(&self, op: &'static str) {
+        if let Some(k) = try_kernel() {
+            k.preemption_point(op);
+        }
+    }
+
+    fn block_for_lock(&self, addr: usize, op: LockOp) -> bool {
+        match try_kernel() {
+            Some(k) => k.vlock_block(addr, op),
+            None => false,
+        }
+    }
+
+    fn lock_acquired(&self, addr: usize, op: LockOp) {
+        if let Some(k) = try_kernel() {
+            k.vlock_acquired(addr, op);
+        }
+    }
+
+    fn lock_released(&self, addr: usize, op: LockOp) {
+        if let Some(k) = try_kernel() {
+            k.vlock_released(addr, op);
+        }
+    }
+
+    fn lock_destroyed(&self, addr: usize) {
+        for k in untrack_addr(addr) {
+            k.vlock_destroyed(addr);
+        }
+    }
+
+    fn condvar_wait(&self, addr: usize, guard: &mut dyn GuardControl) -> bool {
+        match try_kernel() {
+            Some(k) => k.vcv_wait(addr, guard),
+            None => false,
+        }
+    }
+
+    fn condvar_notify(&self, addr: usize, all: bool) -> Option<usize> {
+        try_kernel().map(|k| k.vcv_notify(addr, all))
+    }
+
+    fn condvar_destroyed(&self, addr: usize) {
+        for k in untrack_addr(addr) {
+            k.vcv_destroyed(addr);
+        }
+    }
+}
+
+/// Installs the kernel hooks into the shim, once per process.
+pub(crate) fn install() {
+    static HOOKS: KernelHooks = KernelHooks;
+    hooks::install(&HOOKS);
+}

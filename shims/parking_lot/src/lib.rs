@@ -6,12 +6,64 @@
 //! `std::sync`. Poisoned std locks are recovered transparently (parking_lot
 //! has no poisoning), which matches how the simulator treats panicking
 //! activations: the supervising thread inspects shared state afterwards.
+//!
+//! Additionally, the shim is the simulator's **lock instrumentation point**:
+//! when the `rustwren` kernel installs [`hooks::SimHooks`], operations on
+//! simulated threads are reported (feeding lock-order analysis and schedule
+//! exploration) and contended acquisitions are *virtualized* — parked in
+//! the simulator instead of the OS — so an AB-BA mistake inside the system
+//! under test surfaces as a diagnosable simulation deadlock, never an OS
+//! hang. See the [`hooks`] module. Off the simulation everything behaves
+//! exactly like `std::sync`.
 
 #![warn(missing_docs)]
 
+pub mod hooks;
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::PoisonError;
+use std::sync::{PoisonError, TryLockError};
+
+use hooks::LockOp;
+
+fn addr_of<T: ?Sized>(x: &T) -> usize {
+    std::ptr::from_ref(x).cast::<()>() as usize
+}
+
+fn lock_std<'a, T: ?Sized>(m: &'a std::sync::Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn try_lock_std<'a, T: ?Sized>(m: &'a std::sync::Mutex<T>) -> Option<std::sync::MutexGuard<'a, T>> {
+    match m.try_lock() {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
+/// Acquires `inner`, virtually blocking through the hooks under contention
+/// when the calling thread is simulated.
+fn lock_instrumented<'a, T: ?Sized>(
+    addr: usize,
+    inner: &'a std::sync::Mutex<T>,
+) -> std::sync::MutexGuard<'a, T> {
+    let Some(h) = hooks::get() else {
+        return lock_std(inner);
+    };
+    loop {
+        if let Some(g) = try_lock_std(inner) {
+            h.lock_acquired(addr, LockOp::Mutex);
+            return g;
+        }
+        if !h.block_for_lock(addr, LockOp::Mutex) {
+            // Not a simulated thread: a real blocking acquire is safe.
+            let g = lock_std(inner);
+            h.lock_acquired(addr, LockOp::Mutex);
+            return g;
+        }
+    }
+}
 
 /// A mutual-exclusion primitive; `lock()` never returns a poison error.
 #[derive(Default)]
@@ -29,10 +81,23 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquires the mutex, blocking until it is available.
+    /// Acquires the mutex, blocking until it is available. On a simulated
+    /// thread, contended acquisitions block in *virtual* time.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(h) = hooks::get() {
+            h.preemption("mutex.lock");
+        }
         MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            lock: self,
+            inner: Some(lock_instrumented(addr_of(self), &self.inner)),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for Mutex<T> {
+    fn drop(&mut self) {
+        if let Some(h) = hooks::get() {
+            h.lock_destroyed(addr_of(self));
         }
     }
 }
@@ -48,7 +113,27 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 /// Internally holds an `Option` so that [`Condvar::wait`] can temporarily
 /// take the std guard out while the thread is parked.
 pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
     inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> MutexGuard<'_, T> {
+    /// Releases the std guard and reports it, in that order: waiters woken
+    /// by the hooks retry `try_lock` and must be able to win.
+    fn release_inner(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if let Some(h) = hooks::get() {
+                h.lock_released(addr_of(self.lock), LockOp::Mutex);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.release_inner();
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -76,6 +161,21 @@ pub struct Condvar {
     inner: std::sync::Condvar,
 }
 
+struct WaitControl<'g, 'a, T: ?Sized> {
+    guard: &'g mut MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> hooks::GuardControl for WaitControl<'_, '_, T> {
+    fn unlock(&mut self) {
+        self.guard.release_inner();
+    }
+
+    fn relock(&mut self) {
+        let lock = self.guard.lock;
+        self.guard.inner = Some(lock_instrumented(addr_of(lock), &lock.inner));
+    }
+}
+
 impl Condvar {
     /// Creates a new condition variable.
     pub const fn new() -> Condvar {
@@ -85,7 +185,16 @@ impl Condvar {
     }
 
     /// Atomically releases the lock and parks until notified.
+    ///
+    /// On a simulated thread the park happens in *virtual* time, and wake
+    /// order is the waiters' arrival order.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if let Some(h) = hooks::get() {
+            let mut ctl = WaitControl { guard };
+            if h.condvar_wait(addr_of(self), &mut ctl) {
+                return;
+            }
+        }
         let std_guard = guard.inner.take().expect("guard present");
         let std_guard = self
             .inner
@@ -94,18 +203,39 @@ impl Condvar {
         guard.inner = Some(std_guard);
     }
 
-    /// Wakes one parked waiter. Returns `true` (parking_lot reports whether a
-    /// thread was woken; std cannot, and no caller in this workspace uses the
-    /// return value for control flow).
+    /// Wakes the longest-parked waiter (arrival order on simulated
+    /// threads). Returns whether a thread was woken when the simulator can
+    /// tell; plain `std` notifies always report `true`.
     pub fn notify_one(&self) -> bool {
+        if let Some(h) = hooks::get() {
+            h.preemption("condvar.notify");
+            if let Some(woken) = h.condvar_notify(addr_of(self), false) {
+                return woken > 0;
+            }
+        }
         self.inner.notify_one();
         true
     }
 
-    /// Wakes all parked waiters.
+    /// Wakes all parked waiters, in arrival order on simulated threads.
+    /// Returns the woken count when the simulator can tell, `0` otherwise.
     pub fn notify_all(&self) -> usize {
+        if let Some(h) = hooks::get() {
+            h.preemption("condvar.notify");
+            if let Some(woken) = h.condvar_notify(addr_of(self), true) {
+                return woken;
+            }
+        }
         self.inner.notify_all();
         0
+    }
+}
+
+impl Drop for Condvar {
+    fn drop(&mut self) {
+        if let Some(h) = hooks::get() {
+            h.condvar_destroyed(addr_of(self));
+        }
     }
 }
 
@@ -131,17 +261,93 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
-    /// Acquires shared read access.
+    /// Acquires shared read access; contended acquisitions on simulated
+    /// threads block in virtual time.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard {
-            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        let addr = addr_of(self);
+        let Some(h) = hooks::get() else {
+            return RwLockReadGuard {
+                lock: self,
+                inner: Some(self.inner.read().unwrap_or_else(PoisonError::into_inner)),
+            };
+        };
+        h.preemption("rwlock.read");
+        loop {
+            match self.inner.try_read() {
+                Ok(g) => {
+                    h.lock_acquired(addr, LockOp::RwRead);
+                    return RwLockReadGuard {
+                        lock: self,
+                        inner: Some(g),
+                    };
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    h.lock_acquired(addr, LockOp::RwRead);
+                    return RwLockReadGuard {
+                        lock: self,
+                        inner: Some(p.into_inner()),
+                    };
+                }
+                Err(TryLockError::WouldBlock) => {
+                    if !h.block_for_lock(addr, LockOp::RwRead) {
+                        let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+                        h.lock_acquired(addr, LockOp::RwRead);
+                        return RwLockReadGuard {
+                            lock: self,
+                            inner: Some(g),
+                        };
+                    }
+                }
+            }
         }
     }
 
-    /// Acquires exclusive write access.
+    /// Acquires exclusive write access; contended acquisitions on simulated
+    /// threads block in virtual time.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard {
-            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        let addr = addr_of(self);
+        let Some(h) = hooks::get() else {
+            return RwLockWriteGuard {
+                lock: self,
+                inner: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+            };
+        };
+        h.preemption("rwlock.write");
+        loop {
+            match self.inner.try_write() {
+                Ok(g) => {
+                    h.lock_acquired(addr, LockOp::RwWrite);
+                    return RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(g),
+                    };
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    h.lock_acquired(addr, LockOp::RwWrite);
+                    return RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(p.into_inner()),
+                    };
+                }
+                Err(TryLockError::WouldBlock) => {
+                    if !h.block_for_lock(addr, LockOp::RwWrite) {
+                        let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+                        h.lock_acquired(addr, LockOp::RwWrite);
+                        return RwLockWriteGuard {
+                            lock: self,
+                            inner: Some(g),
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLock<T> {
+    fn drop(&mut self) {
+        if let Some(h) = hooks::get() {
+            h.lock_destroyed(addr_of(self));
         }
     }
 }
@@ -154,13 +360,25 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 
 /// RAII guard returned by [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
-    inner: std::sync::RwLockReadGuard<'a, T>,
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if let Some(h) = hooks::get() {
+                h.lock_released(addr_of(self.lock), LockOp::RwRead);
+            }
+        }
+    }
 }
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_ref().expect("guard present")
     }
 }
 
@@ -172,19 +390,31 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
 
 /// RAII guard returned by [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
-    inner: std::sync::RwLockWriteGuard<'a, T>,
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if let Some(h) = hooks::get() {
+                h.lock_released(addr_of(self.lock), LockOp::RwWrite);
+            }
+        }
+    }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_ref().expect("guard present")
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner.as_mut().expect("guard present")
     }
 }
 

@@ -11,6 +11,9 @@
 //!   function spawning.
 //! * [`analyze`] — pre-flight job-plan linter: predicts self-deadlocks,
 //!   throttle storms and limit violations before any function is invoked.
+//! * [`verify`] — schedule-exploration model checker: seeded random and
+//!   bounded-exhaustive interleaving search with delta-debugged replayable
+//!   failing traces and cross-schedule lock-order analysis.
 //! * [`workloads`] — the paper's workloads: synthetic Airbnb reviews, tone
 //!   analysis, mergesort, compute-bound tasks.
 //!
@@ -23,4 +26,5 @@ pub use rustwren_core as core;
 pub use rustwren_faas as faas;
 pub use rustwren_sim as sim;
 pub use rustwren_store as store;
+pub use rustwren_verify as verify;
 pub use rustwren_workloads as workloads;

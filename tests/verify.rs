@@ -1,0 +1,117 @@
+//! Clean-sweep model checking of the full framework: `map` and
+//! `map_reduce` jobs (retry and speculation enabled) explored under the
+//! seeded random scheduler. Every schedule must produce the bitwise result
+//! of the FIFO reference run, and the lock-order analysis merged over all
+//! schedules must come back empty.
+
+use rustwren::core::{
+    DataSource, MapReduceOpts, RetryPolicy, SimCloud, SpeculationConfig, TaskCtx, Value,
+};
+use rustwren::sim::{Kernel, NetworkProfile};
+use rustwren::verify::{explore, Budget, Strategy};
+
+/// 100 random schedules per job shape (plus the FIFO reference), ≥ 200
+/// explored schedules across the suite, on a fixed seed so CI is
+/// reproducible.
+const SCHEDULES: usize = 100;
+
+/// Base seed: `RUSTWREN_VERIFY_SEED` when set (the CI matrix), mixed with a
+/// per-test default so the two sweeps stay decorrelated.
+fn budget(default_seed: u64, label: &str) -> Budget {
+    let seed = std::env::var("RUSTWREN_VERIFY_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map_or(default_seed, |s| {
+            s.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ default_seed
+        });
+    Budget {
+        schedules: SCHEDULES,
+        strategy: Strategy::Random {
+            seed,
+            preempt_probability: 0.05,
+        },
+        label: label.to_string(),
+    }
+}
+
+/// A cloud whose executor runs with retry and speculation on — the
+/// concurrency-heavy configuration (pending-set bookkeeping, duplicate
+/// completions, backoff timers) the checker is pointed at.
+fn cloud_on(kernel: Kernel) -> SimCloud {
+    SimCloud::builder()
+        .seed(7)
+        .client_network(NetworkProfile::lan())
+        .kernel(kernel)
+        .build()
+}
+
+fn map_job(kernel: Kernel) -> Vec<Value> {
+    let cloud = cloud_on(kernel);
+    cloud.register_fn("add7", |_ctx: &TaskCtx, x: Value| {
+        Ok(Value::Int(x.as_i64().ok_or("int")? + 7))
+    });
+    cloud.run(|| {
+        let exec = cloud
+            .executor()
+            .retry(RetryPolicy::with_attempts(3))
+            .speculation(SpeculationConfig::on())
+            .build()
+            .unwrap();
+        exec.map("add7", (0..6).map(Value::Int).collect::<Vec<_>>())
+            .unwrap();
+        exec.get_result().unwrap()
+    })
+}
+
+fn map_reduce_job(kernel: Kernel) -> Vec<Value> {
+    let cloud = cloud_on(kernel);
+    cloud.register_fn("double", |_ctx: &TaskCtx, x: Value| {
+        Ok(Value::Int(x.as_i64().ok_or("int")? * 2))
+    });
+    cloud.register_fn("sum", |_ctx: &TaskCtx, input: Value| {
+        let total: i64 = input
+            .req_list("results")?
+            .iter()
+            .filter_map(Value::as_i64)
+            .sum();
+        Ok(Value::Int(total))
+    });
+    cloud.run(|| {
+        let exec = cloud
+            .executor()
+            .retry(RetryPolicy::with_attempts(3))
+            .speculation(SpeculationConfig::on())
+            .build()
+            .unwrap();
+        exec.map_reduce(
+            "double",
+            DataSource::Values((1..=5).map(Value::Int).collect()),
+            "sum",
+            MapReduceOpts::default(),
+        )
+        .unwrap();
+        exec.get_result().unwrap()
+    })
+}
+
+#[test]
+fn map_job_is_schedule_independent() {
+    let report = explore(map_job, &budget(101, "sweep-map"));
+    assert!(report.ok(), "{report}");
+    assert_eq!(report.schedules, SCHEDULES + 1);
+    assert!(
+        report.lock_orders.cycles.is_empty() && report.lock_orders.lost_wakeups.is_empty(),
+        "{report}"
+    );
+}
+
+#[test]
+fn map_reduce_job_is_schedule_independent() {
+    let report = explore(map_reduce_job, &budget(202, "sweep-map-reduce"));
+    assert!(report.ok(), "{report}");
+    assert_eq!(report.schedules, SCHEDULES + 1);
+    assert!(
+        report.lock_orders.cycles.is_empty() && report.lock_orders.lost_wakeups.is_empty(),
+        "{report}"
+    );
+}
