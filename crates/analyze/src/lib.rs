@@ -21,6 +21,7 @@
 //! | W005 | warning | degenerate partitions (empty chunks, zero tasks) |
 //! | W006 | warning | single-reducer fan-in hot-spot |
 //! | W007 | warning | retry x speculation amplification of a full-width map beyond the concurrency limit |
+//! | W008 | warning | shuffle data-plane COS operations (map fan-out x partition count) beyond the op budget |
 //!
 //! How diagnostics are acted on is the caller's choice via [`AnalyzeMode`]:
 //! `Warn` prints them, `Deny` turns error-severity findings into a hard
@@ -61,6 +62,7 @@ pub enum Rule {
     W005,
     W006,
     W007,
+    W008,
 }
 
 impl fmt::Display for Rule {
@@ -73,6 +75,7 @@ impl fmt::Display for Rule {
             Rule::W005 => "W005",
             Rule::W006 => "W006",
             Rule::W007 => "W007",
+            Rule::W008 => "W008",
         })
     }
 }
@@ -137,6 +140,11 @@ pub struct CloudProfile {
     pub max_exec_time: Duration,
     /// Per-action memory limit in MB (paper: 512 MB).
     pub memory_limit_mb: u32,
+    /// COS request budget a single job's shuffle data plane should stay
+    /// under (W008). Object stores rate-limit per prefix and bill per
+    /// request, so an M×R exchange can dominate a job's cost and latency
+    /// long before any hard platform limit trips.
+    pub shuffle_op_budget: u64,
 }
 
 impl Default for CloudProfile {
@@ -146,6 +154,7 @@ impl Default for CloudProfile {
             invocations_per_minute: 1_000_000,
             max_exec_time: Duration::from_secs(600),
             memory_limit_mb: 512,
+            shuffle_op_budget: 100_000,
         }
     }
 }
@@ -157,8 +166,23 @@ impl From<PlatformLimits> for CloudProfile {
             invocations_per_minute: l.invocations_per_minute,
             max_exec_time: l.max_exec_time,
             memory_limit_mb: l.memory_limit_mb,
+            shuffle_op_budget: CloudProfile::default().shuffle_op_budget,
         }
     }
+}
+
+/// The shape of a job's shuffle data plane, for W008's operation estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShuffleShape {
+    /// Map tasks feeding the shuffle.
+    pub maps: usize,
+    /// Partitions (reducers) each map's output is split into.
+    pub partitions: usize,
+    /// Whether maps spill one concatenated segment per task (true) instead
+    /// of one object per (map, reducer) pair (false).
+    pub segmented: bool,
+    /// Whether the exchange bypasses COS via a direct relay tier.
+    pub via_relay: bool,
 }
 
 /// How the client will spawn the job's invocations (paper §3.1 / Fig. 2).
@@ -227,6 +251,8 @@ pub struct JobPlan {
     /// Speculative backup copies launched per straggling task (0 =
     /// speculation disabled).
     pub speculative_copies: u32,
+    /// Shape of the job's shuffle data plane, if it has one (W008).
+    pub shuffle: Option<ShuffleShape>,
 }
 
 impl JobPlan {
@@ -246,6 +272,7 @@ impl JobPlan {
             reducer_fanin: None,
             retry_max_attempts: 1,
             speculative_copies: 0,
+            shuffle: None,
         }
     }
 
@@ -328,6 +355,7 @@ pub fn analyze(plan: &JobPlan, profile: &CloudProfile) -> Vec<Diagnostic> {
     rule_w005_degenerate_partitions(plan, &mut diags);
     rule_w006_reducer_fanin(plan, &mut diags);
     rule_w007_retry_speculation_amplification(plan, profile, &mut diags);
+    rule_w008_shuffle_op_budget(plan, profile, &mut diags);
     diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
     diags
 }
@@ -570,6 +598,52 @@ fn rule_w007_retry_speculation_amplification(
     }
 }
 
+/// W008: shuffle data-plane operation budget. The exchange's COS request
+/// count scales with map fan-out × partition count — `2·M·R` (a PUT and a
+/// GET per pair) on the whole-object layout, `M·(1 + R)` (one segment PUT
+/// per map, one slice GET per pair) when segmented — and a big enough
+/// product throttles the job's own key prefix and dominates its request
+/// bill. A relay exchange stages nothing in COS, so it is never flagged.
+fn rule_w008_shuffle_op_budget(plan: &JobPlan, profile: &CloudProfile, out: &mut Vec<Diagnostic>) {
+    let Some(shape) = plan.shuffle else {
+        return;
+    };
+    if shape.via_relay {
+        return;
+    }
+    let maps = shape.maps as u128;
+    let partitions = shape.partitions as u128;
+    let pairs = maps.saturating_mul(partitions);
+    let est_ops = if shape.segmented {
+        maps.saturating_add(pairs)
+    } else {
+        pairs.saturating_mul(2)
+    };
+    let budget = u128::from(profile.shuffle_op_budget);
+    if est_ops > budget {
+        let layout = if shape.segmented {
+            "M x (1 + R) segmented"
+        } else {
+            "2 x M x R whole-object"
+        };
+        out.push(Diagnostic {
+            rule: Rule::W008,
+            severity: Severity::Warning,
+            message: format!(
+                "job `{}` shuffles {} map output(s) across {} partition(s): ~{} COS \
+                 operation(s) on the {} exchange, above the {} op budget — the \
+                 data plane will dominate the request bill and throttle its own \
+                 key prefix",
+                plan.label, shape.maps, shape.partitions, est_ops, layout, budget
+            ),
+            suggestion: "use the partitioned (segmented) plane with fewer partitions, \
+                         add a map-side combiner, or move the exchange to the direct \
+                         relay tier"
+                .to_string(),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -745,6 +819,64 @@ mod tests {
         let mut over = JobPlan::new("map", 1_500);
         over.speculative_copies = 1;
         assert!(!rules(&analyze(&over, &CloudProfile::default())).contains(&Rule::W007));
+    }
+
+    #[test]
+    fn w008_fires_on_over_partitioned_whole_object_plan() {
+        // 2,000 maps × 128 partitions on the whole-object layout:
+        // 2 × 2,000 × 128 = 512,000 ops against a 100,000 budget.
+        let mut plan = JobPlan::new("sort", 2_000);
+        plan.shuffle = Some(ShuffleShape {
+            maps: 2_000,
+            partitions: 128,
+            segmented: false,
+            via_relay: false,
+        });
+        let diags = analyze(&plan, &CloudProfile::default());
+        let w008 = diags.iter().find(|d| d.rule == Rule::W008).expect("W008");
+        assert_eq!(w008.severity, Severity::Warning);
+        assert!(w008.message.contains("512000"), "{}", w008.message);
+    }
+
+    #[test]
+    fn w008_respects_segmentation_relay_and_budget() {
+        // The same fan-out segmented: 2,000 × (1 + 128) = 258,000 — still
+        // over budget, but less than half the whole-object count.
+        let mut plan = JobPlan::new("sort", 2_000);
+        plan.shuffle = Some(ShuffleShape {
+            maps: 2_000,
+            partitions: 128,
+            segmented: true,
+            via_relay: false,
+        });
+        let diags = analyze(&plan, &CloudProfile::default());
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::W008 && d.message.contains("258000")));
+
+        // Relay exchange: nothing staged in COS, never flagged.
+        let mut relay = plan.clone();
+        relay.shuffle = Some(ShuffleShape {
+            maps: 2_000,
+            partitions: 128,
+            segmented: true,
+            via_relay: true,
+        });
+        assert!(!rules(&analyze(&relay, &CloudProfile::default())).contains(&Rule::W008));
+
+        // A modest shuffle stays silent: 100 × (1 + 16) = 1,700 ops.
+        let mut small = JobPlan::new("sort", 100);
+        small.shuffle = Some(ShuffleShape {
+            maps: 100,
+            partitions: 16,
+            segmented: true,
+            via_relay: false,
+        });
+        assert!(!rules(&analyze(&small, &CloudProfile::default())).contains(&Rule::W008));
+
+        // No shuffle stage at all: silent.
+        let flat = JobPlan::new("map", 2_000);
+        assert!(!rules(&analyze(&flat, &CloudProfile::default())).contains(&Rule::W008));
     }
 
     #[test]

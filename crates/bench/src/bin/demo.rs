@@ -193,6 +193,7 @@ fn demo_shuffle(cloud: &SimCloud, args: &Args) {
             ShuffleOpts {
                 reducers: 4,
                 chunk_size: None,
+                ..ShuffleOpts::default()
             },
         )
         .expect("shuffle");

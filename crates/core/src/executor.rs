@@ -24,6 +24,7 @@ use crate::future::{ResponseFuture, WaitPolicy};
 use crate::invoker::{agent_action_name, deploy_agent, spawn_tasks};
 use crate::job::{func_key, status_value, AgentPayload, TaskSpec};
 use crate::partition::{discover, partition_objects, DataSource};
+use crate::shuffle::{ExchangeMode, Partitioner, ShufflePlane, MAX_REDUCERS};
 use crate::stats::{CosOpStats, RecoveryStats};
 use crate::wire::Value;
 
@@ -54,10 +55,29 @@ pub struct MapReduceOpts {
 /// Options for [`Executor::map_shuffle_reduce`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShuffleOpts {
-    /// Number of parallel reducers (each owns a hash slice of the keys).
+    /// Number of parallel reducers (each owns a slice of the key space).
+    /// Capped at [`MAX_REDUCERS`]; absurd values are rejected at submit.
     pub reducers: usize,
     /// Chunk size for splitting storage objects; `None` = per object.
     pub chunk_size: Option<u64>,
+    /// Physical layout of map outputs: the sort-and-spill partitioned
+    /// segment plane (default) or the legacy one-object-per-(map, reducer)
+    /// layout.
+    pub plane: ShufflePlane,
+    /// How partitions travel: staged through COS (default) or pushed over
+    /// the simulated VM relay tier (requires the partitioned plane).
+    pub exchange: ExchangeMode,
+    /// Key-to-reducer assignment: seeded hash (default) or explicit ranges
+    /// (see [`Partitioner::range_from_samples`] for the sampled-histogram
+    /// CloudSort setup).
+    pub partitioner: Partitioner,
+    /// Optional registered function applied map-side to each sorted key
+    /// group (`{"k", "vs": [...]}` → combined value) before spilling —
+    /// a MapReduce combiner. Requires the partitioned plane.
+    pub combiner: Option<String>,
+    /// Maximum sorted runs a reducer merges at once; more runs take extra
+    /// merge rounds, bounding reduce-side memory. Minimum 2.
+    pub merge_fanin: usize,
 }
 
 impl Default for ShuffleOpts {
@@ -65,6 +85,11 @@ impl Default for ShuffleOpts {
         ShuffleOpts {
             reducers: 4,
             chunk_size: None,
+            plane: ShufflePlane::Partitioned,
+            exchange: ExchangeMode::Cos,
+            partitioner: Partitioner::Hash,
+            combiner: None,
+            merge_fanin: 16,
         }
     }
 }
@@ -515,7 +540,11 @@ impl Executor {
     /// # Errors
     ///
     /// Unknown functions, discovery/staging storage errors, invocation
-    /// errors, or [`PywrenError::Config`] if `opts.reducers` is zero.
+    /// errors, or [`PywrenError::Config`] for an inconsistent `opts`:
+    /// `reducers` zero or beyond [`MAX_REDUCERS`], a zero `chunk_size`, a
+    /// range partitioner whose boundaries don't match `reducers`, a
+    /// `merge_fanin` below 2, an unregistered `combiner`, or a relay
+    /// exchange / combiner requested on the whole-object plane.
     pub fn map_shuffle_reduce(
         &self,
         map_func: &str,
@@ -528,8 +557,37 @@ impl Executor {
                 "shuffle needs at least one reducer".into(),
             ));
         }
+        if opts.reducers > MAX_REDUCERS {
+            return Err(PywrenError::Config(format!(
+                "{} reducers exceeds the supported maximum of {MAX_REDUCERS}",
+                opts.reducers
+            )));
+        }
         if opts.chunk_size == Some(0) {
             return Err(PywrenError::Config("chunk_size must be non-zero".into()));
+        }
+        if opts.merge_fanin < 2 {
+            return Err(PywrenError::Config("merge_fanin must be at least 2".into()));
+        }
+        opts.partitioner
+            .validate(opts.reducers)
+            .map_err(PywrenError::Config)?;
+        if opts.plane == ShufflePlane::WholeObject && opts.exchange == ExchangeMode::Relay {
+            return Err(PywrenError::Config(
+                "the relay exchange requires the partitioned shuffle plane".into(),
+            ));
+        }
+        if let Some(comb) = &opts.combiner {
+            if opts.plane == ShufflePlane::WholeObject {
+                return Err(PywrenError::Config(
+                    "a map-side combiner requires the partitioned shuffle plane".into(),
+                ));
+            }
+            if !self.inner.cloud.registry().contains(comb) {
+                return Err(PywrenError::Config(format!(
+                    "combiner `{comb}` is not registered"
+                )));
+            }
         }
         let mut max_object_bytes = None;
         let inner_specs: Vec<TaskSpec> = match &source {
@@ -548,6 +606,10 @@ impl Executor {
             .map(|inner| TaskSpec::ShuffleMap {
                 inner: Box::new(inner),
                 reducers: opts.reducers,
+                plane: opts.plane,
+                exchange: opts.exchange,
+                partitioner: opts.partitioner.clone(),
+                combiner: opts.combiner.clone(),
             })
             .collect();
         let map_futures =
@@ -563,6 +625,10 @@ impl Executor {
                 deps: map_futures.clone(),
                 index,
                 poll,
+                reducers: opts.reducers,
+                plane: opts.plane,
+                exchange: opts.exchange,
+                fanin: opts.merge_fanin,
             })
             .collect();
         let reduce_futures = self.run_job(reduce_func, reduce_specs)?;
@@ -581,11 +647,14 @@ impl Executor {
 
     /// Builds the pre-flight [`JobPlan`] the analyzer sees for a job of
     /// `specs` submitted under the name `func`: task count, resolved spawn
-    /// strategy, partition sizes, reducer fan-in, plus the configured
-    /// [`rustwren_analyze::PlanHints`]. `descs` are the encoded-to-be task
-    /// descriptors: those small enough to ride inline in the activation
-    /// payload count toward the per-task payload estimate (W003), since
-    /// they occupy container memory instead of a staged COS object.
+    /// strategy, partition sizes, reducer fan-in, shuffle shape, plus the
+    /// configured [`rustwren_analyze::PlanHints`]. `descs` are the
+    /// encoded-to-be task descriptors: the largest one sizes the per-task
+    /// payload estimate (W003) *regardless* of inline eligibility — an
+    /// oversized descriptor lands in container memory either way (inline in
+    /// the activation payload, or staged and fetched whole), and filtering
+    /// to inline-eligible ones once made exactly the pathological
+    /// descriptors invisible to the analyzer.
     fn plan_for(
         &self,
         func: &str,
@@ -621,16 +690,24 @@ impl Executor {
         if let [TaskSpec::Reduce { deps, .. }] | [TaskSpec::ShuffleReduce { deps, .. }] = specs {
             plan.reducer_fanin = Some(deps.len());
         }
-        let threshold = self.inner.config.data_path.inline_input_max_bytes;
-        if threshold > 0 {
-            let biggest_inline = descs
-                .iter()
-                .map(Value::encoded_len)
-                .filter(|&len| len <= threshold)
-                .max();
-            if let Some(b) = biggest_inline {
-                plan.est_payload_bytes = Some(b as u64);
-            }
+        // The shuffle's data-plane shape (map fan-out × partition count,
+        // W008) is read off the map stage's specs.
+        if let Some(TaskSpec::ShuffleMap {
+            reducers,
+            plane,
+            exchange,
+            ..
+        }) = specs.first()
+        {
+            plan.shuffle = Some(rustwren_analyze::ShuffleShape {
+                maps: specs.len(),
+                partitions: *reducers,
+                segmented: *plane == ShufflePlane::Partitioned,
+                via_relay: *exchange == ExchangeMode::Relay,
+            });
+        }
+        if let Some(b) = descs.iter().map(Value::encoded_len).max() {
+            plan.est_payload_bytes = Some(b as u64);
         }
         plan.retry_max_attempts = self.inner.config.retry.max_attempts.max(1);
         plan.speculative_copies = if self.inner.config.speculation.enabled {
@@ -1773,5 +1850,39 @@ impl TaskTiming {
     /// Execution duration in seconds.
     pub fn duration_secs(&self) -> f64 {
         (self.end_secs - self.start_secs).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::TaskSpec;
+    use crate::task::TaskCtx;
+
+    /// Regression (W003 blind spot): descriptors above the inline-payload
+    /// threshold must still size `est_payload_bytes` — they land in
+    /// container memory whether inlined or staged-and-fetched.
+    #[test]
+    fn plan_counts_oversized_descriptors_toward_payload_estimate() {
+        let cloud = crate::SimCloud::builder().seed(5).build();
+        cloud.register_fn("id", |_ctx: &TaskCtx, v: Value| Ok(v));
+        cloud.run(|| {
+            let exec = cloud.executor().build().unwrap();
+            let big = Value::bytes(vec![7u8; 2 * 1024 * 1024]);
+            let small = Value::Int(1);
+            let specs = [TaskSpec::Value(small.clone()), TaskSpec::Value(big.clone())];
+            let descs = [small.clone(), big.clone()];
+            let plan = exec.plan_for("id", &specs, &descs, None, None);
+            let est = plan.est_payload_bytes.expect("estimate present");
+            assert!(
+                est >= 2 * 1024 * 1024,
+                "largest descriptor must size the estimate, got {est}"
+            );
+
+            // Small-only jobs keep a small estimate — the fix widens what
+            // is counted, not the numbers themselves.
+            let plan = exec.plan_for("id", &specs[..1], &descs[..1], None, None);
+            assert!(plan.est_payload_bytes.expect("estimate") < 1024);
+        });
     }
 }

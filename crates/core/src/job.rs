@@ -30,6 +30,10 @@ use crate::cloud::{CloudInner, SimCloud};
 use crate::error::PywrenError;
 use crate::future::ResponseFuture;
 use crate::partition::{read_aligned, Partition};
+use crate::shuffle::{
+    bitmap_get, bitmap_set, merge_runs, segment_key, shuffle_key, sort_run, ExchangeMode,
+    KeyedPair, Partitioner, ShufflePlane,
+};
 use crate::task::TaskCtx;
 use crate::wire::{self, Value};
 
@@ -187,20 +191,31 @@ pub(crate) enum TaskSpec {
         group: Option<String>,
         poll: Duration,
     },
-    /// A shuffling map task: run the inner spec's function, then hash-
-    /// partition its `(key, value)` output pairs into `reducers` COS
-    /// objects (`…/shuffle-R`).
+    /// A shuffling map task: run the inner spec's function, then partition
+    /// its `(key, value)` output pairs across `reducers` partitions on the
+    /// chosen [`ShufflePlane`] and [`ExchangeMode`].
     ShuffleMap {
         inner: Box<TaskSpec>,
         reducers: usize,
+        plane: ShufflePlane,
+        exchange: ExchangeMode,
+        partitioner: Partitioner,
+        /// Optional registered combiner function applied map-side to each
+        /// sorted key group before the partition is spilled.
+        combiner: Option<String>,
     },
-    /// A shuffle-reduce task: wait for the map `deps`, read every map's
-    /// `shuffle-{index}` object, group pairs by key, and hand the groups to
-    /// the reduce function.
+    /// A shuffle-reduce task: wait for the map `deps`, fetch this reducer's
+    /// partition from every map (via each map's status manifest), merge the
+    /// sorted runs under the `fanin` budget, group pairs by key, and hand
+    /// the groups to the reduce function.
     ShuffleReduce {
         deps: Vec<ResponseFuture>,
         index: usize,
         poll: Duration,
+        reducers: usize,
+        plane: ShufflePlane,
+        exchange: ExchangeMode,
+        fanin: usize,
     },
 }
 
@@ -224,34 +239,98 @@ impl TaskSpec {
                     .with("group", group_v)
                     .with("poll_ms", poll.as_millis() as i64)
             }
-            TaskSpec::ShuffleMap { inner, reducers } => Value::map()
-                .with("kind", "shuffle-map")
-                .with("inner", inner.to_value())
-                .with("reducers", *reducers as i64),
-            TaskSpec::ShuffleReduce { deps, index, poll } => Value::map()
-                .with("kind", "shuffle-reduce")
-                .with(
-                    "deps",
-                    Value::List(deps.iter().map(ResponseFuture::to_value).collect()),
-                )
-                .with("index", *index as i64)
-                .with("poll_ms", poll.as_millis() as i64),
+            TaskSpec::ShuffleMap {
+                inner,
+                reducers,
+                plane,
+                exchange,
+                partitioner,
+                combiner,
+            } => {
+                let mut v = Value::map()
+                    .with("kind", "shuffle-map")
+                    .with("inner", inner.to_value())
+                    .with("reducers", *reducers as i64)
+                    .with("plane", plane.as_str())
+                    .with("exch", exchange.as_str())
+                    .with("part", partitioner.to_value());
+                if let Some(c) = combiner {
+                    v = v.with("comb", c.as_str());
+                }
+                v
+            }
+            TaskSpec::ShuffleReduce {
+                deps,
+                index,
+                poll,
+                reducers,
+                plane,
+                exchange,
+                fanin,
+            } => {
+                let v = Value::map()
+                    .with("kind", "shuffle-reduce")
+                    .with("index", *index as i64)
+                    .with("poll_ms", poll.as_millis() as i64)
+                    .with("reducers", *reducers as i64)
+                    .with("plane", plane.as_str())
+                    .with("exch", exchange.as_str())
+                    .with("fanin", *fanin as i64);
+                // Shuffle deps are one whole map job: ship them as a compact
+                // (bucket, exec, job, count) reference instead of M full
+                // futures, so the descriptor stays O(1) in the map fan-out
+                // (an M-future list once made big reduce descriptors invisible
+                // to W003's payload sizing).
+                match compact_shuffle_deps(deps) {
+                    Some(depr) => v.with("depr", depr),
+                    None => v.with(
+                        "deps",
+                        Value::List(deps.iter().map(ResponseFuture::to_value).collect()),
+                    ),
+                }
+            }
         }
     }
 }
 
-/// Key of one map task's shuffle partition for reducer `r`.
-pub(crate) fn shuffle_key(task_prefix: &str, r: usize) -> String {
-    format!("{task_prefix}/shuffle-{r:04}")
+/// Encodes shuffle-reduce deps as a compact whole-job reference when they
+/// are exactly tasks `0..n` of a single job (what `map_shuffle_reduce`
+/// always produces).
+fn compact_shuffle_deps(deps: &[ResponseFuture]) -> Option<Value> {
+    let first = deps.first()?;
+    deps.iter()
+        .enumerate()
+        .all(|(i, d)| {
+            d.bucket() == first.bucket()
+                && d.exec_id() == first.exec_id()
+                && d.job_id() == first.job_id()
+                && d.task() as usize == i
+        })
+        .then(|| {
+            Value::map()
+                .with("bucket", first.bucket())
+                .with("exec", first.exec_id())
+                .with("job", first.job_id() as i64)
+                .with("n", deps.len() as i64)
+        })
 }
 
-/// Stable reducer assignment for a shuffle key.
-pub(crate) fn shuffle_bucket_of(key: &str, reducers: usize) -> usize {
-    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-ish fold, then mix
-    for b in key.bytes() {
-        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+/// Decodes shuffle-reduce deps from either the compact whole-job reference
+/// (`depr`) or the legacy full futures list (`deps`).
+fn decode_shuffle_deps(desc: &Value) -> Result<Vec<ResponseFuture>, String> {
+    if let Some(d) = desc.get("depr") {
+        let bucket = d.req_str("bucket")?;
+        let exec = d.req_str("exec")?;
+        let job = d.req_i64("job")? as u64;
+        let n = d.req_i64("n")?.max(0) as u32;
+        return Ok((0..n)
+            .map(|t| ResponseFuture::new(bucket, exec, job, t))
+            .collect());
     }
-    (rustwren_sim::hash::mix64(h) % reducers.max(1) as u64) as usize
+    desc.req_list("deps")?
+        .iter()
+        .map(ResponseFuture::from_value)
+        .collect()
 }
 
 /// Builds a status object body.
@@ -289,10 +368,16 @@ pub(crate) fn run_agent(
     let ended = ctx.now().as_secs_f64();
     // Best-effort status/result write: the client's wait() relies on it.
     match &outcome {
-        Ok(result) => {
+        Ok((result, shuf)) => {
             chaos_crash_point(PHASE_AFTER_COMPUTE, crash_token);
             let encoded = result.encode();
             let mut status = status_value("done", None, started, ended);
+            if let Some(manifest) = shuf {
+                // A shuffle map's partition manifest always rides in the
+                // status object: reducers need it to locate (or rule out)
+                // their partition without probing COS.
+                status = status.with("shuf", manifest.clone());
+            }
             if payload.inline_max > 0 && encoded.len() <= payload.inline_max {
                 // Small results ride inside the status object: a single PUT
                 // both marks the task done and delivers the result, so no
@@ -333,12 +418,14 @@ pub(crate) fn run_agent(
     }
 }
 
+/// Runs the task described by `payload`, returning its result value plus —
+/// for shuffle maps — the partition manifest to embed in the status object.
 fn execute_task(
     cloud: &SimCloud,
     ctx: &ActivationCtx,
     cos: &CosClient,
     payload: &AgentPayload,
-) -> Result<Value, String> {
+) -> Result<(Value, Option<Value>), String> {
     let fut = payload.future();
     // Download the "pickled" function, as the real agent does — via the
     // warm-container blob cache when the client allows it.
@@ -372,20 +459,42 @@ fn execute_task(
 
     match desc.req_str("kind")? {
         "shuffle-map" => {
-            let reducers = desc.req_i64("reducers")?.max(1) as usize;
+            let params = ShuffleMapParams::from_desc(&desc)?;
             let inner = desc.get("inner").ok_or("missing field `inner`")?;
             let input = build_input(ctx, cos, inner, payload.batch)?;
             let output = call(input)?;
-            write_shuffle_partitions(cos, payload, &fut, output, reducers)
+            write_shuffle_output(cloud, cos, payload, &fut, &task_ctx, output, &params)
+                .map(|(result, manifest)| (result, Some(manifest)))
         }
         "shuffle-reduce" => {
-            let input = build_shuffle_reduce_input(ctx, cos, &desc, payload.batch)?;
-            call(input)
+            let input = build_shuffle_reduce_input(cloud, ctx, cos, &desc, payload.batch)?;
+            call(input).map(|r| (r, None))
         }
         _ => {
             let input = build_input(ctx, cos, &desc, payload.batch)?;
-            call(input)
+            call(input).map(|r| (r, None))
         }
+    }
+}
+
+/// Decoded shuffle-map descriptor fields (partitioning policy).
+struct ShuffleMapParams {
+    reducers: usize,
+    plane: ShufflePlane,
+    exchange: ExchangeMode,
+    partitioner: Partitioner,
+    combiner: Option<String>,
+}
+
+impl ShuffleMapParams {
+    fn from_desc(desc: &Value) -> Result<ShuffleMapParams, String> {
+        Ok(ShuffleMapParams {
+            reducers: desc.req_i64("reducers")?.max(1) as usize,
+            plane: ShufflePlane::from_wire(desc.get("plane").and_then(Value::as_str))?,
+            exchange: ExchangeMode::from_wire(desc.get("exch").and_then(Value::as_str))?,
+            partitioner: Partitioner::from_value(desc.get("part"))?,
+            combiner: desc.get("comb").and_then(Value::as_str).map(str::to_owned),
+        })
     }
 }
 
@@ -435,83 +544,431 @@ fn fetch_func_blob(
     Ok(stamped.slice(wire::STAMP_LEN..))
 }
 
-/// Hash-partitions a shuffling map task's `(key, value)` pairs into one COS
-/// object per reducer; returns the summary stored as the task result.
-fn write_shuffle_partitions(
+/// Partitions a shuffling map task's `(key, value)` pairs across the
+/// reducers on the configured plane and exchange; returns the summary
+/// stored as the task result plus the partition manifest embedded in the
+/// task's status object (`"shuf"`).
+///
+/// Empty partitions are never written — the manifest records them as
+/// absent, so a reducer can distinguish "this map produced nothing for me"
+/// (run on) from "this map's data went missing" (typed loss error) under
+/// chaos. On the whole-object plane the record is a presence bitmap; on the
+/// partitioned plane the per-reducer entry is `Null`. The relay exchange
+/// always publishes every channel (publishes are datacenter-cheap and a
+/// present-but-empty channel needs no COS diagnosis round trip).
+fn write_shuffle_output(
+    cloud: &SimCloud,
     cos: &CosClient,
     payload: &AgentPayload,
     fut: &ResponseFuture,
+    task_ctx: &TaskCtx,
     output: Value,
-    reducers: usize,
-) -> Result<Value, String> {
+    params: &ShuffleMapParams,
+) -> Result<(Value, Value), String> {
     let pairs = output
         .as_list()
         .ok_or("shuffle map functions must return a list of {k, v} pairs")?;
-    let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); reducers];
+    let reducers = params.reducers;
+    let mut buckets: Vec<Vec<KeyedPair>> = vec![Vec::new(); reducers];
     for pair in pairs {
         let key = pair.req_str("k")?;
-        buckets[shuffle_bucket_of(key, reducers)].push(pair.clone());
+        buckets[params.partitioner.bucket_of(key, reducers)].push((key.to_owned(), pair.clone()));
     }
     let total = pairs.len();
-    for (r, bucket) in buckets.into_iter().enumerate() {
-        put_stamped(
-            cos,
-            &payload.bucket,
-            &shuffle_key(&fut.task_prefix(), r),
-            &Value::List(bucket).encode(),
+    let prefix = fut.task_prefix();
+    let summary = |manifest: Value| {
+        (
+            Value::map()
+                .with("pairs", total as i64)
+                .with("reducers", reducers as i64),
+            manifest,
         )
-        .map_err(|e| format!("writing shuffle partition {r}: {e}"))?;
+    };
+
+    if params.plane == ShufflePlane::WholeObject {
+        // Legacy layout, minus the O(M×R) empty-partition PUTs: buckets keep
+        // emission order (no sort), non-empty ones go out whole, and the
+        // bitmap records which exist.
+        let mut bits = vec![0u8; reducers.div_ceil(8)];
+        for (r, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            bitmap_set(&mut bits, r);
+            let list = Value::List(bucket.into_iter().map(|(_, p)| p).collect());
+            put_stamped(
+                cos,
+                &payload.bucket,
+                &shuffle_key(&prefix, r, reducers),
+                &list.encode(),
+            )
+            .map_err(|e| format!("writing shuffle partition {r}: {e}"))?;
+        }
+        return Ok(summary(
+            Value::map()
+                .with("n", reducers as i64)
+                .with("k", "whole")
+                .with("w", Value::bytes(bits)),
+        ));
     }
-    Ok(Value::map()
-        .with("pairs", total as i64)
-        .with("reducers", reducers as i64))
+
+    // Partitioned plane: sort each spill (so reducers merge instead of
+    // re-sorting), optionally fold each key group through the combiner.
+    let combiner = match &params.combiner {
+        None => None,
+        Some(name) => Some((
+            name.as_str(),
+            cloud
+                .registry()
+                .get(name)
+                .ok_or_else(|| format!("combiner `{name}` is not registered"))?,
+        )),
+    };
+    for bucket in &mut buckets {
+        sort_run(bucket);
+        if let Some((name, func)) = &combiner {
+            *bucket = combine_run(std::mem::take(bucket), name, func.as_ref(), task_ctx)?;
+        }
+    }
+
+    if params.exchange == ExchangeMode::Relay {
+        // Direct exchange: publish every channel (empty included) to the
+        // relay tier. No COS data-plane operation at all.
+        for (r, bucket) in buckets.into_iter().enumerate() {
+            let list = Value::List(bucket.into_iter().map(|(_, p)| p).collect());
+            cloud.relay().put(
+                &shuffle_key(&prefix, r, reducers),
+                wire::stamp(&list.encode()),
+            );
+        }
+        return Ok(summary(
+            Value::map().with("n", reducers as i64).with("k", "relay"),
+        ));
+    }
+
+    // COS exchange: one *segment* object per map. Tiny slices ride inline in
+    // the manifest itself (the status PUT delivers them for free, like
+    // inline results); bigger ones are individually stamped and concatenated
+    // so each reducer range-GETs exactly its slice.
+    let mut parts: Vec<Value> = Vec::with_capacity(reducers);
+    let mut segment: Vec<u8> = Vec::new();
+    for bucket in buckets {
+        if bucket.is_empty() {
+            parts.push(Value::Null);
+            continue;
+        }
+        let list = Value::List(bucket.into_iter().map(|(_, p)| p).collect());
+        let encoded = list.encode();
+        if payload.inline_max > 0 && encoded.len() <= payload.inline_max {
+            parts.push(Value::map().with("d", list));
+        } else {
+            let stamped = wire::stamp(&encoded);
+            let off = segment.len();
+            segment.extend_from_slice(&stamped);
+            parts.push(
+                Value::map()
+                    .with("o", off as i64)
+                    .with("l", stamped.len() as i64),
+            );
+        }
+    }
+    if !segment.is_empty() {
+        // Slices carry their own stamps (range reads can't verify a whole-
+        // object stamp), so the segment is PUT raw.
+        cos.put(&payload.bucket, &segment_key(&prefix), Bytes::from(segment))
+            .map_err(|e| format!("writing shuffle segment: {e}"))?;
+    }
+    Ok(summary(
+        Value::map()
+            .with("n", reducers as i64)
+            .with("k", "seg")
+            .with("parts", Value::List(parts)),
+    ))
 }
 
-/// Gathers one reducer's shuffle partitions from every map task and groups
-/// the pairs by key.
+/// Folds each group of consecutive equal keys in a sorted run through the
+/// map-side combiner, yielding one `{k, v}` pair per distinct key. The
+/// combiner sees `{"k": key, "vs": [values…]}` and returns the combined
+/// value (singletons included, so its semantics don't depend on luck of
+/// partition sizes).
+fn combine_run(
+    run: Vec<KeyedPair>,
+    name: &str,
+    func: &dyn crate::registry::RemoteFn,
+    task_ctx: &TaskCtx,
+) -> Result<Vec<KeyedPair>, String> {
+    let mut out: Vec<KeyedPair> = Vec::new();
+    let mut i = 0;
+    while i < run.len() {
+        let mut j = i + 1;
+        while j < run.len() && run[j].0 == run[i].0 {
+            j += 1;
+        }
+        let key = run[i].0.clone();
+        let vs: Vec<Value> = run[i..j]
+            .iter()
+            .map(|(_, p)| p.get("v").cloned().unwrap_or(Value::Null))
+            .collect();
+        let input = Value::map()
+            .with("k", key.as_str())
+            .with("vs", Value::List(vs));
+        let combined = match panic::catch_unwind(AssertUnwindSafe(|| func.call(task_ctx, input))) {
+            Ok(r) => r.map_err(|e| format!("combiner `{name}` failed for key `{key}`: {e}"))?,
+            Err(p) => {
+                return Err(format!(
+                    "combiner `{name}` panicked for key `{key}`: {}",
+                    panic_text(&p)
+                ))
+            }
+        };
+        let pair = Value::map().with("k", key.as_str()).with("v", combined);
+        out.push((key, pair));
+        i = j;
+    }
+    Ok(out)
+}
+
+/// Gathers one reducer's shuffle partitions from every map task, merges the
+/// runs, and groups the pairs by key.
 fn build_shuffle_reduce_input(
+    cloud: &SimCloud,
     ctx: &ActivationCtx,
     cos: &CosClient,
     desc: &Value,
     batch: bool,
 ) -> Result<Value, String> {
-    let deps = desc
-        .req_list("deps")?
-        .iter()
-        .map(ResponseFuture::from_value)
-        .collect::<Result<Vec<_>, _>>()?;
+    let deps = decode_shuffle_deps(desc)?;
     let index = desc.req_i64("index")?.max(0) as usize;
     let poll = Duration::from_millis(desc.req_i64("poll_ms")?.max(1) as u64);
+    // Absent fields mean a payload from an older client: whole-object plane
+    // over COS, and a reducer count whose pad matches the legacy 4 digits.
+    let reducers = desc
+        .get("reducers")
+        .and_then(Value::as_i64)
+        .unwrap_or(1)
+        .max(1) as usize;
+    let plane = ShufflePlane::from_wire(desc.get("plane").and_then(Value::as_str))?;
+    let exchange = ExchangeMode::from_wire(desc.get("exch").and_then(Value::as_str))?;
+    let fanin = desc
+        .get("fanin")
+        .and_then(Value::as_i64)
+        .unwrap_or(16)
+        .max(2) as usize;
 
-    // Gather each map's shuffle partition as soon as its status lands,
-    // slotted by dep index; the final merge runs in dep order, so the
-    // grouped output is bitwise-identical to a barrier-then-gather pass.
-    let mut slots: Vec<Option<Value>> = vec![None; deps.len()];
+    // Gather each map's partition as soon as its status lands, slotted by
+    // dep index; runs are then merged in dep order, so the grouped output is
+    // bitwise-identical to a barrier-then-gather pass.
+    let mut slots: Vec<Option<Vec<KeyedPair>>> = vec![None; deps.len()];
     for_each_dep_done(ctx, cos, &deps, poll, batch, |i, d| {
-        let raw = get_verified(cos, d.bucket(), &shuffle_key(&d.task_prefix(), index))
-            .map_err(|e| format!("fetching shuffle partition: {e}"))?;
-        slots[i] = Some(Value::decode(&raw).map_err(|e| format!("decoding shuffle data: {e}"))?);
+        slots[i] = Some(fetch_shuffle_run(cloud, cos, d, index, reducers, exchange)?);
         Ok(())
     })?;
 
+    let mut runs: Vec<Vec<KeyedPair>> = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        // An unfilled slot is an internal protocol bug; surface it as a
+        // typed task error (retry/speculation can heal it) instead of
+        // panicking the agent.
+        runs.push(slot.ok_or_else(|| {
+            format!(
+                "internal: shuffle dependency {i} of {} was never fetched",
+                deps.len()
+            )
+        })?);
+    }
+
+    let merged: Vec<KeyedPair> = match plane {
+        // Partitioned runs arrive sorted: k-way merge under the bounded
+        // fan-in budget instead of holding and re-scanning everything.
+        ShufflePlane::Partitioned => merge_runs(runs, fanin).0,
+        // Whole-object runs are unsorted: concatenate in dep order, exactly
+        // like the legacy gather.
+        ShufflePlane::WholeObject => runs.into_iter().flatten().collect(),
+    };
+
     let mut groups: std::collections::BTreeMap<String, Value> = std::collections::BTreeMap::new();
-    for pairs in &slots {
-        let pairs = pairs.as_ref().expect("every dep fetched");
-        for pair in pairs.as_list().ok_or("shuffle object must hold a list")? {
-            let k = pair.req_str("k")?;
-            let v = pair.get("v").cloned().unwrap_or(Value::Null);
-            match groups
-                .entry(k.to_owned())
-                .or_insert_with(|| Value::List(Vec::new()))
-            {
-                Value::List(items) => items.push(v),
-                _ => unreachable!("groups only hold lists"),
-            }
+    for (k, pair) in &merged {
+        let v = pair.get("v").cloned().unwrap_or(Value::Null);
+        match groups
+            .entry(k.clone())
+            .or_insert_with(|| Value::List(Vec::new()))
+        {
+            Value::List(items) => items.push(v),
+            _ => unreachable!("groups only hold lists"),
         }
     }
     Ok(Value::map()
         .with("index", index as i64)
         .with("groups", Value::Map(groups)))
+}
+
+/// Fetches reducer `index`'s partition run from one finished map task,
+/// using the map's status manifest (authoritative over the reducer's own
+/// decoded plane) to tell elided-empty partitions apart from lost data.
+fn fetch_shuffle_run(
+    cloud: &SimCloud,
+    cos: &CosClient,
+    d: &ResponseFuture,
+    index: usize,
+    reducers: usize,
+    exchange: ExchangeMode,
+) -> Result<Vec<KeyedPair>, String> {
+    let prefix = d.task_prefix();
+    let channel = shuffle_key(&prefix, index, reducers);
+
+    if exchange == ExchangeMode::Relay {
+        // Happy path: zero COS operations — maps publish every channel, so
+        // the relay read alone settles it. Only a miss (map failed, or data
+        // gone) costs one status GET to diagnose which.
+        return match cloud.relay().get(&channel) {
+            Ok(stamped) => {
+                let raw = wire::verify_stamped(&stamped).map_err(|e| {
+                    format!("integrity failure reading relay channel {channel}: {e}")
+                })?;
+                keyed_pairs_of_raw(raw)
+            }
+            Err(_) => {
+                let status = fetch_dep_status(cos, d)?;
+                Err(match map_error_of(&status) {
+                    Some(msg) => format!("map task {} failed: {msg}", d.label()),
+                    None => format!(
+                        "shuffle data of map task {} lost from the relay tier",
+                        d.label()
+                    ),
+                })
+            }
+        };
+    }
+
+    let status = fetch_dep_status(cos, d)?;
+    if let Some(msg) = map_error_of(&status) {
+        return Err(format!("map task {} failed: {msg}", d.label()));
+    }
+    let Some(manifest) = status.get("shuf") else {
+        // Pre-manifest map payload: every partition was written, fetch it
+        // directly (the legacy protocol).
+        let raw = get_verified(cos, d.bucket(), &channel)
+            .map_err(|e| format!("fetching shuffle partition: {e}"))?;
+        return keyed_pairs_of_raw(&raw);
+    };
+    match manifest.req_str("k")? {
+        "whole" => {
+            let bits = manifest
+                .get("w")
+                .and_then(Value::as_bytes)
+                .ok_or("whole-object manifest missing its bitmap")?;
+            if !bitmap_get(bits, index) {
+                // Declared absent: this map produced nothing for us.
+                return Ok(Vec::new());
+            }
+            match get_verified(cos, d.bucket(), &channel) {
+                Ok(raw) => keyed_pairs_of_raw(&raw),
+                Err(PywrenError::Storage(rustwren_store::StoreError::NoSuchKey { .. })) => {
+                    Err(format!(
+                        "shuffle partition {index} of map task {} was written but is now \
+                         missing (lost)",
+                        d.label()
+                    ))
+                }
+                Err(e) => Err(format!("fetching shuffle partition: {e}")),
+            }
+        }
+        "seg" => {
+            let parts = manifest.req_list("parts")?;
+            let entry = parts
+                .get(index)
+                .ok_or_else(|| format!("manifest has no entry for partition {index}"))?;
+            match entry {
+                Value::Null => Ok(Vec::new()),
+                e => {
+                    if let Some(inline) = e.get("d") {
+                        return keyed_pairs_of(inline);
+                    }
+                    let off = e.req_i64("o")?.max(0) as u64;
+                    let len = e.req_i64("l")?.max(0) as u64;
+                    let raw = get_slice_verified(cos, d.bucket(), &segment_key(&prefix), off, len)
+                        .map_err(|e| format!("map task {}: {e}", d.label()))?;
+                    keyed_pairs_of_raw(&raw)
+                }
+            }
+        }
+        "relay" => Err(format!(
+            "map task {} exchanged its partitions via the relay tier, but this reducer \
+             was told to use COS",
+            d.label()
+        )),
+        other => Err(format!("unknown shuffle manifest kind `{other}`")),
+    }
+}
+
+/// Range-reads one stamped slice out of a shuffle segment object and
+/// verifies its checksum (re-fetching a couple of times on a bad read, like
+/// [`get_stamped_raw`]). A missing segment is a typed loss error — the
+/// manifest said the slice exists.
+fn get_slice_verified(
+    cos: &CosClient,
+    bucket: &str,
+    key: &str,
+    off: u64,
+    len: u64,
+) -> Result<Bytes, String> {
+    let mut last = None;
+    for _ in 0..3 {
+        let raw = match cos.get_range(bucket, key, off, off + len) {
+            Ok(raw) => raw,
+            Err(e @ rustwren_store::StoreError::NoSuchKey { .. }) => {
+                return Err(format!(
+                    "shuffle segment {bucket}/{key} was written but is now missing (lost): {e}"
+                ));
+            }
+            Err(e) => return Err(format!("fetching shuffle slice: {e}")),
+        };
+        match wire::verify_stamped(&raw) {
+            Ok(_) => return Ok(raw.slice(wire::STAMP_LEN..)),
+            Err(e) => {
+                last = Some(format!(
+                    "integrity failure reading shuffle slice {bucket}/{key}@{off}: {e}"
+                ));
+            }
+        }
+    }
+    Err(last.expect("loop ran at least once"))
+}
+
+/// Fetches and decodes one dependency's status object.
+fn fetch_dep_status(cos: &CosClient, d: &ResponseFuture) -> Result<Value, String> {
+    let raw = get_verified(cos, d.bucket(), &d.status_key())
+        .map_err(|e| format!("fetching dep status: {e}"))?;
+    Value::decode(&raw).map_err(|e| format!("decoding dep status: {e}"))
+}
+
+/// The error message of a non-`done` status, if any.
+fn map_error_of(status: &Value) -> Option<String> {
+    if status.get("state").and_then(Value::as_str) == Some("done") {
+        return None;
+    }
+    Some(
+        status
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown error")
+            .to_owned(),
+    )
+}
+
+/// Decodes an encoded pair list into keyed pairs.
+fn keyed_pairs_of_raw(raw: &[u8]) -> Result<Vec<KeyedPair>, String> {
+    let v = Value::decode(raw).map_err(|e| format!("decoding shuffle data: {e}"))?;
+    keyed_pairs_of(&v)
+}
+
+/// Extracts `(key, pair)` tuples from a decoded pair-list value.
+fn keyed_pairs_of(v: &Value) -> Result<Vec<KeyedPair>, String> {
+    v.as_list()
+        .ok_or("shuffle object must hold a list")?
+        .iter()
+        .map(|p| Ok((p.req_str("k")?.to_owned(), p.clone())))
+        .collect()
 }
 
 /// Materializes the user function's input from the task descriptor,
@@ -786,6 +1243,40 @@ mod tests {
         assert_eq!(r.req_str("kind"), Ok("reduce"));
         assert_eq!(r.req_i64("poll_ms"), Ok(500));
         assert_eq!(r.get("group").and_then(Value::as_str), Some("nyc"));
+    }
+
+    #[test]
+    fn shuffle_reduce_descriptor_stays_compact_at_high_fanin() {
+        // A reducer over 1,000 maps once carried 1,000 inlined futures in
+        // its descriptor — big enough to evade W003's payload estimate and
+        // bloat every activation. The dense dep range compacts to a
+        // constant-size reference.
+        let deps: Vec<ResponseFuture> = (0..1_000)
+            .map(|t| ResponseFuture::new("b", "e", 1, t))
+            .collect();
+        let spec = TaskSpec::ShuffleReduce {
+            deps: deps.clone(),
+            index: 3,
+            poll: Duration::from_millis(500),
+            reducers: 8,
+            plane: ShufflePlane::Partitioned,
+            exchange: ExchangeMode::Cos,
+            fanin: 16,
+        };
+        let v = spec.to_value();
+        assert!(
+            v.encoded_len() < 256,
+            "1,000-dep descriptor must be a compact reference, was {} bytes",
+            v.encoded_len()
+        );
+        assert_eq!(decode_shuffle_deps(&v).expect("decodes"), deps);
+
+        // Legacy descriptors with an explicit "deps" list still decode.
+        let legacy = Value::map().with(
+            "deps",
+            Value::List(deps.iter().take(3).map(ResponseFuture::to_value).collect()),
+        );
+        assert_eq!(decode_shuffle_deps(&legacy).expect("decodes"), deps[..3]);
     }
 
     #[test]

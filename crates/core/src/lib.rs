@@ -49,9 +49,14 @@
 //! * **Massive function spawning** — [`SpawnStrategy::RemoteInvoker`]
 //!   (§5.1), versus the classic [`SpawnStrategy::Direct`].
 //! * **Pre-flight plan analysis** — every job is linted against the
-//!   platform limits before invocation ([`AnalyzeMode`], rules W001–W006
+//!   platform limits before invocation ([`AnalyzeMode`], rules W001–W008
 //!   from [`rustwren_analyze`]); `Deny` mode rejects doomed plans with
 //!   [`PywrenError::Plan`].
+//! * **Partitioned shuffle data plane** — [`Executor::map_shuffle_reduce`]
+//!   with sort-and-spill segments, hash/range [`Partitioner`]s, map-side
+//!   combiners, empty-partition elision, a bounded-fan-in streaming merge
+//!   on the reduce side, and a COS-vs-relay exchange ablation
+//!   ([`ExchangeMode`]).
 //! * **Chaos engineering & data integrity** — a deterministic
 //!   fault-injection plan ([`FaultPlan`], installed via
 //!   [`SimCloudBuilder::chaos`]) schedules COS outages/brownouts, payload
@@ -75,6 +80,7 @@ pub mod invoker;
 mod job;
 pub mod partition;
 mod registry;
+mod shuffle;
 pub mod stats;
 mod task;
 pub mod wire;
@@ -93,12 +99,13 @@ pub use partition::{DataSource, ObjectRef};
 pub use registry::{FunctionRegistry, RemoteFn, SizedFn, DEFAULT_CODE_SIZE};
 pub use rustwren_analyze::{
     analyze, AnalyzeMode, CloudProfile, Diagnostic, JobPlan, PlanHints, Rule, Severity,
-    SpawnProfile,
+    ShuffleShape, SpawnProfile,
 };
 pub use rustwren_sim::chaos::{
     ChaosStats, CorruptMode, FaultPlan, FaultRecord, PathScope, TimeWindow,
 };
 pub use rustwren_store::OpCounts;
+pub use shuffle::{ExchangeMode, Partitioner, ShufflePlane, MAX_REDUCERS};
 pub use stats::{CosOpStats, RecoveryStats};
 pub use task::TaskCtx;
 pub use wire::Value;

@@ -81,6 +81,7 @@ fn shuffle_wordcount_partitions_keys_across_reducers() {
             ShuffleOpts {
                 reducers: 3,
                 chunk_size: Some(16),
+                ..ShuffleOpts::default()
             },
         )?;
         exec.get_result()
@@ -127,6 +128,7 @@ fn shuffle_over_values_source() {
             ShuffleOpts {
                 reducers: 2,
                 chunk_size: None,
+                ..ShuffleOpts::default()
             },
         )?;
         exec.get_result()
@@ -152,6 +154,7 @@ fn shuffle_map_must_return_pairs() {
             ShuffleOpts {
                 reducers: 2,
                 chunk_size: None,
+                ..ShuffleOpts::default()
             },
         )
         .unwrap();
@@ -177,6 +180,7 @@ fn single_reducer_shuffle_sees_every_key() {
             ShuffleOpts {
                 reducers: 1,
                 chunk_size: None,
+                ..ShuffleOpts::default()
             },
         )?;
         exec.get_result()
@@ -205,6 +209,7 @@ fn shuffle_is_deterministic() {
                 ShuffleOpts {
                     reducers: 3,
                     chunk_size: Some(16),
+                    ..ShuffleOpts::default()
                 },
             )
             .unwrap();

@@ -13,6 +13,8 @@
 //! * [`compute`] — the 50–60 s compute-bound tasks of Figs 2–3.
 //! * [`montecarlo`] — Monte-Carlo π, the canonical PyWren demo.
 //! * [`kmeans`] — iterative distributed k-means (repeated jobs / warm pools).
+//! * [`cloudsort`] — a CloudSort-style virtual 100 GB sort exercising the
+//!   partitioned shuffle data plane end to end.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +22,7 @@
 
 pub mod airbnb;
 pub mod baseline;
+pub mod cloudsort;
 pub mod compute;
 pub mod kmeans;
 pub mod mergesort;
