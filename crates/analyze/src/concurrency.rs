@@ -26,7 +26,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
-use rustwren_sim::{RunOrderReport, SyncKind, VectorClock};
+use rustwren_sim::{LockInstance, RunOrderReport, SyncKind, VectorClock};
 
 /// Bound on reported cycle length; longer cycles are almost always echoes
 /// of a shorter one through the same instances.
@@ -92,6 +92,11 @@ pub struct LockOrderReport {
     pub lost_wakeups: Vec<LostWakeup>,
     /// Number of runs merged.
     pub runs: usize,
+    /// Every sync object the explored schedules touched, deduplicated by
+    /// merge key. This is the dynamic half of rustwren-lint's L007
+    /// cross-check: static lock sites of a kind absent here were never
+    /// exercised, so a clean verdict says nothing about them.
+    pub instances: Vec<LockInstance>,
 }
 
 impl LockOrderReport {
@@ -141,10 +146,13 @@ struct MergedEdge {
 /// detection over the union graph.
 pub fn merge_reports(reports: &[RunOrderReport]) -> LockOrderReport {
     let mut key_to_idx: HashMap<&str, usize> = HashMap::new();
+    let mut keys: Vec<String> = Vec::new();
     let mut labels: Vec<String> = Vec::new();
     let mut kinds: Vec<SyncKind> = Vec::new();
     let mut edges: BTreeMap<(usize, usize), MergedEdge> = BTreeMap::new();
-    let mut condvars: HashMap<usize, (u64, u64)> = HashMap::new();
+    // BTreeMap: `lost_wakeups` is built by iterating this, so its order
+    // must not depend on the hasher.
+    let mut condvars: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
 
     for (run, rep) in reports.iter().enumerate() {
         // Map this run's local instance indices to merged indices.
@@ -153,6 +161,7 @@ pub fn merge_reports(reports: &[RunOrderReport]) -> LockOrderReport {
             .iter()
             .map(|inst| {
                 *key_to_idx.entry(inst.key.as_str()).or_insert_with(|| {
+                    keys.push(inst.key.clone());
                     labels.push(inst.label.clone());
                     kinds.push(inst.kind);
                     labels.len() - 1
@@ -203,10 +212,18 @@ pub fn merge_reports(reports: &[RunOrderReport]) -> LockOrderReport {
         .collect();
     lost_wakeups.sort_by(|a, b| a.label.cmp(&b.label));
 
+    let instances = keys
+        .into_iter()
+        .zip(labels.iter().cloned())
+        .zip(kinds.iter().copied())
+        .map(|((key, label), kind)| LockInstance { key, kind, label })
+        .collect();
+
     LockOrderReport {
         cycles,
         lost_wakeups,
         runs: reports.len(),
+        instances,
     }
 }
 

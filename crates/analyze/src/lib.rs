@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod concurrency;
+pub mod report;
 
 pub use concurrency::{merge_reports, LockCycle, LockOrderReport, LostWakeup};
 

@@ -1,0 +1,179 @@
+//! Rendering of analyzer findings — human text and machine-readable JSON.
+//!
+//! The library returns strings; only the `plan-lint` binary prints. The
+//! JSON emitter is hand-rolled over the same deliberately tiny surface as
+//! rustwren-lint's (objects, arrays, strings, integers) so the crate stays
+//! dependency-free, and its shape is stable for CI artifact archiving:
+//!
+//! ```json
+//! {
+//!   "tool": "rustwren-analyze",
+//!   "clean": false,
+//!   "plans": [
+//!     {"label": "tone-map@2MB", "errors": 0, "warnings": 1,
+//!      "diagnostics": [{"rule": "W002", "severity": "warning",
+//!                       "message": "…", "suggestion": "…"}]}
+//!   ]
+//! }
+//! ```
+
+use crate::{Diagnostic, Severity};
+
+/// Findings for one analyzed plan, labeled for the report.
+pub type PlanFindings = (String, Vec<Diagnostic>);
+
+fn severity_counts(diags: &[Diagnostic]) -> (usize, usize) {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    (errors, diags.len() - errors)
+}
+
+/// Renders the human report for a batch of analyzed plans.
+pub fn human(plans: &[PlanFindings]) -> String {
+    let mut out = String::new();
+    let mut total_errors = 0;
+    let mut total_warnings = 0;
+    for (label, diags) in plans {
+        let (errors, warnings) = severity_counts(diags);
+        total_errors += errors;
+        total_warnings += warnings;
+        if diags.is_empty() {
+            out.push_str(&format!("plan `{label}`: clean\n"));
+            continue;
+        }
+        out.push_str(&format!(
+            "plan `{label}`: {errors} error(s), {warnings} warning(s)\n"
+        ));
+        for d in diags {
+            for line in d.to_string().lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "{} plan(s) analyzed; {total_errors} error(s), {total_warnings} warning(s)\n",
+        plans.len()
+    ));
+    out
+}
+
+/// Renders the machine-readable JSON report for a batch of analyzed plans.
+pub fn json(plans: &[PlanFindings]) -> String {
+    let clean = plans.iter().all(|(_, d)| d.is_empty());
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"tool\": {},\n", quote("rustwren-analyze")));
+    s.push_str(&format!("  \"clean\": {clean},\n"));
+    s.push_str("  \"plans\": [");
+    let items: Vec<String> = plans
+        .iter()
+        .map(|(label, diags)| {
+            let (errors, warnings) = severity_counts(diags);
+            let entries: Vec<String> = diags
+                .iter()
+                .map(|d| {
+                    format!(
+                        "\n        {{\"rule\": {}, \"severity\": {}, \"message\": {}, \
+                         \"suggestion\": {}}}",
+                        quote(&d.rule.to_string()),
+                        quote(&d.severity.to_string()),
+                        quote(&d.message),
+                        quote(&d.suggestion)
+                    )
+                })
+                .collect();
+            format!(
+                "\n    {{\"label\": {}, \"errors\": {errors}, \"warnings\": {warnings}, \
+                 \"diagnostics\": [{}{}]}}",
+                quote(label),
+                entries.join(","),
+                if entries.is_empty() { "" } else { "\n      " }
+            )
+        })
+        .collect();
+    s.push_str(&items.join(","));
+    if !items.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn quote(text: &str) -> String {
+    let mut s = String::with_capacity(text.len() + 2);
+    s.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+
+    fn sample() -> Vec<PlanFindings> {
+        vec![
+            (
+                "wide-map".to_string(),
+                vec![Diagnostic {
+                    rule: Rule::W002,
+                    severity: Severity::Warning,
+                    message: "too \"wide\"".to_string(),
+                    suggestion: "split\nwaves".to_string(),
+                }],
+            ),
+            ("small-map".to_string(), Vec::new()),
+        ]
+    }
+
+    #[test]
+    fn human_report_lists_findings_and_totals() {
+        let text = human(&sample());
+        assert!(text.contains("plan `wide-map`: 0 error(s), 1 warning(s)"));
+        assert!(text.contains("plan `small-map`: clean"));
+        assert!(text.contains("2 plan(s) analyzed; 0 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let text = json(&sample());
+        assert!(text.contains("\"tool\": \"rustwren-analyze\""));
+        assert!(text.contains("\"clean\": false"));
+        assert!(text.contains("\"rule\": \"W002\""));
+        assert!(text.contains("too \\\"wide\\\""));
+        assert!(text.contains("split\\nwaves"));
+        assert!(text.contains("\"label\": \"small-map\", \"errors\": 0"));
+        // Balanced braces/brackets — cheap structural sanity for a
+        // hand-rolled emitter.
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches('[').count(),
+            text.matches(']').count(),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_report_is_clean_for_empty_batch() {
+        let text = json(&[]);
+        assert!(text.contains("\"clean\": true"));
+        assert!(text.contains("\"plans\": []"));
+    }
+}

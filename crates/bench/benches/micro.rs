@@ -94,7 +94,7 @@ fn bench_store(c: &mut Criterion) {
 fn bench_tone(c: &mut Criterion) {
     let kernel = Kernel::new();
     let store = ObjectStore::new(&kernel);
-    rustwren_workloads::airbnb::generate(&store, "reviews", 1 << 12, 1);
+    rustwren_workloads::airbnb::generate(&store, "reviews", 1 << 12, 1).expect("stages");
     let data = store.get("reviews", "amsterdam.csv").expect("generated");
     let mut g = c.benchmark_group("tone");
     g.throughput(Throughput::Bytes(data.len() as u64));

@@ -123,7 +123,8 @@ fn demo_map(cloud: &SimCloud, args: &Args) {
 }
 
 fn demo_mapreduce(cloud: &SimCloud, args: &Args) {
-    let dataset = airbnb::generate(cloud.store(), "reviews", 1 << 13, args.seed);
+    let dataset = airbnb::generate(cloud.store(), "reviews", 1 << 13, args.seed)
+        .expect("stage reviews dataset");
     tone::register(cloud);
     let spawn = args.spawn.clone();
     let cloud2 = cloud.clone();

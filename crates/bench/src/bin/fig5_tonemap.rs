@@ -27,7 +27,8 @@ fn main() {
         .seed(args.seed)
         .client_network(NetworkProfile::wan())
         .build();
-    let dataset = airbnb::generate(cloud.store(), "reviews", scale, args.seed);
+    let dataset = airbnb::generate(cloud.store(), "reviews", scale, args.seed)
+        .expect("stage reviews dataset");
     tone::register(&cloud);
 
     let keys: Vec<ObjectRef> = cities

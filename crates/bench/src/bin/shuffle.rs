@@ -63,7 +63,7 @@ fn run_arm(
         .client_network(NetworkProfile::lan())
         .build();
     cloudsort::register(&cloud);
-    cloudsort::stage(cloud.store(), "cloudsort", &cfg);
+    cloudsort::stage(cloud.store(), "cloudsort", &cfg).expect("stage cloudsort input");
     let partitioner = Partitioner::range_from_samples(cloudsort::sample_keys(&cfg), cfg.reducers);
     let cloud2 = cloud.clone();
     let (secs, ops, results) = cloud.run(move || {

@@ -44,7 +44,8 @@ fn main() {
 
     // Sequential baseline (Table 3, row 1).
     let seq_cloud = make_cloud(args.seed, 1_100);
-    let dataset = airbnb::generate(seq_cloud.store(), "reviews", scale, args.seed);
+    let dataset = airbnb::generate(seq_cloud.store(), "reviews", scale, args.seed)
+        .expect("stage reviews dataset");
     let seq_cloud2 = seq_cloud.clone();
     let dataset2 = dataset.clone();
     let (summaries, seq_elapsed) = seq_cloud
@@ -105,7 +106,8 @@ fn make_cloud(seed: u64, concurrency: usize) -> SimCloud {
 
 fn run_chunk(seed: u64, scale: u64, chunk_bytes: u64) -> (usize, f64) {
     let cloud = make_cloud(seed, 1_100);
-    let dataset = airbnb::generate(cloud.store(), "reviews", scale, seed);
+    let dataset =
+        airbnb::generate(cloud.store(), "reviews", scale, seed).expect("stage reviews dataset");
     tone::register(&cloud);
     let cloud2 = cloud.clone();
     cloud.run(move || {

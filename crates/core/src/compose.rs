@@ -35,7 +35,9 @@ pub(crate) fn register_sequence_driver(registry: &FunctionRegistry) {
         let mut outputs = exec
             .resolve(&[fut], &GetResultOpts::default())
             .map_err(|e| e.to_string())?;
-        let output = outputs.pop().expect("one future yields one output");
+        let output = outputs
+            .pop()
+            .ok_or("resolve returned no output for the stage future")?;
 
         if rest.is_empty() {
             return Ok(output);

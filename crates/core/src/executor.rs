@@ -375,10 +375,9 @@ impl Executor {
     /// Unknown function, storage errors while staging, or invocation errors.
     pub fn call_async(&self, func: &str, input: Value) -> Result<ResponseFuture> {
         let futures = self.run_job(func, vec![TaskSpec::Value(input)])?;
-        let fut = futures
-            .into_iter()
-            .next()
-            .expect("one task yields one future");
+        let fut = futures.into_iter().next().ok_or_else(|| {
+            PywrenError::Config(format!("run_job returned no future for `{func}`"))
+        })?;
         self.inner.pending.lock().push(fut.clone());
         Ok(fut)
     }
@@ -750,6 +749,8 @@ impl Executor {
             return Err(PywrenError::Plan { diagnostics });
         }
         for d in &diagnostics {
+            // lint: allow(L005) — Warn mode's user-facing preflight report;
+            // stderr is the contract (RUSTWREN_ANALYZE=warn)
             eprintln!("[rustwren-analyze] {d}");
         }
         Ok(())
@@ -1233,7 +1234,9 @@ impl Executor {
             candidates: Vec<(ResponseFuture, f64)>,
         }
         let now = self.inner.cloud.kernel().now();
-        let mut jobs: std::collections::HashMap<u64, JobView> = std::collections::HashMap::new();
+        // BTreeMap so speculative relaunches are issued in job-id order,
+        // not hash order (relaunch order is sim-visible).
+        let mut jobs: std::collections::BTreeMap<u64, JobView> = std::collections::BTreeMap::new();
         {
             let recovery = self.inner.recovery.lock();
             for f in tracked {
@@ -1575,10 +1578,16 @@ impl Executor {
         if let Some(e) = first_err {
             return Err(e);
         }
-        Ok(slots
+        slots
             .into_iter()
-            .map(|s| s.expect("every index fetched"))
-            .collect())
+            .enumerate()
+            .map(|(i, s)| {
+                s.ok_or_else(|| PywrenError::Task {
+                    task: format!("result #{i}"),
+                    message: "download pool returned no value for this index".to_owned(),
+                })
+            })
+            .collect()
     }
 
     /// Whether a storage failure during status polling should be ridden
@@ -1669,10 +1678,13 @@ impl Executor {
                 // single-future set (e.g. one sequence stage) yields its
                 // bare value; fan-outs yield the list.
                 let mut sub = self.resolve(&subfutures, opts)?;
-                if sub.len() == 1 {
-                    Ok(sub.pop().expect("len checked"))
-                } else {
-                    Ok(Value::List(sub))
+                match sub.pop() {
+                    Some(only) if sub.is_empty() => Ok(only),
+                    Some(v) => {
+                        sub.push(v);
+                        Ok(Value::List(sub))
+                    }
+                    None => Ok(Value::List(sub)),
                 }
             }
             Ok(None) => Ok(value),

@@ -97,7 +97,10 @@ pub(crate) fn get_stamped_raw(
             }
         }
     }
-    Err(last.expect("loop ran at least once"))
+    Err(last.unwrap_or_else(|| PywrenError::Integrity {
+        key: format!("{bucket}/{key}"),
+        detail: "no read attempts were made".to_owned(),
+    }))
 }
 
 /// Reads a staged object and verifies its checksum stamp, surfacing a
@@ -932,7 +935,9 @@ fn get_slice_verified(
             }
         }
     }
-    Err(last.expect("loop ran at least once"))
+    Err(last.unwrap_or_else(|| {
+        format!("shuffle slice {bucket}/{key}@{off}: no read attempts were made")
+    }))
 }
 
 /// Fetches and decodes one dependency's status object.
@@ -1052,8 +1057,9 @@ fn build_input_base(
             })?;
             let results: Vec<Value> = slots
                 .into_iter()
-                .map(|s| s.expect("every dep fetched"))
-                .collect();
+                .enumerate()
+                .map(|(i, s)| s.ok_or_else(|| format!("dependency slot {i} was never fetched")))
+                .collect::<Result<_, _>>()?;
             Ok(Value::map()
                 .with("group", group)
                 .with("results", Value::List(results)))

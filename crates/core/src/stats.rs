@@ -162,22 +162,21 @@ impl JobReport {
     /// Builds a report over `records`, which must all have started and
     /// ended. Returns `None` for an empty or unfinished set.
     pub fn from_records(records: &[ActivationRecord]) -> Option<JobReport> {
-        let mut it = records
-            .iter()
-            .filter(|r| r.started.is_some() && r.ended.is_some());
-        let first = it.next()?;
+        let mut it = records.iter().filter_map(|r| match (r.started, r.ended) {
+            (Some(s), Some(e)) => Some((r, s, e)),
+            _ => None,
+        });
+        let (first, start, end) = it.next()?;
         let mut report = JobReport {
             first_submit: first.submitted,
             last_submit: first.submitted,
-            first_start: first.started.expect("filtered"),
-            last_start: first.started.expect("filtered"),
-            last_end: first.ended.expect("filtered"),
+            first_start: start,
+            last_start: start,
+            last_end: end,
             count: 1,
             cold_starts: usize::from(first.cold_start),
         };
-        for r in it {
-            let s = r.started.expect("filtered");
-            let e = r.ended.expect("filtered");
+        for (r, s, e) in it {
             report.first_submit = report.first_submit.min(r.submitted);
             report.last_submit = report.last_submit.max(r.submitted);
             report.first_start = report.first_start.min(s);

@@ -155,7 +155,10 @@ pub fn verify_stamped(data: &[u8]) -> Result<&[u8], WireError> {
     if data.len() < STAMP_LEN || data[0] != STAMP_MAGIC {
         return Err(WireError::MissingStamp);
     }
-    let expected = u64::from_le_bytes(data[1..STAMP_LEN].try_into().expect("9-byte header"));
+    let Ok(header) = data[1..STAMP_LEN].try_into() else {
+        return Err(WireError::MissingStamp);
+    };
+    let expected = u64::from_le_bytes(header);
     let payload = &data[STAMP_LEN..];
     let actual = checksum64(payload);
     if actual != expected {

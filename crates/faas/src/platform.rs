@@ -16,7 +16,7 @@
 //!   speed factor), reproducing the execution-time variability visible in
 //!   the paper's Fig 3 ("some functions ran fast while others slow").
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
@@ -298,7 +298,10 @@ struct Inner {
     registry: DockerRegistry,
     actions: Mutex<HashMap<String, Arc<RegisteredAction>>>,
     pool: Mutex<PoolState>,
-    records: Mutex<HashMap<ActivationId, ActivationRecord>>,
+    // BTreeMap, not HashMap: `action_stats` and `billing_report` iterate
+    // the records (the latter summing f64s), so the order must not depend
+    // on the hasher.
+    records: Mutex<BTreeMap<ActivationId, ActivationRecord>>,
     completions: Mutex<HashMap<ActivationId, Event>>,
     /// Namespace admission semaphore, present only in
     /// [`PlatformConfig::queue_on_concurrency_limit`] mode.
@@ -379,7 +382,7 @@ impl CloudFunctions {
                     next_activation_id: 1,
                     stats: PlatformStats::default(),
                 }),
-                records: Mutex::new(HashMap::new()),
+                records: Mutex::new(BTreeMap::new()),
                 completions: Mutex::new(HashMap::new()),
                 concurrency_sem: config.queue_on_concurrency_limit.then(|| {
                     Semaphore::named(kernel, config.concurrency_limit, "namespace-concurrency")
@@ -549,15 +552,18 @@ impl CloudFunctions {
     ///
     /// Panics if `id` was never issued by this platform.
     pub fn wait(&self, id: ActivationId) -> ActivationRecord {
-        let event = self
-            .inner
-            .completions
-            .lock()
-            .get(&id)
-            .cloned()
-            .unwrap_or_else(|| panic!("unknown activation {id}"));
+        match self.wait_checked(id) {
+            Some(record) => record,
+            None => panic!("unknown activation {id}"),
+        }
+    }
+
+    /// Like [`wait`](CloudFunctions::wait), but returns `None` for an id
+    /// this platform never issued instead of panicking.
+    pub fn wait_checked(&self, id: ActivationId) -> Option<ActivationRecord> {
+        let event = self.inner.completions.lock().get(&id).cloned()?;
         event.wait();
-        self.record(id).expect("record exists after completion")
+        self.record(id)
     }
 
     /// Snapshot of an activation's record, if the id is known.
@@ -678,13 +684,11 @@ impl CloudFunctions {
         payload: Bytes,
     ) {
         let cfg = &self.inner.config;
-        let completion = self
-            .inner
-            .completions
-            .lock()
-            .get(&id)
-            .cloned()
-            .expect("completion event exists");
+        // `submit` registers the completion event before spawning this
+        // thread; a missing entry means the activation was torn down.
+        let Some(completion) = self.inner.completions.lock().get(&id).cloned() else {
+            return;
+        };
         // This thread is the one that will fire the completion event;
         // record it so waiter→activation edges appear in deadlock reports.
         completion.mark_holder();
@@ -702,9 +706,7 @@ impl CloudFunctions {
         rustwren_sim::sleep(if cold { cfg.cold_start } else { cfg.warm_start });
 
         let started = self.inner.kernel.now();
-        {
-            let mut records = self.inner.records.lock();
-            let r = records.get_mut(&id).expect("record exists");
+        if let Some(r) = self.inner.records.lock().get_mut(&id) {
             r.started = Some(started);
             r.cold_start = cold;
             r.worker = Some(container.worker);
@@ -734,9 +736,7 @@ impl CloudFunctions {
             Err(p) => (Outcome::Crashed(panic_message(&p)), None),
         };
 
-        {
-            let mut records = self.inner.records.lock();
-            let r = records.get_mut(&id).expect("record exists");
+        if let Some(r) = self.inner.records.lock().get_mut(&id) {
             r.ended = Some(ended);
             r.result = result;
             r.phase = Phase::Done(outcome.clone());
@@ -878,12 +878,12 @@ impl CloudFunctions {
         container.last_used = self.inner.kernel.now();
         let mut pool = self.inner.pool.lock();
         // Prefer a waiter for the same action (warm handoff)…
-        if let Some(idx) = pool
+        if let Some(w) = pool
             .waiters
             .iter()
             .position(|w| w.action == container.action)
+            .and_then(|idx| pool.waiters.remove(idx))
         {
-            let w = pool.waiters.remove(idx).expect("index valid");
             *w.slot.lock() = Some(Handoff::Warm(container));
             drop(pool);
             w.event.fire();
@@ -905,6 +905,7 @@ impl CloudFunctions {
 
     fn expire_idle_locked(pool: &mut PoolState, now: SimInstant, idle_timeout: Duration) {
         let mut reclaimed = 0;
+        // lint: allow(L003) — retain + count is order-insensitive
         for v in pool.warm.values_mut() {
             let before = v.len();
             v.retain(|c| now.duration_since(c.last_used) < idle_timeout);
@@ -921,6 +922,8 @@ impl CloudFunctions {
         // and its iteration order must never leak into which container dies
         // (determinism, see the sim kernel's serialization contract).
         let mut oldest: Option<(&String, usize, SimInstant, u64)> = None;
+        // lint: allow(L003) — the (last_used, id) tie-break above makes the
+        // selection independent of iteration order
         for (action, v) in &pool.warm {
             for (i, c) in v.iter().enumerate() {
                 if oldest.is_none_or(|(_, _, t, id)| (c.last_used, c.id) < (t, id)) {
@@ -929,15 +932,15 @@ impl CloudFunctions {
             }
         }
         if let Some((action, idx, ..)) = oldest.map(|(a, i, t, id)| (a.clone(), i, t, id)) {
-            pool.warm
-                .get_mut(&action)
-                .expect("action present")
-                .remove(idx);
-            pool.total_containers -= 1;
-            true
-        } else {
-            false
+            if let Some(v) = pool.warm.get_mut(&action) {
+                if idx < v.len() {
+                    v.remove(idx);
+                    pool.total_containers -= 1;
+                    return true;
+                }
+            }
         }
+        false
     }
 }
 

@@ -1,0 +1,130 @@
+//! # rustwren-lint — workspace sim-safety & determinism linter
+//!
+//! The platform's core guarantees — bit-for-bit replay
+//! (`RUSTWREN_SCHEDULE`), deterministic chaos timelines, and the model
+//! checker's schedule exploration — all hinge on *source-level*
+//! invariants that `rustc` cannot enforce: no wall clocks in simulated
+//! code, no OS threads outside the kernel, no hash-iteration order
+//! leaking into sim-visible output, no panics on agent hot paths. This
+//! crate enforces them as a rustc-tidy-style static pass over the whole
+//! workspace: a lightweight comment/string-aware scanner ([`lexer`])
+//! feeding per-file rule engines ([`rules`]), governed by a committed
+//! ratchet baseline ([`baseline`], `lint.toml`): new violations fail CI,
+//! fixes lower the baseline, and `// lint: allow(Lxxx) — reason` grants
+//! reviewed line-level exemptions.
+//!
+//! | Rule | Detects |
+//! |------|---------|
+//! | L001 | wall-clock APIs (`Instant::now`, `SystemTime::now`) outside the allowlist |
+//! | L002 | OS threading/sleep (`std::thread::*`) outside `crates/sim`'s kernel |
+//! | L003 | `HashMap`/`HashSet` iteration escaping into order-sensitive output |
+//! | L004 | `unwrap()`/`expect()` on agent/executor/shuffle hot paths |
+//! | L005 | `println!`/`eprintln!`/`dbg!` in library crates |
+//! | L006 | unbounded channel construction outside the sim kernel |
+//! | L007 | static lock sites never exercised by any explored schedule |
+//!
+//! The crate is dependency-free (std only) so it builds and runs even
+//! when the rest of the workspace is broken, and consistent with the
+//! offline shim policy (no `syn`, no `toml`, no `serde`).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod runner;
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // variants documented by the crate-level table
+pub enum Rule {
+    L001,
+    L002,
+    L003,
+    L004,
+    L005,
+    L006,
+    L007,
+}
+
+impl Rule {
+    /// Every rule, in order.
+    pub const ALL: [Rule; 7] = [
+        Rule::L001,
+        Rule::L002,
+        Rule::L003,
+        Rule::L004,
+        Rule::L005,
+        Rule::L006,
+        Rule::L007,
+    ];
+
+    /// Stable textual id (`"L001"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Rule::L001 => "L001",
+            Rule::L002 => "L002",
+            Rule::L003 => "L003",
+            Rule::L004 => "L004",
+            Rule::L005 => "L005",
+            Rule::L006 => "L006",
+            Rule::L007 => "L007",
+        }
+    }
+
+    /// One-line description for reports.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Rule::L001 => "wall-clock API in simulated code",
+            Rule::L002 => "OS threading outside the sim kernel",
+            Rule::L003 => "hash-order iteration escaping into output",
+            Rule::L004 => "unwrap/expect on an agent hot path",
+            Rule::L005 => "print macro in library code",
+            Rule::L006 => "unbounded channel construction",
+            Rule::L007 => "lock site unexercised by explored schedules",
+        }
+    }
+
+    /// Parses `"L001"` … `"L007"`.
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.as_str() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative file path (`"<workspace>"` for workspace-level
+    /// findings like L007).
+    pub file: String,
+    /// 1-indexed line; 0 for file- or workspace-level findings.
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}: {}", self.rule, self.file, self.message)
+        } else {
+            write!(
+                f,
+                "{}: {}:{}: {}",
+                self.rule, self.file, self.line, self.message
+            )
+        }
+    }
+}

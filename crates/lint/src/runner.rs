@@ -1,0 +1,366 @@
+//! The workspace pass: walk, scan, apply suppressions/allowlist, compare
+//! against the ratchet baseline, and cross-check the L007 lock inventory
+//! against the model checker's dynamic lock-exercise report.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::LintConfig;
+use crate::lexer::scan_source;
+use crate::rules::{check_file, lock_sites, LockSite};
+use crate::{Rule, Violation};
+
+/// Directory components that are never scanned: generated output, test
+/// and bench code (which legitimately unwraps/sleeps/prints), and the
+/// linter's planted-violation fixtures.
+const SKIP_DIRS: [&str; 7] = [
+    "target",
+    ".git",
+    "tests",
+    "benches",
+    "examples",
+    "fixtures",
+    "node_modules",
+];
+
+/// Options for one linter run.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root (the directory holding `Cargo.toml` and `lint.toml`).
+    pub root: PathBuf,
+    /// Baseline path, relative to `root` unless absolute.
+    pub baseline_path: PathBuf,
+    /// Lock-exercise report path for L007, relative to `root` unless
+    /// absolute. Missing file ⇒ L007 degrades to a note.
+    pub lock_report_path: PathBuf,
+}
+
+impl Options {
+    /// Defaults rooted at `root`: `lint.toml` and
+    /// `target/verify/lock-exercise.txt`.
+    pub fn new(root: impl Into<PathBuf>) -> Options {
+        Options {
+            root: root.into(),
+            baseline_path: PathBuf::from("lint.toml"),
+            lock_report_path: PathBuf::from("target/verify/lock-exercise.txt"),
+        }
+    }
+
+    fn resolve(&self, p: &Path) -> PathBuf {
+        if p.is_absolute() {
+            p.to_owned()
+        } else {
+            self.root.join(p)
+        }
+    }
+}
+
+/// The result of a full workspace pass.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Violations above the baseline — these fail `--check`.
+    pub new_violations: Vec<Violation>,
+    /// Hard errors (malformed suppressions, unparsable baseline) — these
+    /// also fail `--check`.
+    pub errors: Vec<String>,
+    /// Violations absorbed by the ratchet baseline.
+    pub baselined: usize,
+    /// Violations silenced by inline `lint: allow` markers.
+    pub suppressed: usize,
+    /// Violations covered by `[allow]` entries.
+    pub allowed: usize,
+    /// `(rule, file)` keys whose current count is *below* the baseline —
+    /// the ratchet can be tightened.
+    pub improvements: Vec<String>,
+    /// Informational notes (e.g. L007 skipped for lack of dynamic data).
+    pub notes: Vec<String>,
+    /// Current violation totals per rule, after suppression/allow but
+    /// before baseline subtraction.
+    pub counts: BTreeMap<Rule, usize>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// The L007 static lock inventory.
+    pub lock_sites: Vec<LockSite>,
+    /// Current per-(rule, file) counts — the input to `--update-baseline`.
+    pub current: BTreeMap<(Rule, String), usize>,
+}
+
+impl Outcome {
+    /// Whether `--check` should exit 0.
+    pub fn clean(&self) -> bool {
+        self.new_violations.is_empty() && self.errors.is_empty()
+    }
+}
+
+/// Runs the full pass.
+pub fn run(opts: &Options) -> Outcome {
+    let mut out = Outcome::default();
+    for r in Rule::ALL {
+        out.counts.insert(r, 0);
+    }
+
+    let cfg = match load_config(opts) {
+        Ok(c) => c,
+        Err(e) => {
+            out.errors.push(e);
+            LintConfig::default()
+        }
+    };
+
+    let files = collect_files(&opts.root);
+    out.files_scanned = files.len();
+
+    for rel in &files {
+        let abs = opts.root.join(rel);
+        let Ok(src) = fs::read_to_string(&abs) else {
+            continue; // non-UTF8 or unreadable: nothing lexical to check
+        };
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let scan = scan_source(&rel_str, &src);
+        out.errors.extend(scan.suppression_errors.iter().cloned());
+        out.lock_sites.extend(lock_sites(&scan));
+
+        for v in check_file(&scan) {
+            if scan.is_suppressed(v.rule, v.line) {
+                out.suppressed += 1;
+                continue;
+            }
+            if cfg.is_allowed(v.rule, &v.file) {
+                out.allowed += 1;
+                continue;
+            }
+            *out.counts.entry(v.rule).or_insert(0) += 1;
+            *out.current.entry((v.rule, v.file.clone())).or_insert(0) += 1;
+            out.new_violations.push(v);
+        }
+    }
+
+    l007_cross_check(opts, &cfg, &mut out);
+
+    apply_baseline(&cfg, &mut out);
+    out.new_violations
+        .sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    out
+}
+
+fn load_config(opts: &Options) -> Result<LintConfig, String> {
+    let path = opts.resolve(&opts.baseline_path);
+    match fs::read_to_string(&path) {
+        Ok(text) => crate::baseline::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(LintConfig::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+/// Drops baselined violations and records improvements. Violations are
+/// currently all in `new_violations`; keep only the overflow above each
+/// `(rule, file)` baseline, preferring to drop the earliest (they are the
+/// longest-standing debt).
+fn apply_baseline(cfg: &LintConfig, out: &mut Outcome) {
+    let mut budget: BTreeMap<(Rule, String), usize> = cfg.baseline.clone();
+    let mut kept = Vec::new();
+    // Violations are grouped per key in scan order; consume budget first.
+    for v in std::mem::take(&mut out.new_violations) {
+        let key = (v.rule, v.file.clone());
+        match budget.get_mut(&key) {
+            Some(b) if *b > 0 => {
+                *b -= 1;
+                out.baselined += 1;
+            }
+            _ => kept.push(v),
+        }
+    }
+    out.new_violations = kept;
+    for ((rule, file), remaining) in budget {
+        if remaining > 0 {
+            let current = cfg.baseline_for(rule, &file) - remaining;
+            out.improvements.push(format!(
+                "{rule} in {file}: {current} violation(s), baseline allows \
+                 {}; tighten with --update-baseline",
+                cfg.baseline_for(rule, &file)
+            ));
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `crates/` and `shims/`,
+/// skipping [`SKIP_DIRS`], as sorted workspace-relative paths.
+fn collect_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["crates", "shims"] {
+        walk(&root.join(top), root, &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, root, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_owned());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L007 — static inventory × dynamic lock-exercise report
+// ---------------------------------------------------------------------------
+
+/// Distinct exercised lock instances per kind, parsed from the report the
+/// model-checker sweep writes (`rustwren::verify::write_lock_exercise`).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LockExercise {
+    /// Explored schedules merged into the report.
+    pub runs: usize,
+    /// kind → distinct instance count.
+    pub kinds: BTreeMap<String, usize>,
+}
+
+/// Parses the `lock-exercise.txt` format: `runs N` and `kind <name> <n>`
+/// lines, `#` comments.
+pub fn parse_lock_exercise(text: &str) -> Result<LockExercise, String> {
+    let mut ex = LockExercise::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("runs") => {
+                ex.runs = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("lock-exercise:{}: bad runs line", idx + 1))?;
+            }
+            Some("kind") => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("lock-exercise:{}: missing kind", idx + 1))?;
+                let count: usize = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("lock-exercise:{}: bad count", idx + 1))?;
+                *ex.kinds.entry(name.to_owned()).or_insert(0) += count;
+            }
+            Some("key") => {} // per-instance detail, informational
+            _ => return Err(format!("lock-exercise:{}: unknown line `{line}`", idx + 1)),
+        }
+    }
+    Ok(ex)
+}
+
+/// The cross-check proper, shared with the fixture tests: static lock
+/// sites of a kind the explored schedules never touched are reported —
+/// the model checker's clean verdict says nothing about those locks.
+pub fn check_lock_exercise(sites: &[LockSite], exercise: &LockExercise) -> Vec<Violation> {
+    let mut by_kind: BTreeMap<&str, Vec<&LockSite>> = BTreeMap::new();
+    for s in sites {
+        by_kind.entry(s.kind).or_default().push(s);
+    }
+    let mut out = Vec::new();
+    for (kind, sites) in by_kind {
+        let exercised = exercise.kinds.get(kind).copied().unwrap_or(0);
+        if exercised > 0 {
+            continue;
+        }
+        let mut listing: Vec<String> = sites
+            .iter()
+            .take(5)
+            .map(|s| format!("{}:{}", s.file, s.line))
+            .collect();
+        if sites.len() > 5 {
+            listing.push(format!("… {} more", sites.len() - 5));
+        }
+        out.push(Violation {
+            rule: Rule::L007,
+            file: "<workspace>".to_owned(),
+            line: 0,
+            message: format!(
+                "{} static {kind} construction site(s) but no {kind} instance appears \
+                 in the dynamic lock-order graph over {} explored schedule(s); the \
+                 checker's clean verdict does not cover them: {}",
+                sites.len(),
+                exercise.runs,
+                listing.join(", ")
+            ),
+        });
+    }
+    out
+}
+
+fn l007_cross_check(opts: &Options, cfg: &LintConfig, out: &mut Outcome) {
+    let path = opts.resolve(&opts.lock_report_path);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => {
+            out.notes.push(format!(
+                "L007 skipped: no lock-exercise report at {} (run the model-checker \
+                 sweep first: `cargo test --release --test verify -- lock_exercise`)",
+                path.display()
+            ));
+            return;
+        }
+    };
+    let exercise = match parse_lock_exercise(&text) {
+        Ok(e) => e,
+        Err(e) => {
+            out.errors.push(e);
+            return;
+        }
+    };
+    out.notes.push(format!(
+        "L007: cross-checked {} static lock site(s) against {} explored schedule(s)",
+        out.lock_sites.len(),
+        exercise.runs
+    ));
+    for v in check_lock_exercise(&out.lock_sites, &exercise) {
+        if cfg.is_allowed(v.rule, &v.file) {
+            out.allowed += 1;
+            continue;
+        }
+        *out.counts.entry(v.rule).or_insert(0) += 1;
+        *out.current.entry((v.rule, v.file.clone())).or_insert(0) += 1;
+        out.new_violations.push(v);
+    }
+}
+
+/// Rewrites the baseline file so every current violation count becomes
+/// the new ratchet position. Returns the serialized text.
+///
+/// # Errors
+///
+/// Propagates baseline parse/IO failures as display strings.
+pub fn update_baseline(opts: &Options, outcome: &Outcome) -> Result<String, String> {
+    let path = opts.resolve(&opts.baseline_path);
+    let mut cfg = match fs::read_to_string(&path) {
+        Ok(text) => crate::baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => LintConfig::default(),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    cfg.baseline = outcome
+        .current
+        .iter()
+        .filter(|(_, c)| **c > 0)
+        .map(|(k, c)| (k.clone(), *c))
+        .collect();
+    let text = crate::baseline::serialize(&cfg);
+    fs::write(&path, &text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(text)
+}

@@ -59,7 +59,7 @@
 use std::any::Any;
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::fmt::Write as _;
 use std::panic::{self, AssertUnwindSafe};
@@ -218,7 +218,9 @@ pub(crate) struct State {
     ready: VecDeque<Arc<Waiter>>,
     timers: BinaryHeap<Reverse<TimerEntry>>,
     /// waiter id → what it is blocked on, for deadlock diagnostics.
-    blocked: HashMap<u64, BlockedInfo>,
+    // BTreeMap so the deadlock report and wake-all broadcast iterate in
+    // waiter-id order, independent of the hasher.
+    blocked: BTreeMap<u64, BlockedInfo>,
     /// resource id → kind/label/holders, for deadlock diagnostics.
     resources: HashMap<u64, ResourceInfo>,
     /// Set once a deadlock is detected; every thread that wakes or blocks
@@ -556,7 +558,7 @@ impl Kernel {
                     live: 0,
                     ready: VecDeque::new(),
                     timers: BinaryHeap::new(),
-                    blocked: HashMap::new(),
+                    blocked: BTreeMap::new(),
                     resources: HashMap::new(),
                     deadlock: None,
                     stats: KernelStats::default(),

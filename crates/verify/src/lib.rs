@@ -190,6 +190,39 @@ impl fmt::Display for Report {
     }
 }
 
+/// Renders the dynamic lock-exercise inventory consumed by rustwren-lint's
+/// L007 cross-check: `runs N`, one `kind <name> <count>` line per sync-object
+/// class (count = distinct instances exercised), and informational `key`
+/// lines listing each instance's stable merge key.
+pub fn lock_exercise_text(report: &Report) -> String {
+    let mut kinds: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for inst in &report.lock_orders.instances {
+        *kinds.entry(inst.kind.to_string()).or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    out.push_str("# rustwren-verify lock-exercise inventory (consumed by rustwren-lint L007)\n");
+    out.push_str(&format!("runs {}\n", report.lock_orders.runs));
+    for (kind, count) in &kinds {
+        out.push_str(&format!("kind {kind} {count}\n"));
+    }
+    for inst in &report.lock_orders.instances {
+        out.push_str(&format!("key {}\n", inst.key));
+    }
+    out
+}
+
+/// Writes [`lock_exercise_text`] to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Any I/O failure creating the directories or writing the file.
+pub fn write_lock_exercise(report: &Report, path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, lock_exercise_text(report))
+}
+
 // ---------------------------------------------------------------------------
 // Quiet panic hook
 // ---------------------------------------------------------------------------

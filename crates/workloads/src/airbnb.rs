@@ -14,7 +14,7 @@
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rustwren_store::ObjectStore;
+use rustwren_store::{ObjectStore, StoreError};
 
 use crate::tone::Tone;
 
@@ -108,10 +108,19 @@ impl AirbnbDataset {
 /// Intended tones are embedded deterministically: ~45% positive, ~25%
 /// neutral, ~30% negative, biased per city so maps differ.
 ///
+/// # Errors
+///
+/// Propagates storage failures while staging the city objects.
+///
 /// # Panics
 ///
 /// Panics if `scale` is zero.
-pub fn generate(store: &ObjectStore, bucket: &str, scale: u64, seed: u64) -> AirbnbDataset {
+pub fn generate(
+    store: &ObjectStore,
+    bucket: &str,
+    scale: u64,
+    seed: u64,
+) -> Result<AirbnbDataset, StoreError> {
     assert!(scale > 0, "scale must be non-zero");
     store.ensure_bucket(bucket);
     for (idx, (name, logical, lat, lon)) in CITIES.iter().enumerate() {
@@ -128,19 +137,17 @@ pub fn generate(store: &ObjectStore, bucket: &str, scale: u64, seed: u64) -> Air
             let line = format!("{name}-{apartment:06},{dlat:.5},{dlon:.5},{text}\n");
             data.extend_from_slice(line.as_bytes());
         }
-        store
-            .put_scaled(
-                bucket,
-                &AirbnbDataset::key(name),
-                Bytes::from(data),
-                *logical,
-            )
-            .expect("bucket was just ensured");
+        store.put_scaled(
+            bucket,
+            &AirbnbDataset::key(name),
+            Bytes::from(data),
+            *logical,
+        )?;
     }
-    AirbnbDataset {
+    Ok(AirbnbDataset {
         bucket: bucket.to_owned(),
         scale,
-    }
+    })
 }
 
 fn pick_tone(rng: &mut StdRng, city_idx: usize) -> Tone {
@@ -203,8 +210,8 @@ mod tests {
         let kernel = Kernel::new();
         let s1 = ObjectStore::new(&kernel);
         let s2 = ObjectStore::new(&kernel);
-        generate(&s1, "reviews", 4096, 7);
-        generate(&s2, "reviews", 4096, 7);
+        generate(&s1, "reviews", 4096, 7).expect("stages");
+        generate(&s2, "reviews", 4096, 7).expect("stages");
         let m1 = s1.head("reviews", "amsterdam.csv").unwrap();
         let m2 = s2.head("reviews", "amsterdam.csv").unwrap();
         assert_eq!(m1.etag, m2.etag, "same seed, same bytes");
@@ -217,7 +224,7 @@ mod tests {
     fn lines_parse_as_reviews() {
         let kernel = Kernel::new();
         let store = ObjectStore::new(&kernel);
-        generate(&store, "reviews", 1 << 16, 3);
+        generate(&store, "reviews", 1 << 16, 3).expect("stages");
         let data = store.get("reviews", "paris.csv").unwrap();
         let text = std::str::from_utf8(&data).expect("utf8");
         let mut lines = 0;
@@ -239,8 +246,8 @@ mod tests {
     fn different_seeds_differ() {
         let kernel = Kernel::new();
         let store = ObjectStore::new(&kernel);
-        generate(&store, "a", 1 << 16, 1);
-        generate(&store, "b", 1 << 16, 2);
+        generate(&store, "a", 1 << 16, 1).expect("stages");
+        generate(&store, "b", 1 << 16, 2).expect("stages");
         let m1 = store.head("a", "rome.csv").unwrap();
         let m2 = store.head("b", "rome.csv").unwrap();
         assert_ne!(m1.etag, m2.etag);
@@ -251,6 +258,6 @@ mod tests {
     fn zero_scale_panics() {
         let kernel = Kernel::new();
         let store = ObjectStore::new(&kernel);
-        generate(&store, "x", 0, 1);
+        let _ = generate(&store, "x", 0, 1);
     }
 }

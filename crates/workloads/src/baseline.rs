@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn baseline_matches_paper_duration() {
         let cloud = SimCloud::builder().seed(2).build();
-        let dataset = airbnb::generate(cloud.store(), "reviews", 1 << 14, 1);
+        let dataset = airbnb::generate(cloud.store(), "reviews", 1 << 14, 1).expect("stages");
         let cloud2 = cloud.clone();
         let (summaries, elapsed) =
             cloud.run(move || sequential_tone_analysis(&cloud2, &dataset).expect("baseline runs"));

@@ -19,7 +19,7 @@
 use bytes::Bytes;
 use rustwren_core::{DataSource, Executor, ResponseFuture, ShuffleOpts, SimCloud, Value};
 use rustwren_sim::hash::hash2;
-use rustwren_store::ObjectStore;
+use rustwren_store::{ObjectStore, StoreError};
 use std::time::Duration;
 
 /// Name of the sort-and-sample map function.
@@ -100,7 +100,7 @@ pub fn sort_key(seed: u64, map: usize, i: usize) -> String {
         *slot = if d < 10 { b'0' + d } else { b'a' + (d - 10) };
         h /= 36;
     }
-    String::from_utf8(out.to_vec()).expect("base-36 digits are ASCII")
+    out.iter().map(|&b| char::from(b)).collect()
 }
 
 /// Regenerates every key a run will emit, client-side, for seeding a
@@ -117,7 +117,11 @@ pub fn sample_keys(cfg: &CloudSortConfig) -> Vec<String> {
 
 /// Stages the virtual dataset: one scaled object per input partition in
 /// `bucket`, each a tiny descriptor advertised at the full partition size.
-pub fn stage(store: &ObjectStore, bucket: &str, cfg: &CloudSortConfig) {
+///
+/// # Errors
+///
+/// Propagates storage failures while staging the partition descriptors.
+pub fn stage(store: &ObjectStore, bucket: &str, cfg: &CloudSortConfig) -> Result<(), StoreError> {
     store.ensure_bucket(bucket);
     for m in 0..cfg.maps {
         let desc = Value::map()
@@ -125,15 +129,14 @@ pub fn stage(store: &ObjectStore, bucket: &str, cfg: &CloudSortConfig) {
             .with("seed", cfg.seed as i64)
             .with("samples", cfg.samples_per_map as i64)
             .with("records", cfg.records_per_map() as i64);
-        store
-            .put_scaled(
-                bucket,
-                &format!("part-{m:05}"),
-                Bytes::from(desc.encode().to_vec()),
-                cfg.bytes_per_map(),
-            )
-            .expect("bucket was just ensured");
+        store.put_scaled(
+            bucket,
+            &format!("part-{m:05}"),
+            Bytes::from(desc.encode().to_vec()),
+            cfg.bytes_per_map(),
+        )?;
     }
+    Ok(())
 }
 
 /// Registers the CloudSort map, reduce and combiner functions on `cloud`.
@@ -357,7 +360,7 @@ mod tests {
         };
         let cloud = sorted_cloud(9);
         register(&cloud);
-        stage(cloud.store(), "cloudsort", &cfg);
+        stage(cloud.store(), "cloudsort", &cfg).expect("stages");
         let part = Partitioner::range_from_samples(sample_keys(&cfg), cfg.reducers);
         let results = cloud.run(|| {
             let exec = cloud.executor().build()?;

@@ -15,7 +15,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rustwren_core::{DataSource, Executor, MapReduceOpts, PywrenError, SimCloud, TaskCtx, Value};
-use rustwren_store::ObjectStore;
+use rustwren_store::{ObjectStore, StoreError};
 
 /// Name of the assignment map function.
 pub const KMEANS_MAP_FN: &str = "kmeans-assign";
@@ -53,7 +53,7 @@ pub fn generate_dataset(
     n: usize,
     k: usize,
     seed: u64,
-) -> Vec<Point> {
+) -> Result<Vec<Point>, StoreError> {
     store.ensure_bucket(bucket);
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<Point> = (0..k)
@@ -69,10 +69,8 @@ pub fn generate_dataset(
         let y = c.y + rng.gen_range(-1.5..1.5);
         csv.push_str(&format!("{x:.4},{y:.4}\n"));
     }
-    store
-        .put(bucket, key, bytes::Bytes::from(csv.into_bytes()))
-        .expect("bucket was just ensured");
-    centers
+    store.put(bucket, key, bytes::Bytes::from(csv.into_bytes()))?;
+    Ok(centers)
 }
 
 fn centroids_to_value(centroids: &[Point]) -> Value {
@@ -225,11 +223,13 @@ pub fn run(
             Value::map().with("centroids", centroids_to_value(&centroids)),
         )?;
         let mut results = exec.get_result()?;
-        let new = centroids_from_value(&results.pop().expect("one reducer")).map_err(|m| {
-            PywrenError::Task {
-                task: "kmeans-update".into(),
-                message: m,
-            }
+        let reduced = results.pop().ok_or_else(|| PywrenError::Task {
+            task: "kmeans-update".into(),
+            message: "reduce phase returned no result".to_owned(),
+        })?;
+        let new = centroids_from_value(&reduced).map_err(|m| PywrenError::Task {
+            task: "kmeans-update".into(),
+            message: m,
         })?;
         let shift = centroids
             .iter()
@@ -278,7 +278,8 @@ mod tests {
             .seed(17)
             .client_network(NetworkProfile::lan())
             .build();
-        let truth = generate_dataset(cloud.store(), "ml", "points.csv", 600, 3, 17);
+        let truth =
+            generate_dataset(cloud.store(), "ml", "points.csv", 600, 3, 17).expect("stages");
         register(&cloud);
         // Forgy initialization: the first k points of the dataset (which
         // the generator emits round-robin across clusters).

@@ -127,7 +127,11 @@ pub fn encode_i64s(data: &[i64]) -> Vec<u8> {
 /// words.
 pub fn decode_i64s(data: &[u8]) -> Vec<i64> {
     data.chunks_exact(8)
-        .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .map(|c| {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(c);
+            i64::from_le_bytes(word)
+        })
         .collect()
 }
 

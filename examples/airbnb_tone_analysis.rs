@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Out-of-band setup, like copying the datasets from the Watson Studio
     // Community into COS: 33 city objects, 1.9 GB logical, scaled down
     // physically by 4096x.
-    let dataset = airbnb::generate(cloud.store(), "reviews", 4096, 42);
+    let dataset = airbnb::generate(cloud.store(), "reviews", 4096, 42)?;
     println!(
         "dataset: 33 cities, {:.2} GB logical ({} comments in the paper)",
         airbnb::AirbnbDataset::total_logical_size() as f64 / 1e9,

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
 
     let k = 4;
-    let truth = kmeans::generate_dataset(cloud.store(), "ml", "points.csv", 4_000, k, 23);
+    let truth = kmeans::generate_dataset(cloud.store(), "ml", "points.csv", 4_000, k, 23)?;
     kmeans::register(&cloud);
     println!("dataset: 4000 points around {k} clusters, staged in COS");
 

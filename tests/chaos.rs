@@ -621,6 +621,32 @@ fn clean_deletes_staged_objects_and_counts_them() {
     });
 }
 
+/// Regression for the hot-path unwrap pay-down: corruption retries can no
+/// longer heal when *every* GET under `jobs/` is truncated forever, so the
+/// run must end in a typed [`PywrenError`] at the client — never a panic
+/// out of the agent, gather, or stats paths (which used to `unwrap` on
+/// exactly these reads).
+#[test]
+fn unhealable_corruption_is_a_typed_error_not_a_panic() {
+    let plan = FaultPlan::new(97).corrupt_get(
+        PathScope::prefix("jobs/"),
+        TimeWindow::always(),
+        CorruptMode::Truncate,
+        1.0,
+    );
+    let cloud = chaos_cloud(97, Some(plan));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_job(&cloud, JobKind::Map, RetryPolicy::with_attempts(2))
+    }));
+    let result = outcome.expect("unhealable corruption must surface as Err, not a panic");
+    let err = result.expect_err("no results can survive total corruption");
+    match &err {
+        PywrenError::Integrity { .. } | PywrenError::Task { .. } => {}
+        other => panic!("expected an Integrity or Task error, got: {other}"),
+    }
+    assert!(cloud.chaos_stats().total() > 0, "the plan fired");
+}
+
 /// One fault of the given kind, armed to fire exactly once at `t`.
 fn single_fault_plan(seed: u64, kind: u32, t: Duration) -> FaultPlan {
     let window = TimeWindow::between(t, t + Duration::from_secs(1));

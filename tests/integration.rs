@@ -61,7 +61,7 @@ fn tone_analysis_end_to_end_small() {
         .seed(2)
         .client_network(NetworkProfile::lan())
         .build();
-    let dataset = airbnb::generate(cloud.store(), "reviews", 1 << 15, 2);
+    let dataset = airbnb::generate(cloud.store(), "reviews", 1 << 15, 2).expect("stages");
     tone::register(&cloud);
     let results = cloud.run(|| {
         let exec = cloud
@@ -101,7 +101,7 @@ fn speedup_grows_as_chunks_shrink() {
             .seed(3)
             .client_network(NetworkProfile::lan())
             .build();
-        let dataset = airbnb::generate(cloud.store(), "reviews", 1 << 15, 3);
+        let dataset = airbnb::generate(cloud.store(), "reviews", 1 << 15, 3).expect("stages");
         tone::register(&cloud);
         let cloud2 = cloud.clone();
         cloud.run(move || {
@@ -209,7 +209,7 @@ fn sequential_baseline_vs_parallel_speedup_shape() {
         .seed(7)
         .client_network(NetworkProfile::lan())
         .build();
-    let dataset = airbnb::generate(cloud.store(), "reviews", 1 << 15, 7);
+    let dataset = airbnb::generate(cloud.store(), "reviews", 1 << 15, 7).expect("stages");
     tone::register(&cloud);
     let cloud2 = cloud.clone();
     let dataset2 = dataset.clone();
@@ -317,4 +317,49 @@ fn deterministic_across_identical_clouds() {
         run(),
         "same seed must give identical virtual timelines"
     );
+}
+
+/// Bitwise replay of the speculative/billed paths. Speculation relaunches
+/// stragglers by scanning the in-flight job table, and the billing report
+/// sums `f64` GB-seconds over the activation records; both tables iterate
+/// in key order (BTreeMap), so two identical runs must agree *bitwise* —
+/// on results, on the virtual clock, and on every billing float.
+#[test]
+fn speculative_replay_is_bitwise_identical() {
+    let run = || {
+        let cloud = SimCloud::builder()
+            .seed(23)
+            .client_network(NetworkProfile::lan())
+            .build();
+        cloud.register_fn("cube", |_ctx: &TaskCtx, v: Value| {
+            let n = v.as_i64().ok_or("int")?;
+            Ok(Value::Int(n * n * n))
+        });
+        let results = cloud.run(|| {
+            let exec = cloud
+                .executor()
+                .speculation(rustwren::core::SpeculationConfig::on())
+                .retry(rustwren::core::RetryPolicy::with_attempts(3))
+                .build()
+                .unwrap();
+            exec.map("cube", (0..40).map(Value::Int)).unwrap();
+            let results = exec.get_result().unwrap();
+            (results, rustwren::sim::now().as_nanos())
+        });
+        let billing = cloud.functions().billing_report();
+        (
+            results,
+            billing.activations,
+            billing.gb_seconds.to_bits(),
+            billing.estimated_usd.to_bits(),
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.0, b.0, "results and virtual timeline must replay exactly");
+    assert_eq!(a.1, b.1, "same activations billed");
+    assert_eq!(
+        a.2, b.2,
+        "GB-second summation must not depend on record iteration order"
+    );
+    assert_eq!(a.3, b.3, "estimated cost must replay bitwise");
 }

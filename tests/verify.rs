@@ -115,3 +115,65 @@ fn map_reduce_job_is_schedule_independent() {
         "{report}"
     );
 }
+
+/// Exports the dynamic lock-exercise inventory for rustwren-lint's L007
+/// cross-check (`target/verify/lock-exercise.txt`). A small budget is
+/// enough: L007 only asks whether each lock *kind* was ever exercised, not
+/// for schedule coverage. CI runs this before the lint job.
+/// Like [`map_job`], but with a tight namespace concurrency limit in
+/// queueing mode, so the platform's `namespace-concurrency` semaphore is
+/// constructed and contended — without this, semaphore sites would look
+/// unexercised to L007.
+fn queued_map_job(kernel: Kernel) -> Vec<Value> {
+    let cloud = SimCloud::builder()
+        .seed(7)
+        .client_network(NetworkProfile::lan())
+        .platform(rustwren::faas::PlatformConfig {
+            concurrency_limit: 2,
+            queue_on_concurrency_limit: true,
+            ..rustwren::faas::PlatformConfig::default()
+        })
+        .kernel(kernel)
+        .build();
+    cloud.register_fn("add7", |_ctx: &TaskCtx, x: Value| {
+        Ok(Value::Int(x.as_i64().ok_or("int")? + 7))
+    });
+    cloud.run(|| {
+        let exec = cloud
+            .executor()
+            .retry(RetryPolicy::with_attempts(3))
+            .speculation(SpeculationConfig::on())
+            .build()
+            .unwrap();
+        exec.map("add7", (0..6).map(Value::Int).collect::<Vec<_>>())
+            .unwrap();
+        exec.get_result().unwrap()
+    })
+}
+
+#[test]
+fn lock_exercise_export() {
+    let report = explore(
+        queued_map_job,
+        &Budget {
+            schedules: 8,
+            strategy: Strategy::Random {
+                seed: 11,
+                preempt_probability: 0.05,
+            },
+            label: "lock-exercise".to_string(),
+        },
+    );
+    assert!(report.ok(), "{report}");
+    let text = rustwren::verify::lock_exercise_text(&report);
+    assert!(text.contains("runs 9"), "{text}");
+    // The executor/faas stack locks mutexes and waits on semaphores on
+    // every job; their kinds must appear or the export is useless to L007.
+    assert!(text.contains("kind mutex "), "{text}");
+    assert!(text.contains("kind semaphore "), "{text}");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("verify")
+        .join("lock-exercise.txt");
+    rustwren::verify::write_lock_exercise(&report, &path).expect("write lock-exercise report");
+}
