@@ -1,4 +1,4 @@
-//! `plan-lint` — CLI front-end for the rustwren-analyze rules (W001–W008),
+//! `plan-lint` — CLI front-end for the rustwren-analyze rules (W001–W009),
 //! with human and `--format json` machine-readable output so CI can archive
 //! plan-lint reports alongside rustwren-lint reports.
 //!
@@ -50,6 +50,7 @@ plan (omit all to lint the built-in canonical suite):
   --retry N               max invocation attempts per task
   --spec-copies N         speculative backup copies per straggler
   --shuffle M:R[:seg][:relay]  shuffle shape (maps:partitions)
+  --tenant NS:QUOTA       submitting tenant namespace and concurrency quota
 ";
 
 struct Args {
@@ -141,6 +142,15 @@ fn parse_args() -> Result<Args, String> {
                 plan.shuffle = Some(parse_shuffle(&value("--shuffle")?)?);
                 plan_touched = true;
             }
+            "--tenant" => {
+                let spec = value("--tenant")?;
+                let (ns, quota) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--tenant needs NS:QUOTA, got `{spec}`"))?;
+                plan.tenant_namespace = Some(ns.to_owned());
+                plan.tenant_quota = Some(parse(quota)?);
+                plan_touched = true;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -209,6 +219,12 @@ fn builtin_suite() -> Vec<JobPlan> {
     storm.retry_max_attempts = 3;
     storm.speculative_copies = 1;
     suite.push(storm);
+    // Multi-tenant serving wave: a map sized to the global limit but far
+    // beyond the submitting tenant's quota (W009).
+    let mut wave = JobPlan::new("serving-wave", 64);
+    wave.tenant_namespace = Some("acme".to_owned());
+    wave.tenant_quota = Some(8);
+    suite.push(wave);
     suite
 }
 

@@ -22,6 +22,7 @@
 //! | W006 | warning | single-reducer fan-in hot-spot |
 //! | W007 | warning | retry x speculation amplification of a full-width map beyond the concurrency limit |
 //! | W008 | warning | shuffle data-plane COS operations (map fan-out x partition count) beyond the op budget |
+//! | W009 | warning | spawn wave exceeding the submitting tenant's concurrency quota |
 //!
 //! How diagnostics are acted on is the caller's choice via [`AnalyzeMode`]:
 //! `Warn` prints them, `Deny` turns error-severity findings into a hard
@@ -64,6 +65,7 @@ pub enum Rule {
     W006,
     W007,
     W008,
+    W009,
 }
 
 impl fmt::Display for Rule {
@@ -77,6 +79,7 @@ impl fmt::Display for Rule {
             Rule::W006 => "W006",
             Rule::W007 => "W007",
             Rule::W008 => "W008",
+            Rule::W009 => "W009",
         })
     }
 }
@@ -254,6 +257,12 @@ pub struct JobPlan {
     pub speculative_copies: u32,
     /// Shape of the job's shuffle data plane, if it has one (W008).
     pub shuffle: Option<ShuffleShape>,
+    /// Namespace the job is submitted under, when the platform defines a
+    /// tenant for it (W009).
+    pub tenant_namespace: Option<String>,
+    /// The submitting tenant's concurrency quota, when the platform
+    /// defines one (W009).
+    pub tenant_quota: Option<usize>,
 }
 
 impl JobPlan {
@@ -274,6 +283,8 @@ impl JobPlan {
             retry_max_attempts: 1,
             speculative_copies: 0,
             shuffle: None,
+            tenant_namespace: None,
+            tenant_quota: None,
         }
     }
 
@@ -357,6 +368,7 @@ pub fn analyze(plan: &JobPlan, profile: &CloudProfile) -> Vec<Diagnostic> {
     rule_w006_reducer_fanin(plan, &mut diags);
     rule_w007_retry_speculation_amplification(plan, profile, &mut diags);
     rule_w008_shuffle_op_budget(plan, profile, &mut diags);
+    rule_w009_tenant_quota(plan, &mut diags);
     diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
     diags
 }
@@ -645,6 +657,36 @@ fn rule_w008_shuffle_op_budget(plan: &JobPlan, profile: &CloudProfile, out: &mut
     }
 }
 
+/// W009: spawn wave vs the submitting tenant's concurrency quota. A map
+/// sized to the *global* concurrency limit still stalls when the tenant's
+/// own quota is smaller: the overflow waits in the tenant's bounded
+/// admission queue and, past its depth, is shed outright. Speculative
+/// copies widen the wave the same way they do for W007.
+fn rule_w009_tenant_quota(plan: &JobPlan, out: &mut Vec<Diagnostic>) {
+    let Some(quota) = plan.tenant_quota else {
+        return;
+    };
+    let wave = (plan.tasks as u128).saturating_mul(1 + u128::from(plan.speculative_copies));
+    if plan.tasks == 0 || wave <= quota as u128 {
+        return;
+    }
+    let ns = plan.tenant_namespace.as_deref().unwrap_or("<unnamed>");
+    out.push(Diagnostic {
+        rule: Rule::W009,
+        severity: Severity::Warning,
+        message: format!(
+            "job `{}` spawns a wave of {} activation(s) under tenant `{}` whose \
+             concurrency quota is {}: the overflow queues in the tenant's bounded \
+             admission queue and is shed once the queue fills",
+            plan.label, wave, ns, quota
+        ),
+        suggestion: format!(
+            "split the job into waves of at most {quota} task(s), raise tenant \
+             `{ns}`'s concurrency quota, or deepen its admission queue"
+        ),
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -878,6 +920,40 @@ mod tests {
         // No shuffle stage at all: silent.
         let flat = JobPlan::new("map", 2_000);
         assert!(!rules(&analyze(&flat, &CloudProfile::default())).contains(&Rule::W008));
+    }
+
+    #[test]
+    fn w009_fires_when_the_wave_exceeds_the_tenant_quota() {
+        let mut plan = JobPlan::new("map", 32);
+        plan.tenant_namespace = Some("acme".into());
+        plan.tenant_quota = Some(8);
+        let diags = analyze(&plan, &CloudProfile::default());
+        let w009 = diags.iter().find(|d| d.rule == Rule::W009).expect("W009");
+        assert_eq!(w009.severity, Severity::Warning);
+        assert!(w009.message.contains("acme"), "{}", w009.message);
+        assert!(w009.message.contains("quota is 8"), "{}", w009.message);
+
+        // A wave within the quota is silent.
+        plan.tasks = 8;
+        assert!(!rules(&analyze(&plan, &CloudProfile::default())).contains(&Rule::W009));
+
+        // No tenant on the plan (the default namespace with no TenantConfig):
+        // silent even when wide — that is W002's territory.
+        let wide = JobPlan::new("map", 5_000);
+        assert!(!rules(&analyze(&wide, &CloudProfile::default())).contains(&Rule::W009));
+    }
+
+    #[test]
+    fn w009_counts_speculative_copies_toward_the_wave() {
+        // 6 tasks fit a quota of 8 on paper, but one backup copy per task
+        // makes the worst-case wave 12.
+        let mut plan = JobPlan::new("map", 6);
+        plan.tenant_namespace = Some("acme".into());
+        plan.tenant_quota = Some(8);
+        plan.speculative_copies = 1;
+        assert!(rules(&analyze(&plan, &CloudProfile::default())).contains(&Rule::W009));
+        plan.speculative_copies = 0;
+        assert!(!rules(&analyze(&plan, &CloudProfile::default())).contains(&Rule::W009));
     }
 
     #[test]

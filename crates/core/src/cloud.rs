@@ -207,14 +207,37 @@ impl SimCloudBuilder {
     }
 
     /// Builds the cloud and deploys the IBM-PyWren system actions.
-    pub fn build(mut self) -> SimCloud {
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid platform configuration (e.g. a degenerate
+    /// tenant set); use [`try_build`](SimCloudBuilder::try_build) to get
+    /// the typed error instead.
+    pub fn build(self) -> SimCloud {
+        match self.try_build() {
+            Ok(cloud) => cloud,
+            // lint: allow(L004) — construction-time config validation;
+            // never reached on the simulated hot path
+            Err(e) => panic!("invalid cloud config: {e}"),
+        }
+    }
+
+    /// Builds the cloud, surfacing invalid platform configuration (such as
+    /// a tenant with a zero quota) as [`crate::PywrenError::Config`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::PywrenError::Config`] when the platform rejects its
+    /// configuration at build time.
+    pub fn try_build(mut self) -> crate::Result<SimCloud> {
         self.platform.seed = rustwren_sim::hash::hash2(self.seed, self.platform.seed);
         let kernel = self.kernel.take().unwrap_or_default();
         if let Some(plan) = self.chaos.take() {
             kernel.install_chaos(Arc::new(ChaosEngine::new(plan)));
         }
         let store = ObjectStore::new(&kernel);
-        let faas = CloudFunctions::new(&kernel, &store, self.platform);
+        let faas = CloudFunctions::try_new(&kernel, &store, self.platform)
+            .map_err(|e| crate::PywrenError::Config(e.to_string()))?;
         let inner = Arc::new(CloudInner {
             kernel,
             store,
@@ -228,7 +251,7 @@ impl SimCloudBuilder {
         let cloud = SimCloud { inner };
         crate::invoker::deploy_invoker(&cloud);
         crate::compose::register_sequence_driver(cloud.registry());
-        cloud
+        Ok(cloud)
     }
 }
 
@@ -260,5 +283,16 @@ mod tests {
     fn invoker_action_is_deployed() {
         let cloud = SimCloud::builder().build();
         assert!(cloud.functions().has_action(crate::invoker::INVOKER_ACTION));
+    }
+
+    #[test]
+    fn try_build_rejects_degenerate_tenants() {
+        let cfg = PlatformConfig {
+            tenants: vec![rustwren_faas::TenantConfig::new("acme", 0)],
+            ..PlatformConfig::default()
+        };
+        let err = SimCloud::builder().platform(cfg).try_build().unwrap_err();
+        assert!(matches!(err, crate::PywrenError::Config(_)), "{err}");
+        assert!(err.to_string().contains("acme"), "{err}");
     }
 }

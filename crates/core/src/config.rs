@@ -104,6 +104,16 @@ pub struct RetryPolicy {
     /// using [`crate::SpawnStrategy::RemoteInvoker`] under fault injection
     /// should set it to roughly the expected spawn-to-status latency.
     pub presumed_dead_after: Option<Duration>,
+    /// Cap on automatic re-invocations across the whole job (the *budget*),
+    /// on top of the per-task `max_attempts`. A job whose tasks keep
+    /// failing stops retrying once the budget is spent instead of grinding
+    /// against a sick platform forever. `None` (default) = unbounded.
+    pub job_retry_budget: Option<u32>,
+    /// Honor server `retry_after` hints as a circuit breaker: when the
+    /// platform answers 429 with a deadline, retries scheduled before that
+    /// deadline are pushed past it (analyzer W007's dynamic counterpart).
+    /// On by default.
+    pub honor_retry_after: bool,
 }
 
 impl RetryPolicy {
@@ -117,6 +127,8 @@ impl RetryPolicy {
             jitter: 0.2,
             retry_timeouts: false,
             presumed_dead_after: None,
+            job_retry_budget: None,
+            honor_retry_after: true,
         }
     }
 
@@ -127,6 +139,18 @@ impl RetryPolicy {
             max_attempts: max_attempts.max(1),
             ..RetryPolicy::disabled()
         }
+    }
+
+    /// Caps automatic re-invocations across the whole job.
+    pub fn with_job_budget(mut self, budget: u32) -> RetryPolicy {
+        self.job_retry_budget = Some(budget);
+        self
+    }
+
+    /// Disables the `retry_after` circuit breaker (blind backoff only).
+    pub fn without_retry_hint(mut self) -> RetryPolicy {
+        self.honor_retry_after = false;
+        self
     }
 
     /// Whether this policy retries at all.
@@ -341,6 +365,8 @@ mod tests {
             jitter: 0.0,
             retry_timeouts: false,
             presumed_dead_after: None,
+            job_retry_budget: None,
+            honor_retry_after: true,
         };
         assert_eq!(p.base_backoff(1), Duration::from_millis(100));
         assert_eq!(p.base_backoff(2), Duration::from_millis(200));

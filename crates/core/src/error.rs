@@ -201,7 +201,11 @@ mod tests {
     fn conversions_from_substrate_errors() {
         let e: PywrenError = StoreError::NoSuchBucket("b".into()).into();
         assert!(matches!(e, PywrenError::Storage(_)));
-        let e: PywrenError = InvokeError::Throttled { limit: 10 }.into();
+        let e: PywrenError = InvokeError::Throttled {
+            limit: 10,
+            retry_after: std::time::Duration::from_secs(1),
+        }
+        .into();
         assert!(matches!(e, PywrenError::Invoke(_)));
         let e: PywrenError = WireError::UnexpectedEof.into();
         assert!(matches!(e, PywrenError::Wire(_)));

@@ -10,7 +10,7 @@ use bytes::Bytes;
 use rustwren_analyze::{
     analyze, AnalyzeMode, CloudProfile, Diagnostic, JobPlan, Severity, SpawnProfile,
 };
-use rustwren_faas::{ActivationId, FaasClient, Outcome};
+use rustwren_faas::{ActivationId, FaasClient, Outcome, TenantId, ThrottleSignal};
 use rustwren_sim::hash::{hash2, unit_f64};
 use rustwren_sim::{NetworkProfile, SimInstant};
 use rustwren_store::{CosClient, OpCounters};
@@ -147,12 +147,16 @@ struct RecoveryCounters {
     integrity_failures: AtomicU64,
     cleaned_objects: AtomicU64,
     lists_saved: AtomicU64,
+    retries_denied_budget: AtomicU64,
 }
 
 struct ExecInner {
     cloud: SimCloud,
     config: ExecutorConfig,
     exec_id: String,
+    /// Tenant namespace this executor submits under (feeds W009 and the
+    /// per-tenant admission plane).
+    namespace: String,
     agent_action: String,
     job_seq: AtomicU64,
     pending: parking_lot::Mutex<Vec<ResponseFuture>>,
@@ -165,6 +169,9 @@ struct ExecInner {
     job_funcs: parking_lot::Mutex<std::collections::HashMap<u64, String>>,
     /// (job id, task) → recovery state for the retry/speculation machinery.
     recovery: parking_lot::Mutex<std::collections::HashMap<(u64, u32), TaskRecovery>>,
+    /// job id → automatic re-invocations spent so far, enforcing
+    /// [`RetryPolicy::job_retry_budget`].
+    job_retries: parking_lot::Mutex<std::collections::HashMap<u64, u32>>,
     counters: RecoveryCounters,
     /// Client for the polling/gathering phase (status LISTs, recovery
     /// probes, result fetches, cleanup) — its op counters feed
@@ -174,6 +181,11 @@ struct ExecInner {
     /// discovery) — its op counters feed [`CosOpStats::staging`].
     cos_stage: CosClient,
     faas: FaasClient,
+    /// Fleet-wide 429/shed pressure observed by this executor's clients;
+    /// the retry scheduler's circuit breaker reads its `open_until`
+    /// deadline so backoffs never land inside a window the platform
+    /// already said is full.
+    throttle_signal: Arc<ThrottleSignal>,
 }
 
 /// An IBM-PyWren executor bound to one runtime and one network position.
@@ -203,6 +215,7 @@ pub struct ExecutorBuilder {
     cloud: SimCloud,
     config: ExecutorConfig,
     net: Option<NetworkProfile>,
+    namespace: String,
 }
 
 impl ExecutorBuilder {
@@ -211,7 +224,16 @@ impl ExecutorBuilder {
             cloud,
             config: ExecutorConfig::default(),
             net: None,
+            namespace: rustwren_faas::DEFAULT_NAMESPACE.to_owned(),
         }
+    }
+
+    /// Binds this executor to a tenant namespace: its invocations go
+    /// through that tenant's quota, rate limit and admission queue on the
+    /// platform (see [`rustwren_faas::TenantConfig`]).
+    pub fn namespace(mut self, namespace: impl Into<String>) -> ExecutorBuilder {
+        self.namespace = namespace.into();
+        self
     }
 
     /// Selects the runtime image (the paper's
@@ -329,23 +351,32 @@ impl ExecutorBuilder {
         // Same timing/seed behaviour, separate op-count ledger: per-phase
         // operation budgets stay attributable (CosOpStats).
         let cos_stage = cos.clone().with_counters(OpCounters::shared());
-        let faas = FaasClient::new(self.cloud.functions(), net, hash2(seed, 0xFA));
+        let throttle_signal = ThrottleSignal::new();
+        let mut faas = FaasClient::new(self.cloud.functions(), net, hash2(seed, 0xFA))
+            .with_throttle_signal(Arc::clone(&throttle_signal))
+            .with_namespace(TenantId::new(&self.namespace));
+        if !self.config.retry.honor_retry_after {
+            faas = faas.without_retry_hint();
+        }
         let agent_action = agent_action_name(&self.config.runtime);
         Ok(Executor {
             inner: Arc::new(ExecInner {
                 cloud: self.cloud,
                 config: self.config,
                 exec_id,
+                namespace: self.namespace,
                 agent_action,
                 job_seq: AtomicU64::new(1),
                 pending: parking_lot::Mutex::new(Vec::new()),
                 guarded: parking_lot::Mutex::new(Vec::new()),
                 job_funcs: parking_lot::Mutex::new(std::collections::HashMap::new()),
                 recovery: parking_lot::Mutex::new(std::collections::HashMap::new()),
+                job_retries: parking_lot::Mutex::new(std::collections::HashMap::new()),
                 counters: RecoveryCounters::default(),
                 cos,
                 cos_stage,
                 faas,
+                throttle_signal,
             }),
         })
     }
@@ -714,6 +745,17 @@ impl Executor {
         } else {
             0
         };
+        // The submitting tenant's quota (W009): only platforms that define
+        // a TenantConfig for this namespace have one.
+        if let Some(quota) = self
+            .inner
+            .cloud
+            .functions()
+            .tenant_quota(&self.inner.namespace)
+        {
+            plan.tenant_namespace = Some(self.inner.namespace.clone());
+            plan.tenant_quota = Some(quota);
+        }
         plan.apply_hints(&self.inner.config.plan_hints);
         plan
     }
@@ -1026,12 +1068,14 @@ impl Executor {
                 continue;
             }
             // The task finished with an error status.
-            let retryable = retry.enabled() && {
-                let recovery = self.inner.recovery.lock();
-                recovery
-                    .get(&key)
-                    .is_some_and(|r| r.attempts < retry.max_attempts)
-            };
+            let retryable = retry.enabled()
+                && {
+                    let recovery = self.inner.recovery.lock();
+                    recovery
+                        .get(&key)
+                        .is_some_and(|r| r.attempts < retry.max_attempts)
+                }
+                && self.reserve_job_retry(retry, f.job_id());
             if retryable {
                 if integrity {
                     self.inner
@@ -1045,7 +1089,7 @@ impl Executor {
                 self.inner.cos.delete(f.bucket(), &f.result_key())?;
                 let mut recovery = self.inner.recovery.lock();
                 if let Some(r) = recovery.get_mut(&key) {
-                    r.retry_at = Some(now + self.backoff_delay(retry, key, r.attempts));
+                    r.retry_at = Some(self.retry_deadline(retry, key, r.attempts, now));
                 }
                 done.remove(f);
             } else {
@@ -1129,14 +1173,17 @@ impl Executor {
                         Outcome::Failed(_) | Outcome::Crashed(_) => true,
                         Outcome::TimedOut => retry.retry_timeouts,
                     };
-                    if retryable && attempts < retry.max_attempts {
+                    if retryable
+                        && attempts < retry.max_attempts
+                        && self.reserve_job_retry(retry, f.job_id())
+                    {
                         // Drop any partial writes (a result without a
                         // status, or a status that landed after our LIST).
                         self.inner.cos.delete(f.bucket(), &f.status_key())?;
                         self.inner.cos.delete(f.bucket(), &f.result_key())?;
                         let mut recovery = self.inner.recovery.lock();
                         if let Some(r) = recovery.get_mut(&key) {
-                            r.retry_at = Some(now + self.backoff_delay(retry, key, r.attempts));
+                            r.retry_at = Some(self.retry_deadline(retry, key, r.attempts, now));
                         }
                     } else {
                         // Out of attempts (or unretryable): write the error
@@ -1160,14 +1207,14 @@ impl Executor {
                     }
                 }
                 Action::PresumeDead(attempts) => {
-                    if attempts < retry.max_attempts {
+                    if attempts < retry.max_attempts && self.reserve_job_retry(retry, f.job_id()) {
                         // Same treatment as a silent death: drop partials
                         // and schedule a fresh execution with backoff.
                         self.inner.cos.delete(f.bucket(), &f.status_key())?;
                         self.inner.cos.delete(f.bucket(), &f.result_key())?;
                         let mut recovery = self.inner.recovery.lock();
                         if let Some(r) = recovery.get_mut(&key) {
-                            r.retry_at = Some(now + self.backoff_delay(retry, key, r.attempts));
+                            r.retry_at = Some(self.retry_deadline(retry, key, r.attempts, now));
                         }
                     } else {
                         let dead = retry.presumed_dead_after.unwrap_or_default();
@@ -1337,6 +1384,48 @@ impl Executor {
         Ok(())
     }
 
+    /// Reserves one re-invocation from the job's retry budget. Returns
+    /// `false` (and counts the denial) when
+    /// [`RetryPolicy::job_retry_budget`] is spent — the task then surfaces
+    /// its final error instead of retrying against a sick platform.
+    fn reserve_job_retry(&self, retry: &RetryPolicy, job_id: u64) -> bool {
+        let Some(budget) = retry.job_retry_budget else {
+            return true;
+        };
+        let mut spent = self.inner.job_retries.lock();
+        let entry = spent.entry(job_id).or_insert(0);
+        if *entry >= budget {
+            self.inner
+                .counters
+                .retries_denied_budget
+                .fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        *entry += 1;
+        true
+    }
+
+    /// When the next retry of task `key` should fire: jittered backoff,
+    /// pushed past any open `retry_after` circuit-breaker deadline the
+    /// platform has published (so a fleet under 429 pressure drains
+    /// instead of amplifying).
+    fn retry_deadline(
+        &self,
+        retry: &RetryPolicy,
+        key: (u64, u32),
+        attempts: u32,
+        now: SimInstant,
+    ) -> SimInstant {
+        let at = now + self.backoff_delay(retry, key, attempts);
+        if !retry.honor_retry_after {
+            return at;
+        }
+        match self.inner.throttle_signal.open_until(now) {
+            Some(open) => at.max(open),
+            None => at,
+        }
+    }
+
     /// Deterministic jittered backoff before retry number `attempts` of
     /// task `key`: the jitter factor is drawn from the executor seed and
     /// the task's identity, so identically-seeded runs recover identically.
@@ -1390,7 +1479,19 @@ impl Executor {
                 .chaos()
                 .map_or(0, |c| c.stats().total()),
             lists_saved: self.inner.counters.lists_saved.load(Ordering::Relaxed),
+            retries_denied_budget: self
+                .inner
+                .counters
+                .retries_denied_budget
+                .load(Ordering::Relaxed),
         }
+    }
+
+    /// The fleet-wide throttle/shed pressure observed by this executor's
+    /// invocation clients (total 429s, load sheds, and the latest server
+    /// `retry_after` deadline).
+    pub fn throttle_signal(&self) -> &Arc<ThrottleSignal> {
+        &self.inner.throttle_signal
     }
 
     /// Per-phase COS operation counts for this executor: client-side
@@ -1895,6 +1996,48 @@ mod tests {
             // is counted, not the numbers themselves.
             let plan = exec.plan_for("id", &specs[..1], &descs[..1], None, None);
             assert!(plan.est_payload_bytes.expect("estimate") < 1024);
+        });
+    }
+
+    /// W009 wiring: an executor bound to a configured tenant namespace
+    /// stamps that tenant's quota onto the plan; the default namespace on
+    /// a tenant-less platform stamps nothing.
+    #[test]
+    fn plan_carries_the_submitting_tenants_quota() {
+        let platform = rustwren_faas::PlatformConfig {
+            tenants: vec![rustwren_faas::TenantConfig::new("acme", 2)],
+            ..rustwren_faas::PlatformConfig::default()
+        };
+        let cloud = crate::SimCloud::builder()
+            .seed(5)
+            .platform(platform)
+            .build();
+        cloud.register_fn("id", |_ctx: &TaskCtx, v: Value| Ok(v));
+        cloud.run(|| {
+            let exec = cloud.executor().namespace("acme").build().unwrap();
+            let specs: Vec<TaskSpec> = (0..5).map(|i| TaskSpec::Value(Value::Int(i))).collect();
+            let descs: Vec<Value> = (0..5).map(Value::Int).collect();
+            let plan = exec.plan_for("id", &specs, &descs, None, None);
+            assert_eq!(plan.tenant_namespace.as_deref(), Some("acme"));
+            assert_eq!(plan.tenant_quota, Some(2));
+            assert!(
+                exec.analyze_plan(&plan)
+                    .iter()
+                    .any(|d| d.rule == rustwren_analyze::Rule::W009),
+                "a 5-task wave against a quota of 2 must trip W009"
+            );
+
+            // Default namespace with no TenantConfig: no quota on the plan.
+            let exec = cloud.executor().build().unwrap();
+            let plan = exec.plan_for("id", &specs, &descs, None, None);
+            assert_eq!(plan.tenant_quota, None);
+            assert!(
+                !exec
+                    .analyze_plan(&plan)
+                    .iter()
+                    .any(|d| d.rule == rustwren_analyze::Rule::W009),
+                "no tenant, no W009"
+            );
         });
     }
 }

@@ -71,6 +71,10 @@ pub struct RecoveryStats {
     /// Status LISTs the recovery pass avoided by reusing the poll tick's
     /// listing snapshot instead of re-listing the same prefixes.
     pub lists_saved: u64,
+    /// Retries that were wanted but denied because the job's
+    /// [`crate::RetryPolicy::job_retry_budget`] was spent; the task
+    /// surfaces its final error instead.
+    pub retries_denied_budget: u64,
 }
 
 impl RecoveryStats {
@@ -203,12 +207,13 @@ impl JobReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rustwren_faas::{ActivationId, Outcome, Phase};
+    use rustwren_faas::{ActivationId, Outcome, Phase, TenantId};
 
     fn record(submit: f64, start: f64, end: f64) -> ActivationRecord {
         ActivationRecord {
             id: ActivationId(1),
             action: "f".into(),
+            tenant: TenantId::default_namespace(),
             submitted: SimInstant::from_nanos((submit * 1e9) as u64),
             started: Some(SimInstant::from_nanos((start * 1e9) as u64)),
             ended: Some(SimInstant::from_nanos((end * 1e9) as u64)),

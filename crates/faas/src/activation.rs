@@ -11,6 +11,8 @@ use std::fmt;
 use bytes::Bytes;
 use rustwren_sim::SimInstant;
 
+use crate::tenant::TenantId;
+
 /// Unique identifier of one activation (invocation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ActivationId(pub u64);
@@ -59,6 +61,8 @@ pub struct ActivationRecord {
     pub id: ActivationId,
     /// Name of the invoked action.
     pub action: String,
+    /// Tenant (namespace) the invocation was submitted under.
+    pub tenant: TenantId,
     /// When the platform accepted the invocation.
     pub submitted: SimInstant,
     /// When the function body began executing (after container acquisition);
@@ -108,6 +112,7 @@ mod tests {
         ActivationRecord {
             id: ActivationId(7),
             action: "f".into(),
+            tenant: TenantId::default_namespace(),
             submitted: SimInstant::ZERO + Duration::from_secs(1),
             started: Some(SimInstant::ZERO + Duration::from_secs(3)),
             ended: Some(SimInstant::ZERO + Duration::from_secs(10)),

@@ -8,15 +8,68 @@
 //! WAN spawning slow in the paper's §5.1.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use rustwren_sim::hash::{hash2, hash_str};
-use rustwren_sim::NetworkProfile;
+use rustwren_sim::{NetworkProfile, SimInstant};
 
 use crate::activation::{ActivationId, ActivationRecord};
 use crate::error::InvokeError;
 use crate::platform::CloudFunctions;
+use crate::tenant::TenantId;
+
+/// Shared observer of throttle pressure across a fleet of clients — the
+/// circuit-breaker half of the `retry_after` protocol. Every 429 any
+/// wired-up client receives is counted, and the server's `retry_after`
+/// deadline is published so *other* clients (and the executor's retry
+/// scheduler) can hold fire until the platform said it is worth retrying,
+/// instead of amplifying the storm.
+#[derive(Debug, Default)]
+pub struct ThrottleSignal {
+    throttles: AtomicU64,
+    sheds: AtomicU64,
+    /// Latest server-provided "retry after" deadline, as nanos of virtual
+    /// time since the sim epoch (0 = no open circuit).
+    open_until_nanos: AtomicU64,
+}
+
+impl ThrottleSignal {
+    /// Creates a fresh signal with no pressure recorded.
+    pub fn new() -> Arc<ThrottleSignal> {
+        Arc::new(ThrottleSignal::default())
+    }
+
+    /// Total 429 responses observed by clients sharing this signal.
+    pub fn throttles(&self) -> u64 {
+        self.throttles.load(Ordering::Relaxed)
+    }
+
+    /// Total load-shed responses observed.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    /// The latest instant any server hint said to back off until, if one
+    /// is still in the future of `now`.
+    pub fn open_until(&self, now: SimInstant) -> Option<SimInstant> {
+        let nanos = self.open_until_nanos.load(Ordering::Relaxed);
+        let at = SimInstant::ZERO + Duration::from_nanos(nanos);
+        (at > now).then_some(at)
+    }
+
+    pub(crate) fn record_throttle(&self, until: SimInstant) {
+        self.throttles.fetch_add(1, Ordering::Relaxed);
+        let nanos = until.duration_since(SimInstant::ZERO).as_nanos() as u64;
+        self.open_until_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// A virtual-time client for [`CloudFunctions`]. Cheap to clone. Like
 /// [`rustwren_store::CosClient`], request tokens are a pure function of
@@ -27,8 +80,11 @@ pub struct FaasClient {
     platform: CloudFunctions,
     net: NetworkProfile,
     seed: u64,
+    namespace: TenantId,
     max_attempts: u32,
     max_throttle_attempts: u32,
+    honor_retry_after: bool,
+    signal: Option<Arc<ThrottleSignal>>,
 }
 
 impl fmt::Debug for FaasClient {
@@ -47,9 +103,34 @@ impl FaasClient {
             platform: platform.clone(),
             net,
             seed,
+            namespace: TenantId::default_namespace(),
             max_attempts: 5,
             max_throttle_attempts: 200,
+            honor_retry_after: true,
+            signal: None,
         }
+    }
+
+    /// Binds this client to a tenant namespace: invocations go through
+    /// that tenant's quota, rate limit and admission queue.
+    pub fn with_namespace(mut self, namespace: TenantId) -> FaasClient {
+        self.namespace = namespace;
+        self
+    }
+
+    /// Disables honoring the server's `retry_after` hint on 429, reverting
+    /// to blind exponential backoff — the pre-hint client behaviour, kept
+    /// for A/B measurement.
+    pub fn without_retry_hint(mut self) -> FaasClient {
+        self.honor_retry_after = false;
+        self
+    }
+
+    /// Attaches a shared [`ThrottleSignal`] so 429/shed pressure seen by
+    /// this client is visible to the whole fleet.
+    pub fn with_throttle_signal(mut self, signal: Arc<ThrottleSignal>) -> FaasClient {
+        self.signal = Some(signal);
+        self
     }
 
     /// Sets how many attempts each invocation makes against *network
@@ -118,19 +199,40 @@ impl FaasClient {
                 rustwren_sim::sleep(Duration::from_millis(40) * 2u32.pow(net_attempts - 1));
                 continue;
             }
-            match self.platform.invoke(action, payload.clone()) {
+            match self
+                .platform
+                .invoke_in(self.namespace.as_str(), action, payload.clone())
+            {
                 Ok(id) => return Ok(id),
                 Err(e @ InvokeError::ActionNotFound(_)) => return Err(e),
-                Err(e @ InvokeError::Throttled { .. }) => {
-                    throttle_attempts += 1;
-                    if throttle_attempts >= self.max_throttle_attempts {
-                        return Err(e);
+                Err(e @ InvokeError::ShedLoad { .. }) => {
+                    // Shed means the admission queue is full: retrying only
+                    // feeds the storm. Surface it to the caller (and the
+                    // fleet-wide signal) and let job-level policy decide.
+                    if let Some(s) = &self.signal {
+                        s.record_shed();
                     }
-                    // 429: back off before retrying, as the PyWren client
-                    // does; capped so a drained slot is picked up quickly.
-                    let backoff =
-                        Duration::from_millis(250) * 2u32.pow(throttle_attempts.min(4) - 1);
-                    rustwren_sim::sleep(backoff.min(Duration::from_secs(2)));
+                    return Err(e);
+                }
+                Err(InvokeError::Throttled { limit, retry_after }) => {
+                    throttle_attempts += 1;
+                    if let Some(s) = &self.signal {
+                        s.record_throttle(rustwren_sim::now() + retry_after);
+                    }
+                    if throttle_attempts >= self.max_throttle_attempts {
+                        return Err(InvokeError::Throttled { limit, retry_after });
+                    }
+                    let backoff = if self.honor_retry_after {
+                        // The server told us exactly when capacity may
+                        // free; sleeping any less just buys another 429.
+                        retry_after.max(Duration::from_millis(1))
+                    } else {
+                        // Blind exponential, as the PyWren client does;
+                        // capped so a drained slot is picked up quickly.
+                        (Duration::from_millis(250) * 2u32.pow(throttle_attempts.min(4) - 1))
+                            .min(Duration::from_secs(2))
+                    };
+                    rustwren_sim::sleep(backoff);
                 }
                 Err(e @ InvokeError::Network { .. }) => return Err(e),
             }
@@ -238,6 +340,50 @@ mod tests {
             }
         });
         assert!(faas.stats().throttled > 0, "expected some 429s");
+    }
+
+    /// Runs the 6-invocations-through-a-limit-of-2 overload with or
+    /// without `retry_after` honoring and reports the total 429 count.
+    fn throttle_count(honor: bool) -> u64 {
+        let cfg = PlatformConfig {
+            concurrency_limit: 2,
+            ..PlatformConfig::default()
+        };
+        let (kernel, faas) = setup(cfg);
+        faas.register_action(
+            "slow",
+            ActionConfig::default(),
+            |ctx: &ActivationCtx, _p: Bytes| {
+                ctx.charge(Duration::from_secs(2));
+                Ok(Bytes::new())
+            },
+        )
+        .unwrap();
+        kernel.run("client", || {
+            let signal = ThrottleSignal::new();
+            let mut client = FaasClient::new(&faas, NetworkProfile::lan(), 1)
+                .with_throttle_signal(Arc::clone(&signal));
+            if !honor {
+                client = client.without_retry_hint();
+            }
+            let ids: Vec<_> = (0..6)
+                .map(|_| client.invoke("slow", Bytes::new()).unwrap())
+                .collect();
+            for id in ids {
+                assert!(faas.wait(id).is_success());
+            }
+            signal.throttles()
+        })
+    }
+
+    #[test]
+    fn honoring_retry_after_cuts_429_count() {
+        let blind = throttle_count(false);
+        let hinted = throttle_count(true);
+        assert!(
+            hinted < blind,
+            "retry_after hint should reduce 429s: hinted={hinted} blind={blind}"
+        );
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   eviction over a fixed cluster capacity ([`CloudFunctions`]);
 //! * per-namespace **concurrency limits** with 429 throttling
 //!   ([`InvokeError::Throttled`]), the paper's 1,000-invocation default;
+//! * a multi-tenant **admission plane**: per-tenant quotas and rate
+//!   limits ([`TenantConfig`]), weighted-round-robin fair queuing with
+//!   bounded depth and load shedding ([`InvokeError::ShedLoad`]), and
+//!   pluggable keep-alive/prewarm policies ([`KeepAlivePolicy`]) with
+//!   per-tenant warm-pool accounting ([`TenantStats`]);
 //! * the **600 s / 512 MB** execution and memory limits;
 //! * **activation records** ([`ActivationRecord`]) from which concurrency
 //!   timelines (paper Figs 2–3) are reconstructed;
@@ -31,13 +36,15 @@ mod client;
 mod error;
 mod platform;
 mod runtime;
+mod tenant;
 
 pub use action::{Action, ActionConfig};
 pub use activation::{ActivationId, ActivationRecord, Outcome, Phase};
-pub use client::FaasClient;
-pub use error::{ActionError, InvokeError, RegisterError};
+pub use client::{FaasClient, ThrottleSignal};
+pub use error::{ActionError, FaasError, InvokeError, RegisterError};
 pub use platform::{
     ActionStats, ActivationCtx, BillingReport, BlobCache, CloudFunctions, PlatformConfig,
     PlatformLimits, PlatformStats,
 };
 pub use runtime::{DockerRegistry, RuntimeImage, DEFAULT_RUNTIME};
+pub use tenant::{KeepAlivePolicy, TenantConfig, TenantId, TenantStats, DEFAULT_NAMESPACE};

@@ -32,8 +32,12 @@ use rustwren_store::{CosClient, ObjectStore, OpCounters, OpCounts};
 use crate::action::{Action, ActionConfig};
 use crate::activation::{ActivationId, ActivationRecord, Outcome, Phase};
 use crate::client::FaasClient;
-use crate::error::{InvokeError, RegisterError};
+use crate::error::{FaasError, InvokeError, RegisterError};
 use crate::runtime::DockerRegistry;
+use crate::tenant::{
+    ArrivalHistory, KeepAlivePolicy, KeepDecision, TenantConfig, TenantId, TenantStats,
+    DEFAULT_NAMESPACE,
+};
 
 /// Cluster-level configuration; the calibration constants behind every
 /// timing experiment. Defaults are calibrated once against the numbers the
@@ -83,6 +87,21 @@ pub struct PlatformConfig {
     /// report, rather than a throttle storm. Default `false` (the paper's
     /// OpenWhisk behaviour).
     pub queue_on_concurrency_limit: bool,
+    /// Default container keep-alive/prewarm policy; `None` behaves as
+    /// [`KeepAlivePolicy::FixedTtl`] with
+    /// [`container_idle_timeout`](PlatformConfig::container_idle_timeout).
+    /// Tenants may override per namespace via [`TenantConfig::keep_alive`].
+    pub keep_alive: Option<KeepAlivePolicy>,
+    /// Tenant set for multi-tenant serving. Empty (the default) keeps the
+    /// platform single-tenant: every invocation lands in the
+    /// [`DEFAULT_NAMESPACE`] under the global limits only. Validated at
+    /// build time ([`CloudFunctions::try_new`]).
+    pub tenants: Vec<TenantConfig>,
+    /// Deterministic `retry_after` hint attached to *concurrency* 429s
+    /// (rate-limit 429s hint the exact window remainder instead). A drain
+    /// estimate: how long a rejected caller should wait before a slot has
+    /// plausibly freed.
+    pub retry_after_hint: Duration,
 }
 
 impl Default for PlatformConfig {
@@ -104,6 +123,9 @@ impl Default for PlatformConfig {
             seed: 0xF00D,
             price_per_gb_second: 0.000_017,
             queue_on_concurrency_limit: false,
+            keep_alive: None,
+            tenants: Vec::new(),
+            retry_after_hint: Duration::from_secs(5),
         }
     }
 }
@@ -138,16 +160,31 @@ struct Container {
     /// Unique container id, used to derive the deterministic speed factor
     /// and as the order-independent LRU-eviction tie-break.
     id: u64,
-    action: String,
+    /// Warm-pool key: `namespace/action`. Containers never migrate across
+    /// tenants.
+    key: String,
+    /// The tenant whose warm-pool accounting this container bills to.
+    tenant: TenantId,
     worker: usize,
     /// Relative CPU speed; `charge(d)` takes `d / speed` of virtual time.
     speed: f64,
     last_used: SimInstant,
+    /// When the container is reclaimed if it stays idle in the warm pool
+    /// (set by the keep-alive policy on release).
+    expires_at: SimInstant,
+    /// When the container entered the warm pool; `None` while running.
+    /// Basis for per-tenant warm-pool-seconds accounting.
+    warmed_since: Option<SimInstant>,
     /// Container-local blob cache. Follows the container through warm
     /// reuse and dies with it on LRU eviction, idle expiry, or
     /// capacity-handoff destruction — exactly the lifetime of `/tmp` in a
     /// real OpenWhisk container.
     cache: BlobCache,
+}
+
+/// Warm-pool key for a tenant's action.
+fn pool_key(namespace: &str, action: &str) -> String {
+    format!("{namespace}/{action}")
 }
 
 /// A container-local byte cache, handed to actions through
@@ -211,9 +248,53 @@ enum Handoff {
 }
 
 struct CapacityWaiter {
-    action: String,
+    /// Warm-pool key (`namespace/action`) the waiter can reuse warm.
+    key: String,
     slot: Arc<Mutex<Option<Handoff>>>,
     event: Event,
+}
+
+/// What the tenant admission plane decided for one invocation (computed
+/// while the tenant is mutably borrowed, applied to the global pool after).
+enum TenantAdmission {
+    /// Quota and global concurrency allow: run immediately.
+    Admit,
+    /// Park in the tenant's FIFO admission queue.
+    Queue,
+    /// Queue full: shed with the configured depth.
+    Shed(usize),
+    /// Per-tenant rate limit hit.
+    Throttle { limit: usize, retry_after: Duration },
+}
+
+/// Runtime state of one tenant.
+struct TenantState {
+    cfg: TenantConfig,
+    /// Admitted-and-unfinished activations (counts against the quota).
+    inflight: usize,
+    /// FIFO admission queue (bounded by `cfg.queue_depth`): the gate
+    /// events of parked invocations, fired on admission.
+    queue: VecDeque<Event>,
+    /// Smooth weighted-round-robin credit; the dispatcher picks the
+    /// highest-credit eligible tenant and debits the round's total weight.
+    wrr_credit: i64,
+    rate_window_start: SimInstant,
+    rate_window_count: u64,
+    stats: TenantStats,
+}
+
+impl TenantState {
+    fn new(cfg: TenantConfig) -> TenantState {
+        TenantState {
+            cfg,
+            inflight: 0,
+            queue: VecDeque::new(),
+            wrr_credit: 0,
+            rate_window_start: SimInstant::ZERO,
+            rate_window_count: 0,
+            stats: TenantStats::default(),
+        }
+    }
 }
 
 struct PoolState {
@@ -229,6 +310,12 @@ struct PoolState {
     next_container_id: u64,
     next_activation_id: u64,
     stats: PlatformStats,
+    // BTreeMap, not HashMap: the admission dispatcher iterates tenants to
+    // pick the next one, so the order must not depend on the hasher.
+    tenants: BTreeMap<String, TenantState>,
+    /// Per `namespace/action` inter-arrival history (hybrid keep-alive
+    /// policies only; lookups by key, never iterated).
+    arrivals: HashMap<String, ArrivalHistory>,
 }
 
 /// Aggregate statistics for one action; see
@@ -276,6 +363,13 @@ pub struct PlatformStats {
     pub warm_starts: u64,
     /// Image pulls performed.
     pub image_pulls: u64,
+    /// Invocations shed because a tenant's admission queue was full.
+    pub shed: u64,
+    /// Invocations that had to wait in a tenant admission queue.
+    pub queued: u64,
+    /// Containers started ahead of a predicted arrival (hybrid keep-alive
+    /// prewarms; not counted in `cold_starts` — no activation paid them).
+    pub prewarmed: u64,
     /// Activations that hit the execution time limit.
     pub timeouts: u64,
     /// Container-local blob-cache hits reported by actions.
@@ -310,6 +404,10 @@ struct Inner {
     /// capacity; activations hold it while they own a container, and
     /// capacity waiters block on it.
     capacity_res: ResourceId,
+    /// Wait-for-graph resource standing for tenant admission slots;
+    /// admitted activations hold it, queued invocations block on it — so a
+    /// wedged admission queue shows *which* activations pin the quota.
+    admission_res: ResourceId,
     /// COS operations issued from inside activations (the "agent" phase),
     /// tallied across every [`ActivationCtx::cos_client`].
     agent_ops: Arc<OpCounters>,
@@ -361,9 +459,40 @@ impl fmt::Debug for CloudFunctions {
 
 impl CloudFunctions {
     /// Creates a platform over `kernel` whose functions can reach `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`PlatformConfig::tenants`] is invalid; multi-tenant
+    /// platforms should prefer [`CloudFunctions::try_new`], which rejects a
+    /// degenerate tenant set as a typed [`FaasError`] instead.
     pub fn new(kernel: &Kernel, store: &ObjectStore, config: PlatformConfig) -> CloudFunctions {
+        match CloudFunctions::try_new(kernel, store, config) {
+            Ok(faas) => faas,
+            // lint: allow(L004) — construction-time config error, not a
+            // hot path; `try_new` is the non-panicking channel
+            Err(e) => panic!("invalid platform config: {e}"),
+        }
+    }
+
+    /// Creates a platform over `kernel`, validating the tenant set.
+    ///
+    /// # Errors
+    ///
+    /// [`FaasError::InvalidTenant`] for an empty namespace, zero quota,
+    /// zero queue depth, zero/degenerate weights, or duplicate namespaces.
+    pub fn try_new(
+        kernel: &Kernel,
+        store: &ObjectStore,
+        config: PlatformConfig,
+    ) -> Result<CloudFunctions, FaasError> {
+        TenantConfig::validate_set(&config.tenants)?;
         let workers = config.workers.max(1);
-        CloudFunctions {
+        let tenants: BTreeMap<String, TenantState> = config
+            .tenants
+            .iter()
+            .map(|t| (t.namespace.clone(), TenantState::new(t.clone())))
+            .collect();
+        Ok(CloudFunctions {
             inner: Arc::new(Inner {
                 kernel: kernel.clone(),
                 store: store.clone(),
@@ -381,6 +510,8 @@ impl CloudFunctions {
                     next_container_id: 0,
                     next_activation_id: 1,
                     stats: PlatformStats::default(),
+                    tenants,
+                    arrivals: HashMap::new(),
                 }),
                 records: Mutex::new(BTreeMap::new()),
                 completions: Mutex::new(HashMap::new()),
@@ -388,10 +519,11 @@ impl CloudFunctions {
                     Semaphore::named(kernel, config.concurrency_limit, "namespace-concurrency")
                 }),
                 capacity_res: kernel.create_resource("capacity", "cluster-containers"),
+                admission_res: kernel.create_resource("admission", "tenant-admission"),
                 agent_ops: OpCounters::shared(),
                 config,
             }),
-        }
+        })
     }
 
     /// The Docker registry functions' runtimes are pulled from.
@@ -470,14 +602,39 @@ impl CloudFunctions {
         self.inner.actions.lock().contains_key(name)
     }
 
-    /// Submits an invocation (platform-side; no client network cost — use
-    /// [`FaasClient`] from simulated actors). Non-blocking: returns as soon
-    /// as the activation is accepted and scheduled.
+    /// Submits an invocation under the [`DEFAULT_NAMESPACE`]
+    /// (platform-side; no client network cost — use [`FaasClient`] from
+    /// simulated actors). Non-blocking: returns as soon as the activation
+    /// is accepted and scheduled.
     ///
     /// # Errors
     ///
-    /// [`InvokeError::ActionNotFound`] or [`InvokeError::Throttled`].
+    /// [`InvokeError::ActionNotFound`], [`InvokeError::Throttled`], or —
+    /// for tenants with a full admission queue — [`InvokeError::ShedLoad`].
     pub fn invoke(&self, action: &str, payload: Bytes) -> Result<ActivationId, InvokeError> {
+        self.invoke_in(DEFAULT_NAMESPACE, action, payload)
+    }
+
+    /// Submits an invocation billed to `namespace`.
+    ///
+    /// A namespace with a [`TenantConfig`] goes through the tenant
+    /// admission plane: its per-minute rate limit first, then either
+    /// immediate admission (quota and global concurrency permitting), a
+    /// bounded FIFO admission queue drained by weighted round-robin across
+    /// tenants, or — queue full — load shedding. A namespace without a
+    /// tenant config (including the default) sees the paper's single-tenant
+    /// behaviour under the global limits only.
+    ///
+    /// # Errors
+    ///
+    /// [`InvokeError::ActionNotFound`], [`InvokeError::Throttled`] (with a
+    /// deterministic `retry_after` hint), or [`InvokeError::ShedLoad`].
+    pub fn invoke_in(
+        &self,
+        namespace: &str,
+        action: &str,
+        payload: Bytes,
+    ) -> Result<ActivationId, InvokeError> {
         let registered = self
             .inner
             .actions
@@ -486,35 +643,128 @@ impl CloudFunctions {
             .cloned()
             .ok_or_else(|| InvokeError::ActionNotFound(action.to_owned()))?;
 
+        let window = Duration::from_secs(60);
         let now = self.inner.kernel.now();
-        let id = {
+        let policy = self.effective_policy(namespace);
+        let (id, gate, tenanted) = {
             let mut pool = self.inner.pool.lock();
-            if now.duration_since(pool.rate_window_start) >= Duration::from_secs(60) {
+            if now.duration_since(pool.rate_window_start) >= window {
                 pool.rate_window_start = now;
                 pool.rate_window_count = 0;
             }
             if pool.rate_window_count >= self.inner.config.invocations_per_minute {
                 pool.stats.throttled += 1;
+                let retry_after = pool.rate_window_start + window - now;
                 return Err(InvokeError::Throttled {
                     limit: self.inner.config.invocations_per_minute as usize,
+                    retry_after,
                 });
             }
-            // In queue mode the admission semaphore bounds concurrency
-            // instead: over-limit activations park rather than bounce.
-            if self.inner.concurrency_sem.is_none()
-                && pool.inflight >= self.inner.config.concurrency_limit
-            {
-                pool.stats.throttled += 1;
-                return Err(InvokeError::Throttled {
-                    limit: self.inner.config.concurrency_limit,
-                });
-            }
+
+            let global_inflight_ok = pool.inflight < self.inner.config.concurrency_limit;
+            let (gate, tenanted) = if let Some(t) = pool.tenants.get_mut(namespace) {
+                // Tenant plane: rate limit, then admit / queue / shed.
+                // The tenant borrow is scoped so the global pool fields can
+                // be updated once the decision is known.
+                if now.duration_since(t.rate_window_start) >= window {
+                    t.rate_window_start = now;
+                    t.rate_window_count = 0;
+                }
+                let decision = if t.rate_window_count >= t.cfg.invocations_per_minute {
+                    t.stats.throttled += 1;
+                    TenantAdmission::Throttle {
+                        limit: t.cfg.invocations_per_minute as usize,
+                        retry_after: t.rate_window_start + window - now,
+                    }
+                } else {
+                    t.rate_window_count += 1;
+                    if t.queue.is_empty()
+                        && t.inflight < t.cfg.concurrency_quota
+                        && global_inflight_ok
+                    {
+                        t.inflight += 1;
+                        t.stats.submitted += 1;
+                        TenantAdmission::Admit
+                    } else if t.queue.len() < t.cfg.queue_depth {
+                        t.stats.submitted += 1;
+                        t.stats.queued += 1;
+                        TenantAdmission::Queue
+                    } else {
+                        t.stats.shed += 1;
+                        TenantAdmission::Shed(t.cfg.queue_depth)
+                    }
+                };
+                match decision {
+                    TenantAdmission::Throttle { limit, retry_after } => {
+                        pool.stats.throttled += 1;
+                        return Err(InvokeError::Throttled { limit, retry_after });
+                    }
+                    TenantAdmission::Shed(queue_depth) => {
+                        pool.stats.shed += 1;
+                        return Err(InvokeError::ShedLoad {
+                            namespace: namespace.to_owned(),
+                            queue_depth,
+                        });
+                    }
+                    TenantAdmission::Admit => {
+                        pool.inflight += 1;
+                        (None, true)
+                    }
+                    TenantAdmission::Queue => {
+                        pool.stats.queued += 1;
+                        // The gate is pushed onto the queue below, once
+                        // the activation id is allocated.
+                        (
+                            Some(Event::for_resource(
+                                &self.inner.kernel,
+                                self.inner.admission_res,
+                            )),
+                            true,
+                        )
+                    }
+                }
+            } else {
+                // Single-tenant plane: the paper's global limits.
+                // In queue mode the admission semaphore bounds concurrency
+                // instead: over-limit activations park rather than bounce.
+                if self.inner.concurrency_sem.is_none()
+                    && pool.inflight >= self.inner.config.concurrency_limit
+                {
+                    pool.stats.throttled += 1;
+                    return Err(InvokeError::Throttled {
+                        limit: self.inner.config.concurrency_limit,
+                        retry_after: self.inner.config.retry_after_hint,
+                    });
+                }
+                pool.inflight += 1;
+                (None, false)
+            };
+
             pool.rate_window_count += 1;
-            pool.inflight += 1;
             pool.stats.submitted += 1;
             let id = ActivationId(pool.next_activation_id);
             pool.next_activation_id += 1;
-            id
+
+            if let Some(gate) = &gate {
+                if let Some(t) = pool.tenants.get_mut(namespace) {
+                    t.queue.push_back(gate.clone());
+                }
+            }
+
+            // Feed the hybrid keep-alive histogram (arrivals of accepted
+            // invocations only; shed and throttled requests carry no
+            // demand signal the pool could act on).
+            if let KeepAlivePolicy::HybridHistogram {
+                bucket, buckets, ..
+            } = &policy
+            {
+                let key = pool_key(namespace, action);
+                pool.arrivals
+                    .entry(key)
+                    .or_insert_with(|| ArrivalHistory::new(*buckets))
+                    .record(now, *bucket);
+            }
+            (id, gate, tenanted)
         };
 
         self.inner.records.lock().insert(
@@ -522,6 +772,7 @@ impl CloudFunctions {
             ActivationRecord {
                 id,
                 action: action.to_owned(),
+                tenant: TenantId::new(namespace),
                 submitted: now,
                 started: None,
                 ended: None,
@@ -539,10 +790,117 @@ impl CloudFunctions {
 
         let platform = self.clone();
         let action = action.to_owned();
+        let namespace = namespace.to_owned();
         self.inner.kernel.spawn(format!("act-{id}"), move || {
-            platform.run_activation(id, &action, registered, payload);
+            platform.run_activation(id, &namespace, &action, registered, payload, gate, tenanted);
         });
         Ok(id)
+    }
+
+    /// Admits queued invocations while global concurrency and per-tenant
+    /// quotas allow, picking tenants by smooth weighted round-robin
+    /// (deterministic: namespace order breaks credit ties). Returns the
+    /// admission gates to fire *after* the pool lock is released.
+    fn dispatch_queued_locked(&self, pool: &mut PoolState) -> Vec<Event> {
+        let mut fired = Vec::new();
+        while pool.inflight < self.inner.config.concurrency_limit {
+            let mut total_weight: i64 = 0;
+            let mut best: Option<(i64, String)> = None;
+            for (ns, t) in pool.tenants.iter_mut() {
+                if t.queue.is_empty() || t.inflight >= t.cfg.concurrency_quota {
+                    continue;
+                }
+                let w = i64::from(t.cfg.weight);
+                total_weight += w;
+                t.wrr_credit += w;
+                // Strictly-greater keeps the first (lowest) namespace on
+                // credit ties — deterministic because `tenants` is ordered.
+                if best.as_ref().is_none_or(|(c, _)| t.wrr_credit > *c) {
+                    best = Some((t.wrr_credit, ns.clone()));
+                }
+            }
+            let Some((_, ns)) = best else { break };
+            let Some(t) = pool.tenants.get_mut(&ns) else {
+                break;
+            };
+            t.wrr_credit -= total_weight;
+            let Some(gate) = t.queue.pop_front() else {
+                break;
+            };
+            t.inflight += 1;
+            pool.inflight += 1;
+            fired.push(gate);
+        }
+        fired
+    }
+
+    /// The keep-alive policy in effect for `namespace`: the tenant's
+    /// override, else the platform's, else fixed-TTL at
+    /// [`PlatformConfig::container_idle_timeout`].
+    fn effective_policy(&self, namespace: &str) -> KeepAlivePolicy {
+        let cfg = &self.inner.config;
+        cfg.tenants
+            .iter()
+            .find(|t| t.namespace == namespace)
+            .and_then(|t| t.keep_alive.clone())
+            .or_else(|| cfg.keep_alive.clone())
+            .unwrap_or(KeepAlivePolicy::FixedTtl {
+                ttl: cfg.container_idle_timeout,
+            })
+    }
+
+    /// Per-tenant serving counters, including warm-pool seconds accrued by
+    /// containers currently idling in the pool. Returns `None` for a
+    /// namespace without a tenant config.
+    pub fn tenant_stats(&self, namespace: &str) -> Option<TenantStats> {
+        let now = self.inner.kernel.now();
+        let pool = self.inner.pool.lock();
+        let t = pool.tenants.get(namespace)?;
+        let mut stats = t.stats;
+        // lint: allow(L003) — summing f64 idle times is order-sensitive
+        // only through float rounding; containers are per-key vectors and
+        // each key contributes independently of map order… but to keep the
+        // sum bit-stable we fold in (tenant, id) order.
+        let mut live: Vec<(u64, f64)> = Vec::new();
+        for v in pool.warm.values() {
+            for c in v {
+                if c.tenant.as_str() == namespace {
+                    if let Some(since) = c.warmed_since {
+                        live.push((c.id, now.duration_since(since).as_secs_f64()));
+                    }
+                }
+            }
+        }
+        live.sort_by_key(|&(id, _)| id);
+        for (_, secs) in live {
+            stats.warm_pool_seconds += secs;
+        }
+        Some(stats)
+    }
+
+    /// The concurrency quota configured for `namespace`, if it is a tenant.
+    pub fn tenant_quota(&self, namespace: &str) -> Option<usize> {
+        self.inner
+            .config
+            .tenants
+            .iter()
+            .find(|t| t.namespace == namespace)
+            .map(|t| t.concurrency_quota)
+    }
+
+    /// Configured tenant namespaces, in deterministic (sorted) order.
+    pub fn tenant_namespaces(&self) -> Vec<String> {
+        self.inner.pool.lock().tenants.keys().cloned().collect()
+    }
+
+    /// Current depth of a tenant's admission queue.
+    pub fn queue_depth(&self, namespace: &str) -> Option<usize> {
+        self.inner
+            .pool
+            .lock()
+            .tenants
+            .get(namespace)
+            .map(|t| t.queue.len())
     }
 
     /// Blocks (in virtual time) until activation `id` completes and returns
@@ -676,12 +1034,16 @@ impl CloudFunctions {
         self.inner.pool.lock().inflight
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_activation(
         &self,
         id: ActivationId,
+        namespace: &str,
         action_name: &str,
         registered: Arc<RegisteredAction>,
         payload: Bytes,
+        gate: Option<Event>,
+        tenanted: bool,
     ) {
         let cfg = &self.inner.config;
         // `submit` registers the completion event before spawning this
@@ -692,10 +1054,21 @@ impl CloudFunctions {
         // This thread is the one that will fire the completion event;
         // record it so waiter→activation edges appear in deadlock reports.
         completion.mark_holder();
-        if let Some(sem) = &self.inner.concurrency_sem {
+        // Queued invocations park here until the weighted-round-robin
+        // dispatcher admits them.
+        if let Some(gate) = gate {
+            gate.wait();
+        }
+        if tenanted {
+            // Admitted: this thread now pins a tenant quota slot; queued
+            // invocations blocked on admission point here in wait-for
+            // graphs until the slot is released at completion.
+            self.inner.kernel.hold_resource(self.inner.admission_res);
+        } else if let Some(sem) = &self.inner.concurrency_sem {
             sem.acquire_raw();
         }
-        let (container, cold, pull_bytes) = self.acquire_container(action_name, &registered);
+        let (container, cold, pull_bytes) =
+            self.acquire_container(namespace, action_name, &registered);
         self.inner.kernel.hold_resource(self.inner.capacity_res);
 
         if let Some(bytes) = pull_bytes {
@@ -712,11 +1085,22 @@ impl CloudFunctions {
             r.worker = Some(container.worker);
             r.phase = Phase::Running;
         }
+        if tenanted {
+            let mut pool = self.inner.pool.lock();
+            if let Some(t) = pool.tenants.get_mut(namespace) {
+                if cold {
+                    t.stats.cold_starts += 1;
+                } else {
+                    t.stats.warm_starts += 1;
+                }
+            }
+        }
 
         let timeout = registered.config.timeout.min(cfg.max_exec_time);
         let ctx = ActivationCtx {
             platform: self.clone(),
             id,
+            tenant: TenantId::new(namespace),
             action: action_name.to_owned(),
             speed: container.speed,
             started,
@@ -743,13 +1127,28 @@ impl CloudFunctions {
         }
         self.release_container(container);
         self.inner.kernel.release_resource(self.inner.capacity_res);
-        {
+        let gates = {
             let mut pool = self.inner.pool.lock();
             pool.inflight -= 1;
             pool.stats.completed += 1;
             if matches!(outcome, Outcome::TimedOut) {
                 pool.stats.timeouts += 1;
             }
+            if tenanted {
+                if let Some(t) = pool.tenants.get_mut(namespace) {
+                    t.inflight -= 1;
+                    t.stats.completed += 1;
+                }
+            }
+            // A concurrency slot (and possibly a quota slot) just freed:
+            // admit queued work before anyone observes the completion.
+            self.dispatch_queued_locked(&mut pool)
+        };
+        for gate in gates {
+            gate.fire();
+        }
+        if tenanted {
+            self.inner.kernel.release_resource(self.inner.admission_res);
         }
         // Release admission before firing completion, so a parent woken by
         // the completion finds the concurrency slot already free.
@@ -764,10 +1163,12 @@ impl CloudFunctions {
     /// image_bytes_to_pull)`.
     fn acquire_container(
         &self,
+        namespace: &str,
         action_name: &str,
         registered: &RegisteredAction,
     ) -> (Container, bool, Option<u64>) {
         let cfg = &self.inner.config;
+        let key = pool_key(namespace, action_name);
         loop {
             let waiter = {
                 let now = self.inner.kernel.now();
@@ -780,23 +1181,31 @@ impl CloudFunctions {
                     .chaos()
                     .is_some_and(|c| c.cold_storm_active());
                 let mut pool = self.inner.pool.lock();
-                Self::expire_idle_locked(&mut pool, now, cfg.container_idle_timeout);
+                Self::expire_idle_locked(&mut pool, now);
 
-                let warm_available = pool.warm.get(action_name).is_some_and(|v| !v.is_empty());
+                let warm_available = pool.warm.get(&key).is_some_and(|v| !v.is_empty());
                 if storm && warm_available {
                     if let Some(chaos) = self.inner.kernel.chaos() {
                         chaos.record_forced_cold(action_name);
                     }
-                } else if let Some(c) = pool.warm.get_mut(action_name).and_then(|v| v.pop()) {
+                } else if let Some(mut c) = pool.warm.get_mut(&key).and_then(Vec::pop) {
+                    Self::credit_warm_time_locked(&mut pool, &c, now);
+                    c.warmed_since = None;
                     pool.stats.warm_starts += 1;
                     return (c, false, None);
                 }
 
                 let has_capacity = pool.total_containers < cfg.cluster_containers
-                    || Self::evict_lru_locked(&mut pool);
+                    || Self::evict_lru_locked(&mut pool, now);
                 if has_capacity {
                     pool.total_containers += 1;
-                    let (c, pull) = self.make_container_locked(&mut pool, action_name, registered);
+                    let (c, pull) = self.make_container_locked(
+                        &mut pool,
+                        namespace,
+                        action_name,
+                        registered,
+                        false,
+                    );
                     return (c, true, pull);
                 }
 
@@ -804,7 +1213,7 @@ impl CloudFunctions {
                 // The wait is attributed to the shared capacity resource, so
                 // a wedged cluster shows *which* activations hold containers.
                 let waiter = CapacityWaiter {
-                    action: action_name.to_owned(),
+                    key: key.clone(),
                     slot: Arc::new(Mutex::new(None)),
                     event: Event::for_resource(&self.inner.kernel, self.inner.capacity_res),
                 };
@@ -823,7 +1232,13 @@ impl CloudFunctions {
                     // Capacity stays reserved (granter destroyed a container
                     // without decrementing the total on our behalf).
                     let mut pool = self.inner.pool.lock();
-                    let (c, pull) = self.make_container_locked(&mut pool, action_name, registered);
+                    let (c, pull) = self.make_container_locked(
+                        &mut pool,
+                        namespace,
+                        action_name,
+                        registered,
+                        false,
+                    );
                     return (c, true, pull);
                 }
                 None => continue, // spurious; re-enter the loop
@@ -834,15 +1249,24 @@ impl CloudFunctions {
     fn make_container_locked(
         &self,
         pool: &mut PoolState,
+        namespace: &str,
         action_name: &str,
         registered: &RegisteredAction,
+        prewarm: bool,
     ) -> (Container, Option<u64>) {
         let cfg = &self.inner.config;
         let worker = pool.worker_rr % cfg.workers.max(1);
         pool.worker_rr += 1;
         let id = pool.next_container_id;
         pool.next_container_id += 1;
-        pool.stats.cold_starts += 1;
+        if prewarm {
+            pool.stats.prewarmed += 1;
+            if let Some(t) = pool.tenants.get_mut(namespace) {
+                t.stats.prewarmed += 1;
+            }
+        } else {
+            pool.stats.cold_starts += 1;
+        }
 
         let runtime = &registered.config.runtime;
         let pull = if pool.worker_images[worker].contains(runtime) {
@@ -861,13 +1285,17 @@ impl CloudFunctions {
 
         let spread = cfg.speed_variation;
         let speed = 1.0 - spread + 2.0 * spread * unit_f64(hash2(cfg.seed, id ^ 0xC0F_FEE));
+        let now = self.inner.kernel.now();
         (
             Container {
                 id,
-                action: action_name.to_owned(),
+                key: pool_key(namespace, action_name),
+                tenant: TenantId::new(namespace),
                 worker,
                 speed,
-                last_used: self.inner.kernel.now(),
+                last_used: now,
+                expires_at: now + cfg.container_idle_timeout,
+                warmed_since: None,
                 cache: BlobCache::new(),
             },
             pull,
@@ -875,66 +1303,229 @@ impl CloudFunctions {
     }
 
     fn release_container(&self, mut container: Container) {
-        container.last_used = self.inner.kernel.now();
+        let now = self.inner.kernel.now();
+        container.last_used = now;
+        let prewarm_req = {
+            let mut pool = self.inner.pool.lock();
+            // Prefer a waiter for the same tenant+action (warm handoff)…
+            if let Some(w) = pool
+                .waiters
+                .iter()
+                .position(|w| w.key == container.key)
+                .and_then(|idx| pool.waiters.remove(idx))
+            {
+                *w.slot.lock() = Some(Handoff::Warm(container));
+                drop(pool);
+                w.event.fire();
+                return;
+            }
+            // …then any waiter (destroy this container, grant its capacity)…
+            if let Some(w) = pool.waiters.pop_front() {
+                *w.slot.lock() = Some(Handoff::Capacity);
+                drop(pool);
+                w.event.fire();
+                return;
+            }
+            // …otherwise ask the keep-alive policy.
+            let policy = self.effective_policy(container.tenant.as_str());
+            let decision = pool
+                .arrivals
+                .get(&container.key)
+                .map_or(KeepDecision::KeepUntil(now + self.idle_ttl(&policy)), |h| {
+                    h.decide(&policy, now)
+                });
+            match decision {
+                KeepDecision::KeepUntil(until) => {
+                    container.expires_at = until;
+                    container.warmed_since = Some(now);
+                    pool.warm
+                        .entry(container.key.clone())
+                        .or_default()
+                        .push(container);
+                    None
+                }
+                KeepDecision::Release { prewarm } => {
+                    // Destroy immediately: the predicted gap to the next
+                    // arrival makes idling more expensive than a prewarm.
+                    pool.total_containers -= 1;
+                    prewarm.map(|(at, until)| {
+                        let generation = pool
+                            .arrivals
+                            .get(&container.key)
+                            .map_or(0, |h| h.generation);
+                        (
+                            container.tenant.clone(),
+                            container.key.clone(),
+                            at,
+                            until,
+                            generation,
+                        )
+                    })
+                }
+            }
+        };
+        if let Some((tenant, key, at, until, generation)) = prewarm_req {
+            self.schedule_prewarm(&tenant, &key, at, until, generation);
+        }
+    }
+
+    /// The fixed idle TTL equivalent of `policy`, for containers with no
+    /// arrival history yet.
+    fn idle_ttl(&self, policy: &KeepAlivePolicy) -> Duration {
+        match policy {
+            KeepAlivePolicy::FixedTtl { ttl } => *ttl,
+            KeepAlivePolicy::HybridHistogram { fallback_ttl, .. } => *fallback_ttl,
+        }
+    }
+
+    /// Spawns a timer thread that starts a warm container for `key` just
+    /// before the predicted next arrival. Best-effort: abandoned if newer
+    /// arrivals supersede the prediction (`generation`), a warm container
+    /// already exists, or the cluster is full.
+    fn schedule_prewarm(
+        &self,
+        tenant: &TenantId,
+        key: &str,
+        at: SimInstant,
+        until: SimInstant,
+        generation: u64,
+    ) {
+        let now = self.inner.kernel.now();
+        if at <= now || until <= at {
+            return;
+        }
+        let delay = at.duration_since(now);
+        let platform = self.clone();
+        let tenant = tenant.clone();
+        let key = key.to_owned();
+        self.inner
+            .kernel
+            .spawn(format!("prewarm-{key}-{generation}"), move || {
+                rustwren_sim::sleep(delay);
+                platform.do_prewarm(&tenant, &key, until, generation);
+            });
+    }
+
+    fn do_prewarm(&self, tenant: &TenantId, key: &str, until: SimInstant, generation: u64) {
+        // `key` is `namespace/action`; recover the action name.
+        let Some(action_name) = key.strip_prefix(&format!("{tenant}/")).map(str::to_owned) else {
+            return;
+        };
+        let Some(registered) = self.inner.actions.lock().get(&action_name).cloned() else {
+            return;
+        };
+        let cfg = &self.inner.config;
+        let (mut container, pull) = {
+            let now = self.inner.kernel.now();
+            let mut pool = self.inner.pool.lock();
+            let fresh = pool
+                .arrivals
+                .get(key)
+                .is_some_and(|h| h.generation == generation);
+            if !fresh {
+                return; // a newer arrival re-predicted; stand down
+            }
+            // Reclamation is lazy, so reap before the warm check: a corpse
+            // whose keep-alive window already closed must not stand the
+            // prewarm down.
+            Self::expire_idle_locked(&mut pool, now);
+            if pool.warm.get(key).is_some_and(|v| !v.is_empty()) {
+                return; // already warm
+            }
+            if pool.total_containers >= cfg.cluster_containers {
+                return; // best-effort: never evict for a prewarm
+            }
+            pool.total_containers += 1;
+            self.make_container_locked(&mut pool, tenant.as_str(), &action_name, &registered, true)
+        };
+        // Pay the image pull and cold start on the prewarm timer's dime —
+        // the whole point is that no activation waits for them.
+        if let Some(bytes) = pull {
+            rustwren_sim::sleep(Duration::from_secs_f64(
+                bytes as f64 / cfg.pull_bandwidth.max(1) as f64,
+            ));
+        }
+        rustwren_sim::sleep(cfg.cold_start);
+        let now = self.inner.kernel.now();
         let mut pool = self.inner.pool.lock();
-        // Prefer a waiter for the same action (warm handoff)…
-        if let Some(w) = pool
-            .waiters
-            .iter()
-            .position(|w| w.action == container.action)
-            .and_then(|idx| pool.waiters.remove(idx))
-        {
-            *w.slot.lock() = Some(Handoff::Warm(container));
-            drop(pool);
-            w.event.fire();
+        if until <= now {
+            // The keep-alive window closed while the container started.
+            pool.total_containers -= 1;
             return;
         }
-        // …then any waiter (destroy this container, grant its capacity)…
-        if let Some(w) = pool.waiters.pop_front() {
-            *w.slot.lock() = Some(Handoff::Capacity);
-            drop(pool);
-            w.event.fire();
-            return;
-        }
-        // …otherwise idle in the warm pool.
+        container.last_used = now;
+        container.expires_at = until;
+        container.warmed_since = Some(now);
         pool.warm
-            .entry(container.action.clone())
+            .entry(container.key.clone())
             .or_default()
             .push(container);
     }
 
-    fn expire_idle_locked(pool: &mut PoolState, now: SimInstant, idle_timeout: Duration) {
+    /// Credits `container`'s warm-pool idle time (from `warmed_since` to
+    /// `until`) to its tenant's accounting.
+    fn credit_warm_time_locked(pool: &mut PoolState, container: &Container, until: SimInstant) {
+        if let Some(since) = container.warmed_since {
+            if let Some(t) = pool.tenants.get_mut(container.tenant.as_str()) {
+                t.stats.warm_pool_seconds += until.duration_since(since).as_secs_f64();
+            }
+        }
+    }
+
+    fn expire_idle_locked(pool: &mut PoolState, now: SimInstant) {
+        // Two passes keep the borrows disjoint: collect expired idle time
+        // per tenant, then credit it.
+        let mut credits: BTreeMap<String, f64> = BTreeMap::new();
         let mut reclaimed = 0;
-        // lint: allow(L003) — retain + count is order-insensitive
+        // lint: allow(L003) — retain + count is order-insensitive, and the
+        // per-tenant credit sums accumulate via an ordered BTreeMap
         for v in pool.warm.values_mut() {
             let before = v.len();
-            v.retain(|c| now.duration_since(c.last_used) < idle_timeout);
+            v.retain(|c| {
+                if c.expires_at > now {
+                    return true;
+                }
+                if let Some(since) = c.warmed_since {
+                    // The policy intended the container to die at
+                    // `expires_at`; reclamation is lazy, so bill the idle
+                    // time the policy chose, not the scan instant.
+                    *credits.entry(c.tenant.as_str().to_owned()).or_default() +=
+                        c.expires_at.duration_since(since).as_secs_f64();
+                }
+                false
+            });
             reclaimed += before - v.len();
         }
         pool.total_containers -= reclaimed;
+        for (ns, secs) in credits {
+            if let Some(t) = pool.tenants.get_mut(&ns) {
+                t.stats.warm_pool_seconds += secs;
+            }
+        }
     }
 
     /// Destroys the least-recently-used idle container to make room.
     /// Returns whether one was evicted (leaving `total_containers`
     /// decremented, i.e. one slot free).
-    fn evict_lru_locked(pool: &mut PoolState) -> bool {
+    fn evict_lru_locked(pool: &mut PoolState, now: SimInstant) -> bool {
         // Tie-break equal `last_used` on container id: `warm` is a HashMap,
         // and its iteration order must never leak into which container dies
         // (determinism, see the sim kernel's serialization contract).
         let mut oldest: Option<(&String, usize, SimInstant, u64)> = None;
         // lint: allow(L003) — the (last_used, id) tie-break above makes the
         // selection independent of iteration order
-        for (action, v) in &pool.warm {
+        for (key, v) in &pool.warm {
             for (i, c) in v.iter().enumerate() {
                 if oldest.is_none_or(|(_, _, t, id)| (c.last_used, c.id) < (t, id)) {
-                    oldest = Some((action, i, c.last_used, c.id));
+                    oldest = Some((key, i, c.last_used, c.id));
                 }
             }
         }
-        if let Some((action, idx, ..)) = oldest.map(|(a, i, t, id)| (a.clone(), i, t, id)) {
-            if let Some(v) = pool.warm.get_mut(&action) {
+        if let Some((key, idx, ..)) = oldest.map(|(k, i, t, id)| (k.clone(), i, t, id)) {
+            if let Some(v) = pool.warm.get_mut(&key) {
                 if idx < v.len() {
-                    v.remove(idx);
+                    let c = v.remove(idx);
+                    Self::credit_warm_time_locked(pool, &c, now);
                     pool.total_containers -= 1;
                     return true;
                 }
@@ -962,6 +1553,7 @@ pub struct ActivationCtx {
     platform: CloudFunctions,
     id: ActivationId,
     action: String,
+    tenant: TenantId,
     speed: f64,
     started: SimInstant,
     deadline: SimInstant,
@@ -989,6 +1581,11 @@ impl ActivationCtx {
     /// The name the action was invoked under.
     pub fn action_name(&self) -> &str {
         &self.action
+    }
+
+    /// The tenant (namespace) this activation was invoked under.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
     }
 
     /// Index of the worker host running this container.
@@ -1068,6 +1665,7 @@ impl ActivationCtx {
             self.platform.inner.config.internal_net.clone(),
             hash2(self.platform.inner.config.seed, self.id.0 ^ 0xFAA5),
         )
+        .with_namespace(self.tenant.clone())
     }
 
     /// The platform running this activation.
@@ -1272,7 +1870,10 @@ mod tests {
                 .collect();
             assert_eq!(
                 faas.invoke("slow", Bytes::new()),
-                Err(InvokeError::Throttled { limit: 5 })
+                Err(InvokeError::Throttled {
+                    limit: 5,
+                    retry_after: Duration::from_secs(5),
+                })
             );
             for id in ids {
                 faas.wait(id);

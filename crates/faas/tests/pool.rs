@@ -252,7 +252,7 @@ fn per_minute_rate_limit_throttles_and_recovers() {
         // Sixth invocation within the same minute: 429.
         assert!(matches!(
             faas.invoke("f", Bytes::new()),
-            Err(rustwren_faas::InvokeError::Throttled { limit: 5 })
+            Err(rustwren_faas::InvokeError::Throttled { limit: 5, .. })
         ));
         // A minute later the window resets.
         rustwren_sim::sleep(Duration::from_secs(61));

@@ -15,6 +15,8 @@
 //! * [`kmeans`] — iterative distributed k-means (repeated jobs / warm pools).
 //! * [`cloudsort`] — a CloudSort-style virtual 100 GB sort exercising the
 //!   partitioned shuffle data plane end to end.
+//! * [`serving`] — Azure-Functions-style multi-tenant arrival traces for
+//!   the admission-control/keep-alive serving bench.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,5 +29,6 @@ pub mod compute;
 pub mod kmeans;
 pub mod mergesort;
 pub mod montecarlo;
+pub mod serving;
 pub mod tone;
 pub mod tonemap;

@@ -88,6 +88,61 @@ fn warn_mode_runs_the_flagged_job_anyway() {
 }
 
 #[test]
+fn tenant_quota_overflow_warns_but_never_blocks() {
+    // W009 plan-lint coverage: a map wider than the submitting tenant's
+    // concurrency quota fires a warning, but warnings never block — the
+    // same job completes under Deny mode because the overflow just waits
+    // in the tenant's admission queue.
+    let platform = PlatformConfig {
+        tenants: vec![rustwren::faas::TenantConfig::new("acme", 2)],
+        ..PlatformConfig::default()
+    };
+    let cloud = SimCloud::builder().seed(11).platform(platform).build();
+    cloud.register_fn(
+        "double",
+        |_ctx: &rustwren::core::TaskCtx, v: rustwren::core::Value| {
+            Ok(rustwren::core::Value::Int(
+                v.as_i64().ok_or("expected int")? * 2,
+            ))
+        },
+    );
+    let cloud2 = cloud.clone();
+    let results = cloud.run(move || {
+        let exec = cloud2
+            .executor()
+            .namespace("acme")
+            .analyze(AnalyzeMode::Deny)
+            .build()
+            .expect("executor builds");
+
+        // The what-if API shows the warning the preflight gate prints.
+        let plan = {
+            let mut p = rustwren::core::JobPlan::new("double", 8);
+            p.tenant_namespace = Some("acme".into());
+            p.tenant_quota = Some(2);
+            p
+        };
+        let diags = exec.analyze_plan(&plan);
+        let w009 = diags
+            .iter()
+            .find(|d| d.rule == Rule::W009)
+            .expect("W009 fires for an 8-task wave against a quota of 2");
+        assert_eq!(w009.severity, Severity::Warning);
+        assert!(w009.message.contains("acme"), "{}", w009.message);
+
+        // Deny mode only rejects errors: the flagged job still runs.
+        exec.map(
+            "double",
+            (0..8).map(rustwren::core::Value::Int).collect::<Vec<_>>(),
+        )
+        .expect("W009 is a warning; deny must not reject it");
+        exec.get_result()
+            .expect("job completes despite the warning")
+    });
+    assert_eq!(results.len(), 8);
+}
+
+#[test]
 fn unanalyzed_overcommit_deadlocks_with_wait_for_cycle() {
     // The other half of the acceptance criterion: run the same
     // parent-blocks-on-child shape with no analyzer in the way, on a

@@ -216,6 +216,35 @@ fn retry_policy_absorbs_transient_failures_without_reinvoke() {
 }
 
 #[test]
+fn job_retry_budget_caps_total_reinvocations() {
+    // Ten always-failing tasks under a generous per-task attempt limit but
+    // a job-wide budget of 3: the executor stops re-invoking after 3
+    // retries instead of grinding 10 × (attempts − 1) executions against a
+    // persistently sick dependency.
+    let cloud = SimCloud::builder().seed(39).build();
+    cloud.register_fn(
+        "doomed",
+        |_ctx: &TaskCtx, _v: Value| -> Result<Value, String> { Err("permanently down".into()) },
+    );
+    let stats = cloud.run(|| {
+        let exec = cloud
+            .executor()
+            .retry(RetryPolicy::with_attempts(5).with_job_budget(3))
+            .build()
+            .unwrap();
+        exec.map("doomed", (0..10).map(Value::from)).unwrap();
+        let results = exec.get_result();
+        assert!(results.is_err(), "doomed job must fail");
+        exec.recovery_stats()
+    });
+    assert_eq!(stats.retries, 3, "budget caps retries: {stats:?}");
+    assert!(
+        stats.retries_denied_budget > 0,
+        "denials are counted: {stats:?}"
+    );
+}
+
+#[test]
 fn recovery_is_deterministic_per_seed() {
     // Backoff jitter, straggler detection and every injected fault draw
     // from the run's seed: two identical runs must take identical recovery

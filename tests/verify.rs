@@ -116,6 +116,68 @@ fn map_reduce_job_is_schedule_independent() {
     );
 }
 
+/// Two tenants contending for a global concurrency limit below the sum of
+/// their quotas: every invocation beyond the limit parks on the tenant
+/// admission queue's gate events, and freed slots are granted by weighted
+/// round-robin. The sweep hunts the admission plane for lost wakeups
+/// (a queued gate nobody fires) and lock cycles; the returned completion
+/// counts are schedule-independent even though admission order is not.
+fn tenant_admission_job(kernel: Kernel) -> (u64, u64, usize) {
+    let cloud = SimCloud::builder()
+        .seed(7)
+        .client_network(NetworkProfile::lan())
+        .platform(rustwren::faas::PlatformConfig {
+            concurrency_limit: 2,
+            tenants: vec![
+                rustwren::faas::TenantConfig::new("a", 2).queue_depth(16),
+                rustwren::faas::TenantConfig::new("b", 2)
+                    .weight(3)
+                    .queue_depth(16),
+            ],
+            ..rustwren::faas::PlatformConfig::default()
+        })
+        .kernel(kernel)
+        .build();
+    let faas = cloud.functions().clone();
+    faas.register_action(
+        "f",
+        rustwren::faas::ActionConfig::default(),
+        |ctx: &rustwren::faas::ActivationCtx, p: bytes::Bytes| {
+            ctx.charge(std::time::Duration::from_secs(1));
+            Ok(p)
+        },
+    )
+    .unwrap();
+    let successes = cloud.run(|| {
+        let faas2 = faas.clone();
+        let driver_b = rustwren_sim::spawn("driver-b", move || {
+            (0..4)
+                .map(|_| faas2.invoke_in("b", "f", bytes::Bytes::new()).unwrap())
+                .collect::<Vec<_>>()
+        });
+        let mut ids: Vec<_> = (0..4)
+            .map(|_| faas.invoke_in("a", "f", bytes::Bytes::new()).unwrap())
+            .collect();
+        ids.extend(driver_b.join());
+        ids.into_iter()
+            .filter(|&id| faas.wait(id).is_success())
+            .count()
+    });
+    let completed = |ns: &str| cloud.functions().tenant_stats(ns).unwrap().completed;
+    (completed("a"), completed("b"), successes)
+}
+
+#[test]
+fn tenant_admission_is_schedule_independent() {
+    let report = explore(tenant_admission_job, &budget(303, "sweep-admission"));
+    assert!(report.ok(), "{report}");
+    assert_eq!(report.schedules, SCHEDULES + 1);
+    assert!(
+        report.lock_orders.cycles.is_empty() && report.lock_orders.lost_wakeups.is_empty(),
+        "{report}"
+    );
+}
+
 /// Exports the dynamic lock-exercise inventory for rustwren-lint's L007
 /// cross-check (`target/verify/lock-exercise.txt`). A small budget is
 /// enough: L007 only asks whether each lock *kind* was ever exercised, not
