@@ -26,7 +26,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use rustwren_sim::hash::{hash2, unit_f64};
 use rustwren_sim::sync::{Event, Semaphore};
-use rustwren_sim::{Kernel, NetworkProfile, ResourceId, SimInstant};
+use rustwren_sim::{Kernel, LightStep, NetworkProfile, ResourceId, SimInstant};
 use rustwren_store::{CosClient, ObjectStore, OpCounters, OpCounts};
 
 use crate::action::{Action, ActionConfig};
@@ -185,6 +185,24 @@ struct Container {
 /// Warm-pool key for a tenant's action.
 fn pool_key(namespace: &str, action: &str) -> String {
     format!("{namespace}/{action}")
+}
+
+/// State machine for a lightweight prewarm task (see
+/// [`SimPlatform::schedule_prewarm`]). One variant per suspension point so
+/// the task's virtual timeline — predicted-arrival delay, image pull, cold
+/// start — matches the thread-backed original sleep for sleep.
+enum PrewarmPhase {
+    /// Waiting out the gap until just before the predicted arrival.
+    Wait { delay: Duration },
+    /// Re-validate the prediction and claim capacity.
+    Admit,
+    /// Image pull paid; cold start still owed.
+    ColdStart { container: Container },
+    /// All delays paid; publish to the warm pool (or stand down if the
+    /// keep-alive window closed meanwhile).
+    Install { container: Container },
+    /// Terminal (also the placeholder while a poll is in flight).
+    Finished,
 }
 
 /// A container-local byte cache, handed to actions through
@@ -1378,10 +1396,14 @@ impl CloudFunctions {
         }
     }
 
-    /// Spawns a timer thread that starts a warm container for `key` just
-    /// before the predicted next arrival. Best-effort: abandoned if newer
-    /// arrivals supersede the prediction (`generation`), a warm container
-    /// already exists, or the cluster is full.
+    /// Schedules a lightweight prewarm task that starts a warm container
+    /// for `key` just before the predicted next arrival. Best-effort:
+    /// abandoned if newer arrivals supersede the prediction (`generation`),
+    /// a warm container already exists, or the cluster is full.
+    ///
+    /// Runs as a [`rustwren_sim::spawn_light`] state machine — no OS thread
+    /// — with one `Sleep` per phase so the virtual timeline (delay, image
+    /// pull, cold start) is identical to the thread-backed original.
     fn schedule_prewarm(
         &self,
         tenant: &TenantId,
@@ -1398,54 +1420,98 @@ impl CloudFunctions {
         let platform = self.clone();
         let tenant = tenant.clone();
         let key = key.to_owned();
+        let mut phase = PrewarmPhase::Wait { delay };
         self.inner
             .kernel
-            .spawn(format!("prewarm-{key}-{generation}"), move || {
-                rustwren_sim::sleep(delay);
-                platform.do_prewarm(&tenant, &key, until, generation);
+            .spawn_light(format!("prewarm-{key}-{generation}"), move || {
+                match std::mem::replace(&mut phase, PrewarmPhase::Finished) {
+                    PrewarmPhase::Wait { delay } => {
+                        phase = PrewarmPhase::Admit;
+                        LightStep::Sleep(delay)
+                    }
+                    PrewarmPhase::Admit => {
+                        let Some((container, pull)) =
+                            platform.prewarm_admit(&tenant, &key, generation)
+                        else {
+                            return LightStep::Done;
+                        };
+                        // Pay the image pull and cold start on the prewarm
+                        // timer's dime — the whole point is that no
+                        // activation waits for them.
+                        let cfg = &platform.inner.config;
+                        match pull {
+                            Some(bytes) => {
+                                phase = PrewarmPhase::ColdStart { container };
+                                LightStep::Sleep(Duration::from_secs_f64(
+                                    bytes as f64 / cfg.pull_bandwidth.max(1) as f64,
+                                ))
+                            }
+                            None => {
+                                phase = PrewarmPhase::Install { container };
+                                LightStep::Sleep(cfg.cold_start)
+                            }
+                        }
+                    }
+                    PrewarmPhase::ColdStart { container } => {
+                        phase = PrewarmPhase::Install { container };
+                        LightStep::Sleep(platform.inner.config.cold_start)
+                    }
+                    PrewarmPhase::Install { container } => {
+                        platform.prewarm_install(container, until);
+                        LightStep::Done
+                    }
+                    PrewarmPhase::Finished => LightStep::Done,
+                }
             });
     }
 
-    fn do_prewarm(&self, tenant: &TenantId, key: &str, until: SimInstant, generation: u64) {
+    /// Admission half of a prewarm: re-validates the prediction and, if it
+    /// still stands, claims cluster capacity and builds the container.
+    /// Returns the container plus the image-pull byte count (if the image
+    /// is not cached); `None` means stand down.
+    fn prewarm_admit(
+        &self,
+        tenant: &TenantId,
+        key: &str,
+        generation: u64,
+    ) -> Option<(Container, Option<u64>)> {
         // `key` is `namespace/action`; recover the action name.
-        let Some(action_name) = key.strip_prefix(&format!("{tenant}/")).map(str::to_owned) else {
-            return;
-        };
-        let Some(registered) = self.inner.actions.lock().get(&action_name).cloned() else {
-            return;
-        };
+        let action_name = key.strip_prefix(&format!("{tenant}/")).map(str::to_owned)?;
+        let registered = self.inner.actions.lock().get(&action_name).cloned()?;
         let cfg = &self.inner.config;
-        let (mut container, pull) = {
-            let now = self.inner.kernel.now();
-            let mut pool = self.inner.pool.lock();
-            let fresh = pool
-                .arrivals
-                .get(key)
-                .is_some_and(|h| h.generation == generation);
-            if !fresh {
-                return; // a newer arrival re-predicted; stand down
-            }
-            // Reclamation is lazy, so reap before the warm check: a corpse
-            // whose keep-alive window already closed must not stand the
-            // prewarm down.
-            Self::expire_idle_locked(&mut pool, now);
-            if pool.warm.get(key).is_some_and(|v| !v.is_empty()) {
-                return; // already warm
-            }
-            if pool.total_containers >= cfg.cluster_containers {
-                return; // best-effort: never evict for a prewarm
-            }
-            pool.total_containers += 1;
-            self.make_container_locked(&mut pool, tenant.as_str(), &action_name, &registered, true)
-        };
-        // Pay the image pull and cold start on the prewarm timer's dime —
-        // the whole point is that no activation waits for them.
-        if let Some(bytes) = pull {
-            rustwren_sim::sleep(Duration::from_secs_f64(
-                bytes as f64 / cfg.pull_bandwidth.max(1) as f64,
-            ));
+        let now = self.inner.kernel.now();
+        let mut pool = self.inner.pool.lock();
+        let fresh = pool
+            .arrivals
+            .get(key)
+            .is_some_and(|h| h.generation == generation);
+        if !fresh {
+            return None; // a newer arrival re-predicted; stand down
         }
-        rustwren_sim::sleep(cfg.cold_start);
+        // Reclamation is lazy, so reap before the warm check: a corpse
+        // whose keep-alive window already closed must not stand the
+        // prewarm down.
+        Self::expire_idle_locked(&mut pool, now);
+        if pool.warm.get(key).is_some_and(|v| !v.is_empty()) {
+            return None; // already warm
+        }
+        if pool.total_containers >= cfg.cluster_containers {
+            return None; // best-effort: never evict for a prewarm
+        }
+        pool.total_containers += 1;
+        Some(self.make_container_locked(
+            &mut pool,
+            tenant.as_str(),
+            &action_name,
+            &registered,
+            true,
+        ))
+    }
+
+    /// Install half of a prewarm: after the pull/cold-start delays have
+    /// elapsed, publishes the container to the warm pool — unless the
+    /// keep-alive window closed while it started.
+    fn prewarm_install(&self, mut container: Container, until: SimInstant) {
         let now = self.inner.kernel.now();
         let mut pool = self.inner.pool.lock();
         if until <= now {

@@ -102,6 +102,30 @@ fn every_suppressed_twin_is_silenced() {
 }
 
 #[test]
+fn stray_spawn_inside_the_sim_crate_is_caught() {
+    // `kernel.rs` is the only sanctioned OS-thread spawn site; a stray
+    // `thread::spawn` planted in any sibling module must fire L002.
+    let bad = "fn f() { thread::spawn(move || poll()); }\n";
+    for path in [
+        "crates/sim/src/chaos.rs",
+        "crates/sim/src/sync/channel.rs",
+        "crates/sim/src/lib.rs",
+    ] {
+        let hits: Vec<_> = check_file(&scan_source(path, bad))
+            .into_iter()
+            .filter(|v| v.rule == Rule::L002)
+            .collect();
+        assert_eq!(hits.len(), 1, "stray spawn in {path} not caught");
+    }
+    assert!(
+        check_file(&scan_source("crates/sim/src/kernel.rs", bad))
+            .iter()
+            .all(|v| v.rule != Rule::L002),
+        "the kernel spawn site itself stays exempt"
+    );
+}
+
+#[test]
 fn unknown_rule_suppression_is_itself_an_error() {
     let scan = scan_source(
         "crates/core/src/planted.rs",

@@ -40,6 +40,59 @@ pub fn hash_str(s: &str) -> u64 {
     mix64(h)
 }
 
+/// Incremental form of [`hash_str`]: feed string fragments in order (it
+/// implements [`core::fmt::Write`], so `write!` works) and [`finish`].
+/// Byte-for-byte equivalent to calling [`hash_str`] on the concatenation,
+/// without materializing it — the zero-allocation path for hashing
+/// request identities assembled from parts (`"GET "`, bucket, `"/"`, key).
+///
+/// [`finish`]: StrHasher::finish
+///
+/// # Examples
+///
+/// ```
+/// use core::fmt::Write;
+/// use rustwren_sim::hash::{hash_str, StrHasher};
+///
+/// let mut h = StrHasher::new();
+/// write!(h, "GET {}/{}", "bucket", "key").unwrap();
+/// assert_eq!(h.finish(), hash_str("GET bucket/key"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StrHasher {
+    state: u64,
+}
+
+impl StrHasher {
+    /// A hasher in the FNV-1a initial state.
+    pub fn new() -> StrHasher {
+        StrHasher {
+            state: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+
+    /// Finalizes (with [`mix64`], like [`hash_str`]) and returns the token.
+    pub fn finish(self) -> u64 {
+        mix64(self.state)
+    }
+}
+
+impl Default for StrHasher {
+    fn default() -> StrHasher {
+        StrHasher::new()
+    }
+}
+
+impl core::fmt::Write for StrHasher {
+    fn write_str(&mut self, s: &str) -> core::fmt::Result {
+        for b in s.as_bytes() {
+            self.state ^= u64::from(*b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Ok(())
+    }
+}
+
 /// Maps a token to a uniform float in `[0, 1)`.
 pub fn unit_f64(token: u64) -> f64 {
     // Use the top 53 bits for a full-precision mantissa.
@@ -72,6 +125,17 @@ mod tests {
         assert_eq!(hash_str("GET b/k"), hash_str("GET b/k"));
         assert_ne!(hash_str("GET b/k0"), hash_str("GET b/k1"));
         assert_ne!(hash_str(""), hash_str("x"));
+    }
+
+    #[test]
+    fn str_hasher_matches_hash_str_over_fragments() {
+        use core::fmt::Write;
+        let mut h = StrHasher::new();
+        h.write_str("PUT ").unwrap();
+        h.write_str("bucket").unwrap();
+        write!(h, "/key[{}..{}]", 0u64, 65_536u64).unwrap();
+        assert_eq!(h.finish(), hash_str("PUT bucket/key[0..65536]"));
+        assert_eq!(StrHasher::new().finish(), hash_str(""));
     }
 
     #[test]

@@ -78,6 +78,11 @@ use crate::time::SimInstant;
 
 thread_local! {
     static CURRENT: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+    /// Set while the dispatch loop is stepping a lightweight task on this
+    /// OS thread. Guards against blocking kernel operations (which would
+    /// wedge the dispatcher itself) and preemption probes (which would
+    /// park the dispatcher on a condvar nobody can signal).
+    static IN_LIGHT_STEP: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 #[derive(Clone)]
@@ -86,10 +91,36 @@ struct ThreadCtx {
     waiter: Arc<Waiter>,
 }
 
+/// One step of a lightweight task (see [`Kernel::spawn_light`]).
+///
+/// A lightweight task is a state machine driven by the kernel's dispatch
+/// loop: each poll runs to the task's next suspension point and returns
+/// how to proceed. Steps run inline on whichever OS thread is currently
+/// dispatching, so they must not block — the only way to suspend is to
+/// return [`LightStep::Sleep`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LightStep {
+    /// Re-poll after this much virtual time. A zero duration re-polls
+    /// immediately (no timer is scheduled), mirroring how
+    /// [`Kernel::sleep`] treats a zero-duration sleep as a no-op.
+    Sleep(Duration),
+    /// The task is finished; the kernel forgets it.
+    Done,
+}
+
+/// Boxed state-machine poll function of a lightweight task.
+type LightFn = Box<dyn FnMut() -> LightStep + Send>;
+
 /// Per-thread parking slot shared between the thread and its wakers.
+///
+/// `name` is an interned `Arc<str>`: holder registration, wait-for-graph
+/// edges and deadlock reports clone the handle, never the string.
 pub(crate) struct Waiter {
     id: u64,
-    name: String,
+    name: Arc<str>,
+    /// Lightweight task: no OS thread is parked on `cv`; the dispatch
+    /// loop polls its state machine inline instead of releasing it.
+    light: bool,
     sync: RawMutex<WaiterSync>,
     cv: RawCondvar,
 }
@@ -117,13 +148,64 @@ impl Waiter {
         self.id
     }
 
-    fn new(id: u64, name: String) -> Arc<Waiter> {
+    fn new(id: u64, name: Arc<str>) -> Arc<Waiter> {
         Arc::new(Waiter {
             id,
             name,
+            light: false,
             sync: RawMutex::new(WaiterSync::default()),
             cv: RawCondvar::new(),
         })
+    }
+
+    fn new_light(id: u64, name: Arc<str>) -> Arc<Waiter> {
+        Arc::new(Waiter {
+            id,
+            name,
+            light: true,
+            sync: RawMutex::new(WaiterSync::default()),
+            cv: RawCondvar::new(),
+        })
+    }
+}
+
+/// Outcome of one dispatch attempt (see `Kernel::release_next_locked`).
+enum Release {
+    /// Ready queue empty — nothing to dispatch.
+    None,
+    /// A thread-backed waiter was released through its condvar.
+    Thread,
+    /// A lightweight waiter was selected; the caller must poll its state
+    /// machine inline.
+    Light(Arc<Waiter>),
+}
+
+/// RAII scope for polling a lightweight task: swaps the calling OS
+/// thread's simulation identity to the task and flags the poll so
+/// blocking operations and preemption probes know a dispatcher is on the
+/// stack. Restores both on drop (including during unwinding, so a
+/// panicking poll leaves the dispatcher thread's identity intact).
+struct LightScope {
+    prev: Option<ThreadCtx>,
+}
+
+impl LightScope {
+    fn enter(kernel: &Kernel, waiter: &Arc<Waiter>) -> LightScope {
+        let prev = CURRENT.with(|c| {
+            c.borrow_mut().replace(ThreadCtx {
+                kernel: kernel.clone(),
+                waiter: Arc::clone(waiter),
+            })
+        });
+        IN_LIGHT_STEP.with(|f| f.set(true));
+        LightScope { prev }
+    }
+}
+
+impl Drop for LightScope {
+    fn drop(&mut self) {
+        IN_LIGHT_STEP.with(|f| f.set(false));
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
     }
 }
 
@@ -174,8 +256,9 @@ struct ResourceInfo {
     /// across schedules, so the lock-order recorder must not use them as
     /// cross-run merge keys.
     generated: bool,
-    /// `(waiter id, thread name)` of current holders, in acquisition order.
-    holders: Vec<(u64, String)>,
+    /// `(waiter id, interned thread name)` of current holders, in
+    /// acquisition order.
+    holders: Vec<(u64, Arc<str>)>,
 }
 
 /// Virtualized shim lock (`parking_lot` `Mutex`/`RwLock`): threads parked in
@@ -213,6 +296,11 @@ pub(crate) struct State {
     runnable: usize,
     /// Registered threads total (runnable + blocked).
     live: usize,
+    /// Of `live`, how many are lightweight tasks. When `live ==
+    /// light_live` no thread-backed work remains: the dispatch loop stops
+    /// and any remaining light tasks freeze (there is no observer left —
+    /// the analogue of background OS threads dying at process exit).
+    light_live: usize,
     /// Threads woken (or freshly spawned) but not yet dispatched, in
     /// deterministic FIFO order.
     ready: VecDeque<Arc<Waiter>>,
@@ -233,8 +321,14 @@ pub(crate) struct State {
     exploring: bool,
     /// Global choice-point counter (see [`crate::sched`]).
     choice_step: u64,
-    /// Non-default decisions made so far — the replay trace.
-    trace: ScheduleTrace,
+    /// Non-default decisions made so far — the replay trace. Kept behind
+    /// an `Arc` so [`Kernel::schedule_trace`] is a cheap snapshot; the
+    /// recording sites copy-on-write only while a snapshot is live.
+    trace: Arc<ScheduleTrace>,
+    /// waiter id → lightweight-task state machine, for waiters spawned
+    /// with [`Kernel::spawn_light`]. The poll function is taken out of
+    /// the map while a step runs (the state lock is dropped during it).
+    light_tasks: HashMap<u64, LightFn>,
     /// Sync-resource tokens touched since the last choice point (the
     /// running segment's footprint, for independence-based pruning).
     segment: Vec<u64>,
@@ -250,7 +344,7 @@ impl State {
     /// Records the registered thread `waiter` as a holder of `res`.
     pub(crate) fn hold_resource_locked(&mut self, res: ResourceId, waiter: &Waiter) {
         if let Some(r) = self.resources.get_mut(&res.0) {
-            r.holders.push((waiter.id, waiter.name.clone()));
+            r.holders.push((waiter.id, Arc::clone(&waiter.name)));
         }
     }
 
@@ -469,12 +563,20 @@ pub struct KernelStats {
     pub clock_advances: u64,
     /// Total timers scheduled via sleeps.
     pub timers_scheduled: u64,
-    /// Total simulated threads ever spawned or entered.
+    /// Total simulated threads ever spawned or entered (lightweight tasks
+    /// count: they are simulated threads without the OS thread).
     pub threads_started: u64,
+    /// Lightweight-task state-machine polls run inline on the dispatch
+    /// loop (zero except via [`Kernel::spawn_light`]).
+    pub light_polls: u64,
 }
 
 /// [`Inner::flags`] bit: an exploring scheduler is installed.
 const FLAG_EXPLORING: u8 = 1;
+/// Set once a chaos engine is installed, so the per-request
+/// [`Kernel::chaos`] probe is a single atomic load in the common
+/// no-chaos case instead of a mutex acquisition.
+const FLAG_CHAOS: u8 = 2;
 
 struct Inner {
     state: RawMutex<State>,
@@ -556,6 +658,7 @@ impl Kernel {
                     timer_seq: 0,
                     runnable: 0,
                     live: 0,
+                    light_live: 0,
                     ready: VecDeque::new(),
                     timers: BinaryHeap::new(),
                     blocked: BTreeMap::new(),
@@ -565,7 +668,8 @@ impl Kernel {
                     scheduler: Box::new(FifoScheduler),
                     exploring: false,
                     choice_step: 0,
-                    trace: ScheduleTrace::default(),
+                    trace: Arc::new(ScheduleTrace::default()),
+                    light_tasks: HashMap::new(),
                     segment: Vec::new(),
                     order: None,
                     vlocks: HashMap::new(),
@@ -596,7 +700,7 @@ impl Kernel {
         st.scheduler = scheduler;
         st.exploring = exploring;
         st.choice_step = 0;
-        st.trace = ScheduleTrace::default();
+        st.trace = Arc::new(ScheduleTrace::default());
         st.segment.clear();
         let mut flags = self.inner.flags.load(Ordering::Relaxed);
         if exploring {
@@ -609,8 +713,12 @@ impl Kernel {
 
     /// The non-default scheduling decisions made since the scheduler was
     /// installed — the sparse replay trace. Empty under [`FifoScheduler`].
-    pub fn schedule_trace(&self) -> ScheduleTrace {
-        self.inner.state.lock().trace.clone()
+    ///
+    /// Returns a shared snapshot: the call is one `Arc` clone, not a deep
+    /// copy of the trace. Recording after the snapshot copies-on-write, so
+    /// the snapshot stays frozen at the moment it was taken.
+    pub fn schedule_trace(&self) -> Arc<ScheduleTrace> {
+        Arc::clone(&self.inner.state.lock().trace)
     }
 
     /// Starts (or restarts) lock-order recording: every instrumented lock
@@ -637,10 +745,16 @@ impl Kernel {
     /// previous engine.
     pub fn install_chaos(&self, engine: Arc<crate::chaos::ChaosEngine>) {
         *self.inner.chaos.lock() = Some(engine);
+        self.inner.flags.fetch_or(FLAG_CHAOS, Ordering::Relaxed);
     }
 
     /// The fault-injection engine installed on this kernel, if any.
+    /// Lock-free `None` when no engine was ever installed — the common
+    /// case, probed once per simulated store/network request.
     pub fn chaos(&self) -> Option<Arc<crate::chaos::ChaosEngine>> {
+        if self.inner.flags.load(Ordering::Relaxed) & FLAG_CHAOS == 0 {
+            return None;
+        }
         self.inner.chaos.lock().clone()
     }
 
@@ -721,7 +835,7 @@ impl Kernel {
             st.stats.threads_started += 1;
             let id = st.next_waiter_id;
             st.next_waiter_id += 1;
-            Waiter::new(id, name.to_owned())
+            Waiter::new(id, Arc::from(name))
         };
         CURRENT.with(|c| {
             *c.borrow_mut() = Some(ThreadCtx {
@@ -774,7 +888,7 @@ impl Kernel {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let name = name.into();
+        let name: Arc<str> = Arc::from(name.into());
         let parent = try_current_waiter(self);
         let from_sim = parent.is_some();
         let waiter = {
@@ -783,7 +897,7 @@ impl Kernel {
             st.stats.threads_started += 1;
             let id = st.next_waiter_id;
             st.next_waiter_id += 1;
-            let waiter = Waiter::new(id, name.clone());
+            let waiter = Waiter::new(id, Arc::clone(&name));
             if let (Some(p), Some(order)) = (&parent, st.order.as_mut()) {
                 // Happens-before: the child inherits the spawner's history.
                 order.spawned(p.id, &p.name, id, &name);
@@ -802,7 +916,7 @@ impl Kernel {
         let done2 = done.clone();
         let slot2 = Arc::clone(&slot);
         thread::Builder::new()
-            .name(name)
+            .name(name.to_string())
             .stack_size(self.inner.stack_size)
             .spawn(move || {
                 if from_sim {
@@ -832,6 +946,59 @@ impl Kernel {
             })
             .expect("failed to spawn OS thread for simulated thread");
         SimJoinHandle { done, slot }
+    }
+
+    /// Spawns a *lightweight* simulated task: a state machine polled
+    /// inline by the kernel's dispatch loop, with **no OS thread** behind
+    /// it.
+    ///
+    /// The task occupies exactly the same scheduling slots a thread
+    /// spawned with [`Kernel::spawn`] would — it gets a waiter id from the
+    /// same counter, joins the ready queue at the same position, counts in
+    /// [`KernelStats::threads_started`], schedules timers through the same
+    /// heap, and appears in deadlock reports while sleeping — so FIFO
+    /// order, `RUSTWREN_SCHEDULE` tokens and exploring schedulers see the
+    /// identical choice points. What changes is purely the execution
+    /// mechanism: instead of two condvar handoffs and an OS context switch
+    /// per step, the dispatcher calls `f` directly.
+    ///
+    /// Each poll must run to the task's next suspension point and return a
+    /// [`LightStep`]: `Sleep(d)` schedules a timer and re-polls once it
+    /// fires (zero duration re-polls immediately, like a zero-duration
+    /// [`Kernel::sleep`]); `Done` retires the task. Because polls run on
+    /// the dispatching OS thread, a poll must **never block** — calling
+    /// any blocking kernel operation (sleep, event wait, lock a contended
+    /// shim lock, …) from inside a poll panics with a diagnostic. Use a
+    /// real [`Kernel::spawn`] thread for code that blocks on sync
+    /// primitives.
+    ///
+    /// May be called from inside or outside the simulation; either way the
+    /// task starts parked in the ready queue and first polls when the
+    /// dispatcher reaches it. A light task still pending when the last
+    /// thread-backed waiter exits simply freezes — the analogue of a
+    /// detached background thread dying at process exit — so immortal
+    /// pollers cannot wedge [`Kernel::run`]'s return.
+    pub fn spawn_light(
+        &self,
+        name: impl Into<String>,
+        f: impl FnMut() -> LightStep + Send + 'static,
+    ) {
+        let name: Arc<str> = Arc::from(name.into());
+        let parent = try_current_waiter(self);
+        let mut st = self.inner.state.lock();
+        st.live += 1;
+        st.light_live += 1;
+        st.stats.threads_started += 1;
+        let id = st.next_waiter_id;
+        st.next_waiter_id += 1;
+        let waiter = Waiter::new_light(id, Arc::clone(&name));
+        if let (Some(p), Some(order)) = (&parent, st.order.as_mut()) {
+            // Happens-before: the task inherits the spawner's history.
+            order.spawned(p.id, &p.name, id, &name);
+        }
+        waiter.sync.lock().notified = true;
+        st.ready.push_back(Arc::clone(&waiter));
+        st.light_tasks.insert(id, Box::new(f));
     }
 
     /// Suspends the current simulated thread for `d` of virtual time.
@@ -886,6 +1053,14 @@ impl Kernel {
         resource: Option<ResourceId>,
         reason: &'static str,
     ) {
+        if IN_LIGHT_STEP.with(std::cell::Cell::get) {
+            panic!(
+                "lightweight task `{}` attempted a blocking operation ({reason}); \
+                 a light task may only suspend by returning LightStep::Sleep — \
+                 use Kernel::spawn for code that blocks on sync primitives",
+                current_ctx("light step").waiter.name
+            );
+        }
         {
             let mut st = self.inner.state.lock();
             if let Some(report) = &st.deadlock {
@@ -910,11 +1085,7 @@ impl Kernel {
                     resource,
                 },
             );
-            while st.runnable == 0 {
-                if !Self::release_next_locked(&mut st) {
-                    Self::advance_locked(&mut st);
-                }
-            }
+            let _st = self.drive(st);
         }
         let deadlocked = {
             let mut ws = waiter.sync.lock();
@@ -959,15 +1130,18 @@ impl Kernel {
         }
     }
 
-    /// Dispatches the next ready thread, if any. Must be called with the
-    /// kernel state lock held. Returns whether a thread was released.
+    /// Dispatches the next ready task, if any. Must be called with the
+    /// kernel state lock held.
     ///
-    /// With an exploring scheduler installed and ≥ 2 ready threads, this is
-    /// a *Ready* choice point: the scheduler picks which thread runs. The
+    /// With an exploring scheduler installed and ≥ 2 ready tasks, this is
+    /// a *Ready* choice point: the scheduler picks which task runs. The
     /// default (index 0, queue front) reproduces historical FIFO dispatch.
-    fn release_next_locked(st: &mut State) -> bool {
+    /// Thread-backed waiters are released through their condvar;
+    /// lightweight waiters are handed back to the caller ([`Kernel::drive`])
+    /// to be polled inline.
+    fn release_next_locked(st: &mut State) -> Release {
         if st.ready.is_empty() {
-            return false;
+            return Release::None;
         }
         let idx = if st.exploring && st.ready.len() > 1 {
             let candidates: Vec<u64> = st.ready.iter().map(|w| w.id).collect();
@@ -984,18 +1158,107 @@ impl Kernel {
                 })
                 .min(candidates.len() - 1);
             if picked != 0 {
-                st.trace.record(step, ChoiceKind::Ready, picked);
+                Arc::make_mut(&mut st.trace).record(step, ChoiceKind::Ready, picked);
             }
             picked
         } else {
             0
         };
         let w = st.ready.remove(idx).expect("index in range");
+        if w.light {
+            w.sync.lock().notified = false;
+            return Release::Light(w);
+        }
         st.runnable += 1;
         let mut ws = w.sync.lock();
         ws.released = true;
         w.cv.notify_one();
-        true
+        drop(ws);
+        Release::Thread
+    }
+
+    /// Runs the dispatch loop until a thread-backed waiter is runnable —
+    /// polling lightweight tasks inline and advancing the clock as needed.
+    ///
+    /// Also stops when *only* lightweight tasks remain live (`live ==
+    /// light_live`, including zero): with no thread-backed observer left,
+    /// further progress would be unobservable, and an immortal light
+    /// poller must not wedge [`Kernel::deregister`]. Remaining light tasks
+    /// simply freeze, like background OS threads at process exit. While a
+    /// thread-backed caller is blocked (not deregistered) it counts in
+    /// `live`, so for it the condition reduces to `runnable > 0`.
+    fn drive<'a>(&'a self, mut st: RawMutexGuard<'a, State>) -> RawMutexGuard<'a, State> {
+        loop {
+            if st.runnable > 0 || st.live == st.light_live {
+                return st;
+            }
+            match Self::release_next_locked(&mut st) {
+                Release::Thread => {}
+                Release::Light(w) => st = self.run_light_step(st, &w),
+                Release::None => Self::advance_locked(&mut st),
+            }
+        }
+    }
+
+    /// Polls the lightweight task behind `w` once (re-polling immediately
+    /// on zero-duration sleeps), with the state lock dropped and the
+    /// calling OS thread temporarily impersonating the task — so kernel
+    /// operations, chaos draws and lock-order edges performed inside the
+    /// poll are attributed to the task, exactly as if it ran on its own
+    /// thread.
+    fn run_light_step<'a>(
+        &'a self,
+        mut st: RawMutexGuard<'a, State>,
+        w: &Arc<Waiter>,
+    ) -> RawMutexGuard<'a, State> {
+        let mut task = st
+            .light_tasks
+            .remove(&w.id)
+            .expect("lightweight waiter has a registered task");
+        loop {
+            st.stats.light_polls += 1;
+            drop(st);
+            let step = {
+                let _scope = LightScope::enter(self, w);
+                task()
+            };
+            st = self.inner.state.lock();
+            match step {
+                LightStep::Sleep(d) if d.is_zero() => {}
+                LightStep::Sleep(d) => {
+                    let deadline = st
+                        .now
+                        .checked_add(
+                            u64::try_from(d.as_nanos()).expect("sleep duration overflows u64 ns"),
+                        )
+                        .expect("virtual clock overflow");
+                    let seq = st.timer_seq;
+                    st.timer_seq += 1;
+                    st.stats.timers_scheduled += 1;
+                    st.timers.push(Reverse(TimerEntry {
+                        deadline,
+                        seq,
+                        waiter: Arc::clone(w),
+                    }));
+                    w.sync.lock().parked = true;
+                    st.blocked.insert(
+                        w.id,
+                        BlockedInfo {
+                            waiter: Arc::clone(w),
+                            reason: "sleep",
+                            resource: None,
+                        },
+                    );
+                    st.light_tasks.insert(w.id, task);
+                    return st;
+                }
+                LightStep::Done => {
+                    st.live -= 1;
+                    st.light_live -= 1;
+                    return st;
+                }
+            }
+        }
     }
 
     /// Immediately releases `waiter` outside the ready queue. Only used by
@@ -1028,6 +1291,12 @@ impl Kernel {
         if self.inner.flags.load(Ordering::Relaxed) & FLAG_EXPLORING == 0 {
             return;
         }
+        if IN_LIGHT_STEP.with(std::cell::Cell::get) {
+            // A lightweight poll runs *on* the dispatcher; yielding here
+            // would park the dispatch loop on a condvar nothing signals.
+            // Light tasks interleave only at their Sleep boundaries.
+            return;
+        }
         let Some(waiter) = try_current_waiter(self) else {
             return;
         };
@@ -1048,18 +1317,14 @@ impl Kernel {
         if !yield_now {
             return;
         }
-        st.trace.record(step, ChoiceKind::Preempt, 1);
+        Arc::make_mut(&mut st.trace).record(step, ChoiceKind::Preempt, 1);
         // Yield: rejoin the ready queue at the back and run the dispatch
         // loop. No blocked-map entry — the thread is ready, not blocked, so
         // a deadlock cannot be declared while it is queued
         // (release_next_locked always succeeds).
         st.ready.push_back(Arc::clone(&waiter));
         st.runnable -= 1;
-        while st.runnable == 0 {
-            if !Self::release_next_locked(&mut st) {
-                Self::advance_locked(&mut st);
-            }
-        }
+        let st = self.drive(st);
         drop(st);
         let mut ws = waiter.sync.lock();
         while !ws.released {
@@ -1086,8 +1351,16 @@ impl Kernel {
             None => {
                 let report: Arc<str> = Arc::from(Self::deadlock_report_locked(st).as_str());
                 st.deadlock = Some(Arc::clone(&report));
-                let waiters: Vec<Arc<Waiter>> =
-                    st.blocked.values().map(|b| Arc::clone(&b.waiter)).collect();
+                // Broadcast to thread-backed waiters only: a lightweight
+                // task has no parked OS thread to re-raise the report (the
+                // dispatcher below panics with it directly) — it still
+                // appears in the report via the blocked map.
+                let waiters: Vec<Arc<Waiter>> = st
+                    .blocked
+                    .values()
+                    .filter(|b| !b.waiter.light)
+                    .map(|b| Arc::clone(&b.waiter))
+                    .collect();
                 for w in &waiters {
                     w.sync.lock().deadlocked = true;
                     Self::release_now_locked(st, w);
@@ -1127,7 +1400,7 @@ impl Kernel {
                     })
                     .min(due.len() - 1);
                 if picked != 0 {
-                    st.trace.record(step, ChoiceKind::Timer, picked);
+                    Arc::make_mut(&mut st.trace).record(step, ChoiceKind::Timer, picked);
                 }
                 picked
             } else {
@@ -1279,11 +1552,7 @@ impl Kernel {
         if thread::panicking() || st.deadlock.is_some() {
             return;
         }
-        while st.runnable == 0 && st.live > 0 {
-            if !Self::release_next_locked(&mut st) {
-                Self::advance_locked(&mut st);
-            }
-        }
+        let _st = self.drive(st);
     }
 
     pub(crate) fn downgrade(&self) -> WeakKernel {
@@ -1560,6 +1829,17 @@ where
     ctx.kernel.spawn(name, f)
 }
 
+/// Spawns a lightweight task on the current thread's kernel — see
+/// [`Kernel::spawn_light`].
+///
+/// # Panics
+///
+/// Panics if the calling thread is not registered with a kernel.
+pub fn spawn_light(name: impl Into<String>, f: impl FnMut() -> LightStep + Send + 'static) {
+    let ctx = current_ctx("rustwren_sim::spawn_light");
+    ctx.kernel.spawn_light(name, f);
+}
+
 /// The kernel of the current simulated thread.
 ///
 /// # Panics
@@ -1574,6 +1854,13 @@ pub fn kernel() -> Kernel {
 /// that must stay silent off the simulation.
 pub(crate) fn try_kernel() -> Option<Kernel> {
     CURRENT.with(|c| c.borrow().clone()).map(|ctx| ctx.kernel)
+}
+
+/// Applies `f` to the current thread's kernel without cloning the thread
+/// context — the zero-refcount-traffic variant of [`try_kernel`] for
+/// per-request hooks.
+pub(crate) fn try_with_kernel<R>(f: impl FnOnce(&Kernel) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|ctx| f(&ctx.kernel)))
 }
 
 /// Whether the calling thread is a simulated thread of a kernel that is
@@ -1898,5 +2185,201 @@ mod tests {
         });
         // One advance should have woken all ten sleepers.
         assert_eq!(k.stats().clock_advances, 1);
+    }
+
+    // ---- Lightweight tasks (DESIGN §14) ---------------------------------
+
+    /// A light task and a thread doing the same sleep sequence observe the
+    /// same clock, count identically in `threads_started`/`timers_scheduled`
+    /// and interleave in the same FIFO positions.
+    #[test]
+    fn light_task_matches_thread_schedule() {
+        fn run(light: bool) -> (Vec<(String, u64)>, KernelStats, SimInstant) {
+            let k = Kernel::new();
+            let log: Arc<RawMutex<Vec<(String, u64)>>> = Arc::new(RawMutex::new(Vec::new()));
+            let out = Arc::clone(&log);
+            let end = k.run("client", move || {
+                let worker_log = Arc::clone(&log);
+                if light {
+                    let mut phase = 0u32;
+                    spawn_light("worker", move || {
+                        phase += 1;
+                        worker_log
+                            .lock()
+                            .push((format!("w{phase}"), now().as_nanos() / 1_000_000_000));
+                        if phase < 3 {
+                            LightStep::Sleep(Duration::from_secs(2))
+                        } else {
+                            LightStep::Done
+                        }
+                    });
+                } else {
+                    spawn("worker", move || {
+                        for phase in 1..=3u32 {
+                            worker_log
+                                .lock()
+                                .push((format!("w{phase}"), now().as_nanos() / 1_000_000_000));
+                            if phase < 3 {
+                                sleep(Duration::from_secs(2));
+                            }
+                        }
+                    });
+                }
+                for i in 0..3u32 {
+                    sleep(Duration::from_secs(1));
+                    log.lock()
+                        .push((format!("c{i}"), now().as_nanos() / 1_000_000_000));
+                }
+                sleep(Duration::from_secs(10));
+                now()
+            });
+            let events = out.lock().clone();
+            (events, k.stats(), end)
+        }
+        let (ev_thread, st_thread, end_thread) = run(false);
+        let (ev_light, st_light, end_light) = run(true);
+        assert_eq!(ev_thread, ev_light, "identical interleaving");
+        assert_eq!(end_thread, end_light);
+        assert_eq!(st_thread.threads_started, st_light.threads_started);
+        assert_eq!(st_thread.timers_scheduled, st_light.timers_scheduled);
+        assert_eq!(st_thread.clock_advances, st_light.clock_advances);
+        assert_eq!(st_thread.light_polls, 0);
+        assert_eq!(st_light.light_polls, 3);
+    }
+
+    /// Zero-duration sleeps re-poll immediately without scheduling timers,
+    /// mirroring `Kernel::sleep`'s zero no-op.
+    #[test]
+    fn light_task_zero_sleep_repolls_inline() {
+        let k = Kernel::new();
+        let polls = Arc::new(RawMutex::new(0u32));
+        let seen = Arc::clone(&polls);
+        k.run("client", move || {
+            spawn_light("zero", move || {
+                let mut n = seen.lock();
+                *n += 1;
+                if *n < 5 {
+                    LightStep::Sleep(Duration::ZERO)
+                } else {
+                    LightStep::Done
+                }
+            });
+            sleep(Duration::from_secs(1));
+        });
+        assert_eq!(*polls.lock(), 5);
+        assert_eq!(k.stats().light_polls, 5);
+        // Only the client's own sleep scheduled a timer.
+        assert_eq!(k.stats().timers_scheduled, 1);
+    }
+
+    /// Light tasks still pending when the last thread-backed waiter exits
+    /// freeze in place: with no observer left the clock stops, mirroring
+    /// how detached background threads die at process exit. Crucially the
+    /// frozen task does NOT drag virtual time forward past the end of the
+    /// observable program.
+    #[test]
+    fn pending_light_tasks_freeze_at_run_exit() {
+        let k = Kernel::new();
+        let fired = Arc::new(RawMutex::new(false));
+        let flag = Arc::clone(&fired);
+        k.run("client", move || {
+            spawn_light("late", move || {
+                *flag.lock() = true;
+                LightStep::Sleep(Duration::from_secs(3600))
+            });
+        });
+        assert!(!*fired.lock(), "frozen before its first poll");
+        assert_eq!(k.live_threads(), 1, "frozen task still registered");
+        assert_eq!(k.now(), SimInstant::ZERO, "clock did not advance for it");
+        assert_eq!(k.stats().light_polls, 0);
+    }
+
+    /// A light task that tries to block panics with a diagnostic instead of
+    /// wedging the dispatch loop.
+    #[test]
+    fn light_task_blocking_panics_with_diagnostic() {
+        let k = Kernel::new();
+        let err = panic::catch_unwind(AssertUnwindSafe(|| {
+            k.run("client", || {
+                spawn_light("bad", || {
+                    sleep(Duration::from_secs(1)); // blocking — forbidden
+                    LightStep::Done
+                });
+                sleep(Duration::from_secs(5));
+            });
+        }))
+        .expect_err("must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| (*err.downcast_ref::<&str>().unwrap()).to_owned());
+        assert!(
+            msg.contains("lightweight task `bad` attempted a blocking operation"),
+            "got: {msg}"
+        );
+    }
+
+    /// An immortal light poller neither deadlocks the kernel (its timer
+    /// keeps the clock advancing while threads wait) nor wedges
+    /// `Kernel::run`'s exit (it freezes once only light tasks remain).
+    #[test]
+    fn immortal_light_poller_neither_deadlocks_nor_wedges_exit() {
+        let k = Kernel::new();
+        k.run("client", || {
+            spawn_light("ticker", || LightStep::Sleep(Duration::from_secs(1)));
+            sleep(Duration::from_millis(3500));
+        });
+        // Polled at t=0s,1s,2s,3s while the client slept; frozen afterwards.
+        assert_eq!(k.stats().light_polls, 4);
+        assert_eq!(k.now(), SimInstant::ZERO + Duration::from_millis(3500));
+    }
+
+    /// Waiter names are interned: holder registration shares the waiter's
+    /// `Arc<str>` instead of cloning the string (the id-table micro-test).
+    #[test]
+    fn holder_registration_shares_interned_name() {
+        let k = Kernel::new();
+        let res = k.create_resource("semaphore", "gate");
+        k.run("client", move || {
+            let k = kernel();
+            k.hold_resource(res);
+            let ctx = CURRENT.with(|c| c.borrow().clone()).expect("registered");
+            let st = k.lock_state();
+            let holders = &st.resources[&res.0].holders;
+            assert_eq!(holders.len(), 1);
+            assert_eq!(holders[0].0, ctx.waiter.id);
+            assert!(
+                Arc::ptr_eq(&holders[0].1, &ctx.waiter.name),
+                "holder entry shares the interned name"
+            );
+        });
+    }
+
+    /// `schedule_trace` snapshots are frozen at the moment they are taken;
+    /// later recording copies-on-write instead of mutating the snapshot.
+    #[test]
+    fn schedule_trace_snapshot_is_frozen() {
+        let k = Kernel::new();
+        k.set_scheduler(Box::new(crate::sched::RandomScheduler::new(7)));
+        let before = k.schedule_trace();
+        assert!(before.entries.is_empty());
+        k.run("client", || {
+            let hs: Vec<_> = (0..4)
+                .map(|i| {
+                    spawn(format!("t{i}"), move || {
+                        sleep(Duration::from_millis(10 * (i + 1) as u64));
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+        });
+        let after = k.schedule_trace();
+        assert!(before.entries.is_empty(), "snapshot unchanged");
+        assert!(
+            !after.entries.is_empty(),
+            "random schedule recorded decisions"
+        );
     }
 }

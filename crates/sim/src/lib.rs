@@ -66,7 +66,8 @@ pub use chaos::{
     ChaosEngine, ChaosStats, CorruptMode, FaultPlan, FaultRecord, PathScope, TimeWindow,
 };
 pub use kernel::{
-    exploring, kernel, now, sleep, spawn, Kernel, KernelStats, ResourceId, SimJoinHandle,
+    exploring, kernel, now, sleep, spawn, spawn_light, Kernel, KernelStats, LightStep, ResourceId,
+    SimJoinHandle,
 };
 pub use net::NetworkProfile;
 pub use order::{CondvarObs, LockInstance, OrderEdge, RunOrderReport, SyncKind, VectorClock};

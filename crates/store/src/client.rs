@@ -14,12 +14,79 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use rustwren_sim::hash::{hash2, hash_str};
+use rustwren_sim::hash::{hash2, StrHasher};
 use rustwren_sim::NetworkProfile;
 
 use crate::error::StoreError;
 use crate::object::{BucketMeta, ObjectMeta};
 use crate::store::ObjectStore;
+
+/// A COS request identity assembled from parts. Displays as the classic
+/// `"VERB bucket/key…"` form, and hashes to exactly
+/// `hash_str(&format!(...))` of that form **without** building the string
+/// — one `String` per request on the old hot path, now only materialized
+/// on the cold paths that show it to a human (chaos fault logs, terminal
+/// network errors).
+#[derive(Clone, Copy)]
+struct CosOp<'a> {
+    verb: &'static str,
+    bucket: &'a str,
+    /// The object key (or LIST prefix); `None` for bucket-level ops.
+    key: Option<&'a str>,
+    suffix: OpSuffix,
+}
+
+#[derive(Clone, Copy)]
+enum OpSuffix {
+    None,
+    /// A fixed tail like `" complete"` or the LIST wildcard `"*"`.
+    Const(&'static str),
+    /// `"[{start}..{end}]"` — a range GET.
+    Range(u64, u64),
+    /// `" part {lane}.{index}"` — one multipart-upload part.
+    Part(usize, usize),
+}
+
+impl<'a> CosOp<'a> {
+    fn new(verb: &'static str, bucket: &'a str, key: Option<&'a str>) -> CosOp<'a> {
+        CosOp {
+            verb,
+            bucket,
+            key,
+            suffix: OpSuffix::None,
+        }
+    }
+
+    fn with_suffix(mut self, suffix: OpSuffix) -> CosOp<'a> {
+        self.suffix = suffix;
+        self
+    }
+
+    /// `hash_str` of the display form, folded incrementally over the
+    /// parts (the `Display` impl drives a [`StrHasher`], which cannot
+    /// fail, so the discarded `fmt::Result` is always `Ok`).
+    fn path_hash(&self) -> u64 {
+        use fmt::Write as _;
+        let mut h = StrHasher::new();
+        let _ = write!(h, "{self}");
+        h.finish()
+    }
+}
+
+impl fmt::Display for CosOp<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.verb, self.bucket)?;
+        if let Some(key) = self.key {
+            write!(f, "/{key}")?;
+        }
+        match self.suffix {
+            OpSuffix::None => Ok(()),
+            OpSuffix::Const(s) => f.write_str(s),
+            OpSuffix::Range(start, end) => write!(f, "[{start}..{end}]"),
+            OpSuffix::Part(lane, i) => write!(f, " part {lane}.{i}"),
+        }
+    }
+}
 
 /// Live operation counters shared by every clone of a [`CosClient`].
 ///
@@ -246,21 +313,26 @@ impl CosClient {
     }
 
     /// Charges one operation against the network and any installed chaos
-    /// engine; `op` is the display form for errors and fault logs, while
-    /// `bucket`/`key` let scoped faults (outages, brownouts) match the
-    /// request. Returns the token of the successful attempt so callers can
-    /// derive further deterministic draws (e.g. GET corruption) without
-    /// consuming extra sequence numbers.
+    /// engine; `op` is the request identity whose display form appears in
+    /// errors and fault logs, while `bucket`/`key` let scoped faults
+    /// (outages, brownouts) match the request. Returns the token of the
+    /// successful attempt so callers can derive further deterministic
+    /// draws (e.g. GET corruption) without consuming extra sequence
+    /// numbers.
     fn charge(
         &self,
-        op: &str,
+        op: CosOp<'_>,
         bucket: &str,
         key: &str,
         payload: u64,
         service: Duration,
     ) -> Result<u64, StoreError> {
         let chaos = rustwren_sim::chaos::current();
-        let path = hash_str(op);
+        // The display form is only observable through an installed chaos
+        // engine's fault log or the terminal network error; the common
+        // path hashes the parts without materializing the string.
+        let op_str = chaos.as_ref().map(|_| op.to_string());
+        let path = op.path_hash();
         let mut attempt = 0;
         loop {
             attempt += 1;
@@ -271,15 +343,16 @@ impl CosClient {
             let token = hash2(self.seed, hash2(path, rustwren_sim::now().as_nanos()));
             let cost = self.net.request_cost(payload, token) + service;
             rustwren_sim::sleep(cost);
-            let injected = chaos
-                .as_deref()
-                .is_some_and(|c| c.cos_attempt_fails(op, bucket, key, token));
+            let injected = match (chaos.as_deref(), op_str.as_deref()) {
+                (Some(c), Some(s)) => c.cos_attempt_fails(s, bucket, key, token),
+                _ => false,
+            };
             if !injected && !self.net.fails(token) {
                 return Ok(token);
             }
             if attempt >= self.max_attempts {
                 return Err(StoreError::Network {
-                    op: op.to_owned(),
+                    op: op_str.unwrap_or_else(|| op.to_string()),
                     attempts: attempt,
                 });
             }
@@ -313,7 +386,7 @@ impl CosClient {
             .bytes_out
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.charge(
-            &format!("PUT {bucket}/{key}"),
+            CosOp::new("PUT", bucket, Some(key)),
             bucket,
             key,
             data.len() as u64,
@@ -372,7 +445,8 @@ impl CosClient {
                             .bytes_out
                             .fetch_add((end - start) as u64, Ordering::Relaxed);
                         client.charge(
-                            &format!("PUT {bucket}/{key} part {lane}.{i}"),
+                            CosOp::new("PUT", &bucket, Some(&key))
+                                .with_suffix(OpSuffix::Part(lane, i)),
                             &bucket,
                             &key,
                             (end - start) as u64,
@@ -394,7 +468,7 @@ impl CosClient {
         }
         // Complete-multipart-upload request.
         self.charge(
-            &format!("POST {bucket}/{key} complete"),
+            CosOp::new("POST", bucket, Some(key)).with_suffix(OpSuffix::Const(" complete")),
             bucket,
             key,
             512,
@@ -417,7 +491,7 @@ impl CosClient {
             .bytes_in
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         let token = self.charge(
-            &format!("GET {bucket}/{key}"),
+            CosOp::new("GET", bucket, Some(key)),
             bucket,
             key,
             data.len() as u64,
@@ -445,7 +519,7 @@ impl CosClient {
             .bytes_in
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         let token = self.charge(
-            &format!("GET {bucket}/{key}[{start}..{end}]"),
+            CosOp::new("GET", bucket, Some(key)).with_suffix(OpSuffix::Range(start, end)),
             bucket,
             key,
             data.len() as u64,
@@ -463,7 +537,7 @@ impl CosClient {
     pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
         self.counters.count(&self.counters.heads);
         self.charge(
-            &format!("HEAD {bucket}/{key}"),
+            CosOp::new("HEAD", bucket, Some(key)),
             bucket,
             key,
             256,
@@ -481,7 +555,7 @@ impl CosClient {
     pub fn head_bucket(&self, bucket: &str) -> Result<BucketMeta, StoreError> {
         self.counters.count(&self.counters.heads);
         self.charge(
-            &format!("HEAD {bucket}"),
+            CosOp::new("HEAD", bucket, None),
             bucket,
             "",
             256,
@@ -501,7 +575,7 @@ impl CosClient {
         let entries = self.store.list(bucket, prefix)?;
         let batches = (entries.len() as u64).div_ceil(1_000).max(1) as u32;
         self.charge(
-            &format!("LIST {bucket}/{prefix}*"),
+            CosOp::new("LIST", bucket, Some(prefix)).with_suffix(OpSuffix::Const("*")),
             bucket,
             prefix,
             entries.len() as u64 * self.costs.list_entry_bytes,
@@ -519,7 +593,7 @@ impl CosClient {
     pub fn delete(&self, bucket: &str, key: &str) -> Result<(), StoreError> {
         self.counters.count(&self.counters.deletes);
         self.charge(
-            &format!("DELETE {bucket}/{key}"),
+            CosOp::new("DELETE", bucket, Some(key)),
             bucket,
             key,
             64,
@@ -536,7 +610,7 @@ impl CosClient {
     pub fn exists(&self, bucket: &str, key: &str) -> Result<bool, StoreError> {
         self.counters.count(&self.counters.heads);
         self.charge(
-            &format!("HEAD {bucket}/{key}"),
+            CosOp::new("HEAD", bucket, Some(key)),
             bucket,
             key,
             256,
@@ -551,6 +625,41 @@ mod tests {
     use super::*;
     use rustwren_sim::Kernel;
     use std::sync::Arc;
+
+    /// Token-stream parity: the zero-alloc op identity must hash exactly
+    /// like the `format!`ed strings the client used to build, or every
+    /// recorded timing/fault stream would silently shift.
+    #[test]
+    fn cos_op_hashes_like_the_formatted_string() {
+        use rustwren_sim::hash::hash_str;
+        let cases: [(CosOp<'_>, String); 6] = [
+            (
+                CosOp::new("PUT", "b", Some("k")),
+                format!("PUT {}/{}", "b", "k"),
+            ),
+            (CosOp::new("HEAD", "b", None), format!("HEAD {}", "b")),
+            (
+                CosOp::new("GET", "b", Some("k")).with_suffix(OpSuffix::Range(0, 65_536)),
+                format!("GET {}/{}[{}..{}]", "b", "k", 0, 65_536),
+            ),
+            (
+                CosOp::new("LIST", "b", Some("pre/")).with_suffix(OpSuffix::Const("*")),
+                format!("LIST {}/{}*", "b", "pre/"),
+            ),
+            (
+                CosOp::new("PUT", "b", Some("k")).with_suffix(OpSuffix::Part(3, 7)),
+                format!("PUT {}/{} part {}.{}", "b", "k", 3, 7),
+            ),
+            (
+                CosOp::new("POST", "b", Some("k")).with_suffix(OpSuffix::Const(" complete")),
+                format!("POST {}/{} complete", "b", "k"),
+            ),
+        ];
+        for (op, wanted) in cases {
+            assert_eq!(op.to_string(), wanted);
+            assert_eq!(op.path_hash(), hash_str(&wanted), "op {wanted}");
+        }
+    }
 
     fn setup(net: NetworkProfile) -> (Kernel, CosClient) {
         let kernel = Kernel::new();

@@ -303,7 +303,7 @@ where
     }
     RunOutcome {
         result: result.map_err(|p| panic_text(p.as_ref())),
-        trace: kernel.schedule_trace(),
+        trace: kernel.schedule_trace().as_ref().clone(),
         orders: kernel.take_order_report(),
     }
 }

@@ -1,0 +1,377 @@
+//! Bitwise-equivalence suite for the kernel fast path (DESIGN §14).
+//!
+//! Each scenario runs a full workload on a fresh kernel and folds
+//! everything an observer could see — results, kernel counters, the final
+//! virtual clock, and the `RUSTWREN_SCHEDULE` trace token — into one
+//! fingerprint string. The goldens below were captured on the
+//! pre-refactor, fully thread-backed kernel; the lightweight-task /
+//! sharded-store / zero-alloc refactor must reproduce every one of them
+//! bit for bit.
+//!
+//! To re-bless after an *intentional* semantic change (new choice points,
+//! different workload shape), run:
+//!
+//! ```text
+//! RUSTWREN_BLESS=1 cargo test --test kernel_equiv -- --nocapture
+//! ```
+//!
+//! and paste the printed fingerprints over the constants — but note that
+//! for this suite, needing to re-bless *is* the failure mode the suite
+//! exists to catch: the kernel fast path promises determinism is
+//! preserved, not merely re-established.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rustwren::core::{
+    DataSource, ExchangeMode, MapReduceOpts, Partitioner, RetryPolicy, ShuffleOpts, ShufflePlane,
+    SimCloud, SpeculationConfig, TaskCtx, Value,
+};
+use rustwren::faas::{ActivationId, InvokeError, KeepAlivePolicy, PlatformConfig, TenantConfig};
+use rustwren::sim::hash::{hash2, hash_str};
+use rustwren::sim::{Kernel, NetworkProfile, RandomScheduler};
+use rustwren::workloads::cloudsort::{self, CloudSortConfig};
+use rustwren::workloads::serving::{self, BurstWindow, TenantTraffic, TraceConfig, SERVE_FN};
+
+/// Folds a stream of strings into a single order-sensitive digest.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(0x9E37_79B9_7F4A_7C15)
+    }
+    fn add(&mut self, part: &str) {
+        self.0 = hash2(self.0, hash_str(part));
+    }
+    fn add_dbg(&mut self, part: &impl std::fmt::Debug) {
+        self.add(&format!("{part:?}"));
+    }
+}
+
+/// Everything observable about a finished run, captured *inside* the
+/// simulation (while the client is the only running thread, so every
+/// field is a pure function of program order).
+fn seal(kernel: &Kernel, digest: Digest) -> String {
+    let st = kernel.stats();
+    format!(
+        "r={:016x} adv={} tmr={} thr={} vt={} trace={}",
+        digest.0,
+        st.clock_advances,
+        st.timers_scheduled,
+        st.threads_started,
+        kernel.now().as_nanos(),
+        kernel.schedule_trace().token(),
+    )
+}
+
+fn cloud_on(kernel: Kernel) -> SimCloud {
+    SimCloud::builder()
+        .seed(7)
+        .client_network(NetworkProfile::lan())
+        .kernel(kernel)
+        .build()
+}
+
+/// 6-task map with retry + speculation — the executor's concurrency-heavy
+/// configuration (pending sets, backoff timers, duplicate completions).
+fn map_scenario(kernel: Kernel) -> String {
+    let cloud = cloud_on(kernel.clone());
+    cloud.register_fn("add7", |_ctx: &TaskCtx, x: Value| {
+        Ok(Value::Int(x.as_i64().ok_or("int")? + 7))
+    });
+    cloud.run(|| {
+        let exec = cloud
+            .executor()
+            .retry(RetryPolicy::with_attempts(3))
+            .speculation(SpeculationConfig::on())
+            .build()
+            .unwrap();
+        exec.map("add7", (0..6).map(Value::Int).collect::<Vec<_>>())
+            .unwrap();
+        let results = exec.get_result().unwrap();
+        let mut d = Digest::new();
+        for v in &results {
+            d.add_dbg(v);
+        }
+        seal(&kernel, d)
+    })
+}
+
+/// map_reduce over the same executor configuration.
+fn map_reduce_scenario(kernel: Kernel) -> String {
+    let cloud = cloud_on(kernel.clone());
+    cloud.register_fn("double", |_ctx: &TaskCtx, x: Value| {
+        Ok(Value::Int(x.as_i64().ok_or("int")? * 2))
+    });
+    cloud.register_fn("sum", |_ctx: &TaskCtx, input: Value| {
+        let total: i64 = input
+            .req_list("results")?
+            .iter()
+            .filter_map(Value::as_i64)
+            .sum();
+        Ok(Value::Int(total))
+    });
+    cloud.run(|| {
+        let exec = cloud
+            .executor()
+            .retry(RetryPolicy::with_attempts(3))
+            .speculation(SpeculationConfig::on())
+            .build()
+            .unwrap();
+        exec.map_reduce(
+            "double",
+            DataSource::Values((1..=5).map(Value::Int).collect()),
+            "sum",
+            MapReduceOpts::default(),
+        )
+        .unwrap();
+        let results = exec.get_result().unwrap();
+        let mut d = Digest::new();
+        for v in &results {
+            d.add_dbg(v);
+        }
+        seal(&kernel, d)
+    })
+}
+
+/// Small CloudSort on the partitioned shuffle plane with a combiner —
+/// exercises the store (staging, intermediate exchange, LIST storms) and
+/// the shuffle data plane end to end.
+fn cloudsort_scenario(kernel: Kernel) -> String {
+    let cfg = CloudSortConfig {
+        maps: 6,
+        reducers: 4,
+        logical_bytes: 60_000_000,
+        record_bytes: 100,
+        samples_per_map: 32,
+        seed: 9,
+    };
+    let cloud = SimCloud::builder()
+        .seed(9)
+        .client_network(NetworkProfile::lan())
+        .kernel(kernel.clone())
+        .build();
+    cloudsort::register(&cloud);
+    cloudsort::stage(cloud.store(), "cloudsort", &cfg).expect("stages");
+    let part = Partitioner::range_from_samples(cloudsort::sample_keys(&cfg), cfg.reducers);
+    cloud.run(|| {
+        let exec = cloud.executor().build().unwrap();
+        cloudsort::submit(
+            &exec,
+            "cloudsort",
+            &cfg,
+            ShuffleOpts {
+                plane: ShufflePlane::Partitioned,
+                exchange: ExchangeMode::Cos,
+                partitioner: part.clone(),
+                combiner: Some(cloudsort::CLOUDSORT_COMBINE_FN.into()),
+                ..ShuffleOpts::default()
+            },
+        )
+        .unwrap();
+        let results = exec.get_result().unwrap();
+        let reports = cloudsort::verify(&results, &cfg).expect("sort invariants hold");
+        let mut d = Digest::new();
+        for r in &reports {
+            d.add_dbg(r);
+        }
+        seal(&kernel, d)
+    })
+}
+
+/// Two-tenant burst trace under the hybrid keep-alive policy — drives the
+/// admission plane, warm-pool accounting, and the prewarm timers the
+/// light-task runtime absorbs.
+fn burst_scenario(kernel: Kernel) -> String {
+    let traffic = vec![
+        TenantTraffic::periodic("alpha", Duration::from_secs(4)),
+        TenantTraffic::poisson("beta", 0.8).with_burst(BurstWindow {
+            start: Duration::from_secs(20),
+            len: Duration::from_secs(15),
+            multiplier: 6.0,
+        }),
+    ];
+    let horizon = Duration::from_secs(60);
+    let cloud = SimCloud::builder()
+        .seed(7)
+        .client_network(NetworkProfile::lan())
+        .platform(PlatformConfig {
+            concurrency_limit: 8,
+            keep_alive: Some(KeepAlivePolicy::hybrid(Duration::from_secs(6))),
+            tenants: vec![
+                TenantConfig::new("alpha", 4).queue_depth(32),
+                TenantConfig::new("beta", 4).queue_depth(32),
+            ],
+            ..PlatformConfig::default()
+        })
+        .kernel(kernel.clone())
+        .build();
+    serving::register(cloud.functions()).expect("register serve action");
+    let trace = serving::generate(&traffic, &TraceConfig { horizon, seed: 7 });
+    let faas = cloud.functions().clone();
+    type DriverOut = (usize, Vec<ActivationId>, u64, u64);
+    let collected: Arc<Mutex<Vec<DriverOut>>> = Arc::new(Mutex::new(Vec::new()));
+    cloud.run(|| {
+        let origin = rustwren_sim::now();
+        let handles: Vec<_> = traffic
+            .iter()
+            .enumerate()
+            .map(|(idx, t)| {
+                let arrivals: Vec<serving::Arrival> =
+                    trace.iter().filter(|a| a.tenant == idx).copied().collect();
+                let faas = faas.clone();
+                let ns = t.namespace.clone();
+                let collected = Arc::clone(&collected);
+                rustwren_sim::spawn(format!("driver-{ns}"), move || {
+                    let mut ids = Vec::new();
+                    let (mut throttled, mut shed) = (0u64, 0u64);
+                    for a in arrivals {
+                        let target = origin + a.at;
+                        let now = rustwren_sim::now();
+                        if target > now {
+                            rustwren_sim::sleep(target.duration_since(now));
+                        }
+                        match faas.invoke_in(&ns, SERVE_FN, serving::payload(a.exec)) {
+                            Ok(id) => ids.push(id),
+                            Err(InvokeError::Throttled { .. }) => throttled += 1,
+                            Err(InvokeError::ShedLoad { .. }) => shed += 1,
+                            Err(e) => panic!("driver {ns}: unexpected invoke error: {e}"),
+                        }
+                    }
+                    collected.lock().unwrap().push((idx, ids, throttled, shed));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        let mut drivers = collected.lock().unwrap().clone();
+        drivers.sort_by_key(|(idx, ..)| *idx);
+        let mut d = Digest::new();
+        for (idx, ids, throttled, shed) in drivers {
+            let ok = ids.iter().filter(|&&id| faas.wait(id).is_success()).count();
+            d.add(&format!("tenant={idx} ok={ok} thr={throttled} shed={shed}"));
+        }
+        for ns in ["alpha", "beta"] {
+            d.add_dbg(&faas.tenant_stats(ns).unwrap());
+        }
+        seal(&kernel, d)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Goldens. `FIFO_*` were captured on the pre-refactor kernel (every
+// simulated thread backed by an OS thread, unsharded store) and pin
+// results + stats + virtual timing under the default FIFO scheduler.
+// `RAND_*` pin the choice-point sequence (`RUSTWREN_SCHEDULE` token) under
+// the seeded random scheduler — the proof that the refactor presents the
+// verifier with the identical interleaving space.
+// ---------------------------------------------------------------------------
+
+const BLESS_ENV: &str = "RUSTWREN_BLESS";
+
+fn check(label: &str, golden: &str, got: &str) {
+    if std::env::var(BLESS_ENV).is_ok() {
+        println!("GOLDEN {label} = \"{got}\"");
+        return;
+    }
+    assert_eq!(
+        got, golden,
+        "{label}: fingerprint diverged from the pre-refactor kernel"
+    );
+}
+
+/// Seeds for the random-scheduler trace goldens. Chosen arbitrarily;
+/// what matters is that the recorded token is stable across the refactor.
+const RAND_SEEDS: [u64; 2] = [11, 4242];
+
+fn with_random(kernel: &Kernel, seed: u64) {
+    kernel.set_scheduler(Box::new(
+        RandomScheduler::new(seed).with_preempt_probability(0.05),
+    ));
+}
+
+#[test]
+fn map_fifo_fingerprint_is_stable() {
+    check("FIFO_MAP", FIFO_MAP, &map_scenario(Kernel::new()));
+}
+
+#[test]
+fn map_reduce_fifo_fingerprint_is_stable() {
+    check(
+        "FIFO_MAP_REDUCE",
+        FIFO_MAP_REDUCE,
+        &map_reduce_scenario(Kernel::new()),
+    );
+}
+
+#[test]
+fn cloudsort_fifo_fingerprint_is_stable() {
+    check(
+        "FIFO_CLOUDSORT",
+        FIFO_CLOUDSORT,
+        &cloudsort_scenario(Kernel::new()),
+    );
+}
+
+#[test]
+fn burst_trace_fifo_fingerprint_is_stable() {
+    check("FIFO_BURST", FIFO_BURST, &burst_scenario(Kernel::new()));
+}
+
+#[test]
+fn map_random_schedule_fingerprints_are_stable() {
+    for (i, &seed) in RAND_SEEDS.iter().enumerate() {
+        let kernel = Kernel::new();
+        with_random(&kernel, seed);
+        check(
+            &format!("RAND_MAP[{i}]"),
+            RAND_MAP[i],
+            &map_scenario(kernel),
+        );
+    }
+}
+
+#[test]
+fn map_reduce_random_schedule_fingerprints_are_stable() {
+    for (i, &seed) in RAND_SEEDS.iter().enumerate() {
+        let kernel = Kernel::new();
+        with_random(&kernel, seed);
+        check(
+            &format!("RAND_MAP_REDUCE[{i}]"),
+            RAND_MAP_REDUCE[i],
+            &map_reduce_scenario(kernel),
+        );
+    }
+}
+
+#[test]
+fn cloudsort_random_schedule_fingerprints_are_stable() {
+    for (i, &seed) in RAND_SEEDS.iter().enumerate() {
+        let kernel = Kernel::new();
+        with_random(&kernel, seed);
+        check(
+            &format!("RAND_CLOUDSORT[{i}]"),
+            RAND_CLOUDSORT[i],
+            &cloudsort_scenario(kernel),
+        );
+    }
+}
+
+// Captured with RUSTWREN_BLESS=1 on the pre-refactor kernel (PR 8 tree).
+const FIFO_MAP: &str = "r=610214d1d0716dec adv=42 tmr=54 thr=18 vt=2775363273 trace=v1:";
+const FIFO_MAP_REDUCE: &str = "r=dd2c71163533fe08 adv=50 tmr=62 thr=13 vt=2883966541 trace=v1:";
+const FIFO_CLOUDSORT: &str = "r=9a876e1b9c41e132 adv=114 tmr=135 thr=24 vt=3950871359 trace=v1:";
+const FIFO_BURST: &str = "r=7b0471a08affaf50 adv=312 tmr=312 thr=104 vt=59766401093 trace=v1:";
+const RAND_MAP: [&str; 2] = [
+    "r=610214d1d0716dec adv=42 tmr=54 thr=18 vt=2775363273 trace=v1:0p1,1r4,3r1,6t2,8t1,9t2,18p1,29t3,30t3,31t1,32t1,34t3,38r4,42r3,44r1,45p1,46r1",
+    "r=610214d1d0716dec adv=42 tmr=54 thr=18 vt=2775363273 trace=v1:3r2,4r1,5t1,14r1,24t4,25t3,26t1,27t1,28t3,30t1,31t1,33r3,35r4,37r2,39r2,41r1",
+];
+const RAND_MAP_REDUCE: [&str; 2] = [
+    "r=dd2c71163533fe08 adv=50 tmr=62 thr=13 vt=2883966541 trace=v1:0p1,1r4,3r1,6t2,8t1,14t2,29t3,30t3,31t1,32t1,34t3",
+    "r=dd2c71163533fe08 adv=50 tmr=62 thr=13 vt=2883966541 trace=v1:3r2,4r1,5t1,9r1,23r1,29t4,30t3,32t1,33t1,35t1",
+];
+const RAND_CLOUDSORT: [&str; 2] = [
+    "r=9a876e1b9c41e132 adv=114 tmr=135 thr=24 vt=3950871359 trace=v1:0p1,1r4,3r1,6t2,8t1,9t2,18p1,30r1,31r1,32t1,34t2,47t3,48t1,50t1,51t3,52t2,55t1,56t2,57t1,58t3,62r2,64r1",
+    "r=9a876e1b9c41e132 adv=114 tmr=135 thr=24 vt=3950871359 trace=v1:3r2,4r1,5t1,14r1,24r3,25r2,26r1,27t1,29t2,36p1,46t3,47t2,51t2,53t1,54t1,55t1,57t1,58t1,59t1,65r1",
+];

@@ -178,6 +178,90 @@ fn tenant_admission_is_schedule_independent() {
     );
 }
 
+/// A mixed lightweight/thread-backed scenario aimed at the light-task
+/// wakeup plumbing. Eight light state-machine tasks (two sleep phases
+/// each, staggered durations) signal a [`WaitGroup`] that a thread-backed
+/// aggregator blocks on, and one of them additionally fires an [`Event`]
+/// gating a thread-backed observer. Light polls run on the dispatcher
+/// thread, so a schedule that preempts between a poll and the gate firing
+/// must still wake every waiter — the sweep asserts no lost wakeups and
+/// that completion counts and the final virtual clock are bitwise
+/// schedule-independent.
+fn light_task_job(kernel: Kernel) -> (usize, usize, u64, u64) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use rustwren::sim::sync::{Event, WaitGroup};
+    use rustwren::sim::LightStep;
+
+    let k = kernel.clone();
+    kernel.run("client", move || {
+        let done = Arc::new(AtomicUsize::new(0));
+        let wg = WaitGroup::new(&k);
+        let gate = Event::named(&k, "light-0-done");
+        wg.add(8);
+        for i in 0..8usize {
+            let done = Arc::clone(&done);
+            let wg = wg.clone();
+            let gate = gate.clone();
+            let mut phase = 0u8;
+            rustwren_sim::spawn_light(format!("light-{i}"), move || match phase {
+                0 => {
+                    phase = 1;
+                    LightStep::Sleep(Duration::from_millis(5 + (i as u64 % 3) * 10))
+                }
+                1 => {
+                    phase = 2;
+                    LightStep::Sleep(Duration::from_millis(20))
+                }
+                _ => {
+                    done.fetch_add(1, Ordering::Relaxed);
+                    if i == 0 {
+                        gate.fire();
+                    }
+                    wg.done();
+                    LightStep::Done
+                }
+            });
+        }
+        let observer = rustwren_sim::spawn("observer", {
+            let gate = gate.clone();
+            move || {
+                gate.wait();
+                rustwren_sim::now().as_nanos()
+            }
+        });
+        let aggregator = rustwren_sim::spawn("aggregator", {
+            let wg = wg.clone();
+            let done = Arc::clone(&done);
+            move || {
+                wg.wait();
+                done.load(Ordering::Relaxed)
+            }
+        });
+        let gate_vt = observer.join();
+        let all_done = aggregator.join();
+        (
+            all_done,
+            done.load(Ordering::Relaxed),
+            gate_vt,
+            rustwren_sim::now().as_nanos(),
+        )
+    })
+}
+
+#[test]
+fn light_tasks_are_schedule_independent_with_no_lost_wakeups() {
+    let report = explore(light_task_job, &budget(404, "sweep-light-tasks"));
+    assert!(report.ok(), "{report}");
+    assert_eq!(report.schedules, SCHEDULES + 1);
+    assert!(
+        report.lock_orders.cycles.is_empty() && report.lock_orders.lost_wakeups.is_empty(),
+        "{report}"
+    );
+}
+
 /// Exports the dynamic lock-exercise inventory for rustwren-lint's L007
 /// cross-check (`target/verify/lock-exercise.txt`). A small budget is
 /// enough: L007 only asks whether each lock *kind* was ever exercised, not
