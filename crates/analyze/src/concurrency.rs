@@ -97,6 +97,14 @@ pub struct LockOrderReport {
     /// cross-check: static lock sites of a kind absent here were never
     /// exercised, so a clean verdict says nothing about them.
     pub instances: Vec<LockInstance>,
+    /// Kind-level projection of the exercised lock-order edges: `(held,
+    /// acquired)` when some schedule acquired an `acquired`-kind object
+    /// while holding a `held`-kind one. This is the dynamic half of
+    /// rustwren-lint's L011 cross-check — a static nesting order whose
+    /// kind pair is absent here was never driven by any explored
+    /// schedule, so the deadlock detector's clean verdict does not cover
+    /// it.
+    pub kind_edges: BTreeSet<(SyncKind, SyncKind)>,
 }
 
 impl LockOrderReport {
@@ -219,11 +227,17 @@ pub fn merge_reports(reports: &[RunOrderReport]) -> LockOrderReport {
         .map(|((key, label), kind)| LockInstance { key, kind, label })
         .collect();
 
+    let kind_edges = edges
+        .keys()
+        .map(|&(from, to)| (kinds[from], kinds[to]))
+        .collect();
+
     LockOrderReport {
         cycles,
         lost_wakeups,
         runs: reports.len(),
         instances,
+        kind_edges,
     }
 }
 

@@ -135,6 +135,7 @@ pub(crate) fn spawn_tasks(
     let count = payloads.len();
     let strategy = strategy.resolve_for(count);
     match &strategy {
+        // lint: allow(L009) — resolve_for never returns Auto by contract
         SpawnStrategy::Auto { .. } => unreachable!("resolve_for returns a concrete strategy"),
         SpawnStrategy::Direct { client_threads } => {
             // Degenerate values are rejected at executor build time; a zero
@@ -219,6 +220,7 @@ fn parallel_invoke(
         match h.join() {
             Ok(pairs) => {
                 for (i, id) in pairs {
+                    // lint: allow(L009) — i indexes the preallocated ids vec
                     ids[i] = Some(id);
                 }
             }
@@ -237,6 +239,7 @@ fn parallel_invoke(
 fn chunk_round_robin<T>(items: Vec<T>, n: usize) -> Vec<Vec<T>> {
     let mut chunks: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
     for (i, item) in items.into_iter().enumerate() {
+        // lint: allow(L009) — `% n` keeps the index in bounds
         chunks[i % n].push(item);
     }
     chunks.retain(|c| !c.is_empty());

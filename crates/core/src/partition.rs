@@ -291,6 +291,7 @@ fn find_newline(buf: &[u8], from: usize) -> Option<usize> {
     if from >= buf.len() {
         return None;
     }
+    // lint: allow(L009) — from < buf.len() is guarded above
     buf[from..]
         .iter()
         .position(|&b| b == b'\n')

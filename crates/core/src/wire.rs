@@ -152,14 +152,18 @@ pub fn stamp(payload: &[u8]) -> Bytes {
 /// [`WireError::ChecksumMismatch`] when the payload's recomputed checksum
 /// disagrees with the stamp.
 pub fn verify_stamped(data: &[u8]) -> Result<&[u8], WireError> {
-    if data.len() < STAMP_LEN || data[0] != STAMP_MAGIC {
+    if data.first() != Some(&STAMP_MAGIC) {
         return Err(WireError::MissingStamp);
     }
-    let Ok(header) = data[1..STAMP_LEN].try_into() else {
+    let Ok(header) = data
+        .get(1..STAMP_LEN)
+        .ok_or(WireError::MissingStamp)?
+        .try_into()
+    else {
         return Err(WireError::MissingStamp);
     };
     let expected = u64::from_le_bytes(header);
-    let payload = &data[STAMP_LEN..];
+    let payload = data.get(STAMP_LEN..).ok_or(WireError::MissingStamp)?;
     let actual = checksum64(payload);
     if actual != expected {
         return Err(WireError::ChecksumMismatch { expected, actual });
@@ -479,21 +483,28 @@ struct Cursor<'a> {
 
 impl Cursor<'_> {
     fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
-        if self.pos + n > self.data.len() {
-            return Err(WireError::UnexpectedEof);
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::UnexpectedEof)?;
+        let s = self
+            .data
+            .get(self.pos..end)
+            .ok_or(WireError::UnexpectedEof)?;
+        self.pos = end;
         Ok(s)
     }
 
     fn read_u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or(WireError::UnexpectedEof)
     }
 
     fn read_u32(&mut self) -> Result<u32, WireError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| WireError::UnexpectedEof)?;
+        Ok(u32::from_le_bytes(b))
     }
 
     fn read_str(&mut self) -> Result<String, WireError> {

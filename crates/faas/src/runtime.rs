@@ -52,6 +52,11 @@ impl RuntimeImage {
     }
 }
 
+/// A writer held the registry lock during a
+/// [`DockerRegistry::try_get`]; retry later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryBusy;
+
 /// A shared Docker-Hub-like registry of runtime images. Cheap to clone.
 ///
 /// A fresh registry already contains [`DEFAULT_RUNTIME`] with the common
@@ -100,6 +105,16 @@ impl DockerRegistry {
         self.images.read().get(name).cloned()
     }
 
+    /// Non-blocking [`get`](DockerRegistry::get): `Err(RegistryBusy)` when
+    /// a writer holds the registry lock. Used from light tasks, which run
+    /// on a borrowed stack and must never park on a contended lock.
+    pub fn try_get(&self, name: &str) -> Result<Option<RuntimeImage>, RegistryBusy> {
+        match self.images.try_read() {
+            Some(images) => Ok(images.get(name).cloned()),
+            None => Err(RegistryBusy),
+        }
+    }
+
     /// Whether an image exists.
     pub fn contains(&self, name: &str) -> bool {
         self.images.read().contains_key(name)
@@ -132,6 +147,19 @@ mod tests {
         let img = reg.get("alice/matplotlib:1").expect("pushed image");
         assert!(img.has_package("matplotlib"));
         assert!(!img.has_package("torch"));
+    }
+
+    #[test]
+    fn try_get_reports_contention_instead_of_blocking() {
+        let reg = DockerRegistry::new();
+        assert_eq!(reg.try_get(DEFAULT_RUNTIME).map(|i| i.is_some()), Ok(true));
+        assert_eq!(reg.try_get("ghost:1"), Ok(None));
+        // With a writer parked on the lock, a light poll must get a
+        // retry signal, never block.
+        let writer = reg.images.write();
+        assert_eq!(reg.try_get(DEFAULT_RUNTIME), Err(RegistryBusy));
+        drop(writer);
+        assert!(reg.try_get(DEFAULT_RUNTIME).is_ok());
     }
 
     #[test]

@@ -176,6 +176,7 @@ impl ArrivalHistory {
             let gap = now.duration_since(prev);
             let idx = (gap.as_nanos() / bucket.as_nanos().max(1)) as usize;
             if idx < self.counts.len() {
+                // lint: allow(L009) — bounds-checked by the branch above
                 self.counts[idx] += 1;
             } else {
                 self.out_of_range += 1;

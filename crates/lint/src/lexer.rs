@@ -34,6 +34,19 @@ pub struct Suppression {
     pub reason: String,
 }
 
+/// One entry-point marker: `// lint: entry(hot_path)`. It annotates the
+/// next `fn` definition as a root of the named reachability set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryMark {
+    /// 1-indexed line of the marker comment.
+    pub line: usize,
+    /// The entry set (`hot_path` for L009, `sim_path` for L010).
+    pub set: String,
+}
+
+/// Entry sets the reachability rules know about.
+pub const ENTRY_SETS: [&str; 2] = ["hot_path", "sim_path"];
+
 /// The scanner's output for one file.
 #[derive(Debug)]
 pub struct FileScan {
@@ -47,6 +60,8 @@ pub struct FileScan {
     pub line_is_test: Vec<bool>,
     /// Valid inline suppressions found in comments.
     pub suppressions: Vec<Suppression>,
+    /// Entry-point markers for the reachability rules.
+    pub entries: Vec<EntryMark>,
     /// Malformed suppressions (unknown rule, missing reason). These are
     /// hard errors: a typo'd suppression silently un-suppressing is worse
     /// than a build break.
@@ -67,12 +82,13 @@ pub fn scan_source(path: &str, src: &str) -> FileScan {
     let (blanked, comments) = blank(src);
     let lines: Vec<String> = blanked.split('\n').map(str::to_owned).collect();
     let line_is_test = test_spans(&lines);
-    let (suppressions, suppression_errors) = parse_suppressions(path, &comments, &lines);
+    let (suppressions, entries, suppression_errors) = parse_suppressions(path, &comments, &lines);
     FileScan {
         path: path.to_owned(),
         lines,
         line_is_test,
         suppressions,
+        entries,
         suppression_errors,
     }
 }
@@ -361,9 +377,11 @@ fn test_spans(lines: &[String]) -> Vec<bool> {
     flags
 }
 
-/// Extracts `lint: allow(Lxxx) — reason` markers from the collected
-/// comments. A suppression on a code-bearing line annotates that line; a
-/// comment-only line annotates the next code-bearing line.
+/// Extracts `lint: allow(Lxxx) — reason` suppressions and
+/// `lint: entry(set)` entry-point markers from the collected comments.
+/// A suppression on a code-bearing line annotates that line; a
+/// comment-only line annotates the next code-bearing line. Entry markers
+/// annotate the next `fn` definition (resolved by the symbol extractor).
 ///
 /// The marker must *start* the comment (after `//`/`///`/`//!` and
 /// whitespace) — prose that merely mentions the syntax, like this doc
@@ -372,8 +390,9 @@ fn parse_suppressions(
     path: &str,
     comments: &[(usize, String)],
     lines: &[String],
-) -> (Vec<Suppression>, Vec<String>) {
+) -> (Vec<Suppression>, Vec<EntryMark>, Vec<String>) {
     let mut ok = Vec::new();
+    let mut entries = Vec::new();
     let mut errs = Vec::new();
     for (line_no, text) in comments {
         let body = text.trim_start_matches(['/', '!']).trim_start();
@@ -381,9 +400,31 @@ fn parse_suppressions(
             continue;
         }
         let rest = &body[5..];
+        if let Some(epos) = rest.find("entry(") {
+            let after = &rest[epos + 6..];
+            let Some(close) = after.find(')') else {
+                errs.push(format!("{path}:{line_no}: unterminated `lint: entry(`"));
+                continue;
+            };
+            let set = after[..close].trim();
+            if !ENTRY_SETS.contains(&set) {
+                errs.push(format!(
+                    "{path}:{line_no}: unknown entry set `{set}` \
+                     (valid: {})",
+                    ENTRY_SETS.join(", ")
+                ));
+                continue;
+            }
+            entries.push(EntryMark {
+                line: *line_no,
+                set: set.to_owned(),
+            });
+            continue;
+        }
         let Some(apos) = rest.find("allow(") else {
             errs.push(format!(
-                "{path}:{line_no}: malformed lint marker (expected `lint: allow(Lxxx) — reason`)"
+                "{path}:{line_no}: malformed lint marker \
+                 (expected `lint: allow(Lxxx) — reason` or `lint: entry(set)`)"
             ));
             continue;
         };
@@ -436,7 +477,7 @@ fn parse_suppressions(
             reason,
         });
     }
-    (ok, errs)
+    (ok, entries, errs)
 }
 
 #[cfg(test)]
@@ -488,6 +529,23 @@ mod tests {
         assert!(scan.is_suppressed(Rule::L004, 1));
         assert!(scan.is_suppressed(Rule::L001, 3));
         assert!(scan.suppression_errors.is_empty());
+    }
+
+    #[test]
+    fn entry_markers_are_parsed_and_validated() {
+        let scan = scan_source(
+            "t.rs",
+            "// lint: entry(hot_path)\nfn agent() {}\n// lint: entry(warm_path)\nfn other() {}\n",
+        );
+        assert_eq!(
+            scan.entries,
+            vec![EntryMark {
+                line: 1,
+                set: "hot_path".to_owned()
+            }]
+        );
+        assert_eq!(scan.suppression_errors.len(), 1);
+        assert!(scan.suppression_errors[0].contains("unknown entry set"));
     }
 
     #[test]

@@ -22,6 +22,16 @@
 //! | L005 | `println!`/`eprintln!`/`dbg!` in library crates |
 //! | L006 | unbounded channel construction outside the sim kernel |
 //! | L007 | static lock sites never exercised by any explored schedule |
+//! | L008 | blocking sim primitive reachable from a `spawn_light` closure |
+//! | L009 | panic site transitively reachable from an agent hot path |
+//! | L010 | wall-clock API transitively reachable from a simulated path |
+//! | L011 | static lock order never exercised by the dynamic lock graph |
+//!
+//! L001–L007 are per-line lexical rules; L008–L011 are *interprocedural*:
+//! they run on a workspace-wide call graph ([`symbols`] → [`graph`] →
+//! [`reach`]) with conservative over-approximating edge resolution, so a
+//! clean report is a proof over all call paths the heuristics can see,
+//! not just the paths tests happen to execute (DESIGN §15).
 //!
 //! The crate is dependency-free (std only) so it builds and runs even
 //! when the rest of the workspace is broken, and consistent with the
@@ -33,10 +43,13 @@
 use std::fmt;
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod reach;
 pub mod report;
 pub mod rules;
 pub mod runner;
+pub mod symbols;
 
 /// Identifier of a lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -49,11 +62,15 @@ pub enum Rule {
     L005,
     L006,
     L007,
+    L008,
+    L009,
+    L010,
+    L011,
 }
 
 impl Rule {
     /// Every rule, in order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 11] = [
         Rule::L001,
         Rule::L002,
         Rule::L003,
@@ -61,6 +78,10 @@ impl Rule {
         Rule::L005,
         Rule::L006,
         Rule::L007,
+        Rule::L008,
+        Rule::L009,
+        Rule::L010,
+        Rule::L011,
     ];
 
     /// Stable textual id (`"L001"`).
@@ -73,6 +94,10 @@ impl Rule {
             Rule::L005 => "L005",
             Rule::L006 => "L006",
             Rule::L007 => "L007",
+            Rule::L008 => "L008",
+            Rule::L009 => "L009",
+            Rule::L010 => "L010",
+            Rule::L011 => "L011",
         }
     }
 
@@ -86,10 +111,166 @@ impl Rule {
             Rule::L005 => "print macro in library code",
             Rule::L006 => "unbounded channel construction",
             Rule::L007 => "lock site unexercised by explored schedules",
+            Rule::L008 => "blocking primitive reachable from a spawn_light closure",
+            Rule::L009 => "panic site reachable from an agent hot path",
+            Rule::L010 => "wall-clock API reachable from a simulated path",
+            Rule::L011 => "static lock order never dynamically exercised",
         }
     }
 
-    /// Parses `"L001"` … `"L007"`.
+    /// Long-form explanation for `--explain Lxxx`: what the rule proves,
+    /// why the invariant matters, and how to fix or suppress a finding.
+    pub fn explain(&self) -> &'static str {
+        match self {
+            Rule::L001 => {
+                "L001 — wall-clock API in simulated code\n\
+                 \n\
+                 Flags direct calls to `Instant::now` / `SystemTime::now` in\n\
+                 simulated crates. The sim kernel owns virtual time; reading the\n\
+                 OS clock makes timelines depend on host speed and breaks\n\
+                 bit-for-bit replay (RUSTWREN_SCHEDULE).\n\
+                 \n\
+                 Fix: take time from the kernel (`Kernel::now`) or thread a\n\
+                 timestamp in from the caller. Files that legitimately measure\n\
+                 wall time (bench harnesses) carry `[allow.L001]` entries in\n\
+                 lint.toml with a reason.\n\
+                 \n\
+                 See also L010, the interprocedural version: a helper that calls\n\
+                 `Instant::now` is flagged when any `entry(sim_path)` function\n\
+                 can reach it."
+            }
+            Rule::L002 => {
+                "L002 — OS threading outside the sim kernel\n\
+                 \n\
+                 Flags `std::thread::spawn` / `sleep` / `JoinHandle` outside\n\
+                 `crates/sim`'s kernel. OS threads escape the virtual-time\n\
+                 scheduler: their interleavings are invisible to the model\n\
+                 checker and non-deterministic under replay. All concurrency\n\
+                 must go through `Kernel::spawn` / `spawn_light`."
+            }
+            Rule::L003 => {
+                "L003 — hash-order iteration escaping into output\n\
+                 \n\
+                 Flags iteration over `HashMap`/`HashSet` flowing into\n\
+                 order-sensitive sinks (Vec collection, serialization, output).\n\
+                 Hash iteration order varies per process, so it breaks bitwise\n\
+                 goldens. Fix: `BTreeMap`/`BTreeSet`, or sort before emitting."
+            }
+            Rule::L004 => {
+                "L004 — unwrap/expect on an agent hot path\n\
+                 \n\
+                 Flags `.unwrap()` / `.expect(` in core/store/faas/workloads\n\
+                 sources. A panic inside an activation kills the whole agent\n\
+                 where the paper's model requires a typed error that retry and\n\
+                 speculation can handle. Fix: propagate with `?` and a typed\n\
+                 error. The matcher is token-based: chains split across lines\n\
+                 (`foo.\\n    unwrap()`) are found.\n\
+                 \n\
+                 See also L009, the interprocedural version covering helpers\n\
+                 called from hot paths."
+            }
+            Rule::L005 => {
+                "L005 — print macro in library code\n\
+                 \n\
+                 Flags `println!` / `eprintln!` / `dbg!` in library crates.\n\
+                 Library output corrupts the structured trace/golden streams the\n\
+                 harnesses compare. Fix: use the tracing hooks or return data."
+            }
+            Rule::L006 => {
+                "L006 — unbounded channel construction\n\
+                 \n\
+                 Flags unbounded channel constructors outside the sim kernel.\n\
+                 Unbounded queues hide backpressure bugs the paper's COS-limited\n\
+                 environment would surface. Fix: `Channel::bounded` with an\n\
+                 explicit capacity."
+            }
+            Rule::L007 => {
+                "L007 — lock site unexercised by explored schedules\n\
+                 \n\
+                 Cross-checks every static `Mutex::new` / `RwLock::new` /\n\
+                 `Semaphore::new` site against the dynamic lock-order graph\n\
+                 exported by rustwren-verify (target/verify/lock-exercise.txt).\n\
+                 A lock the model checker never exercises is a lock whose\n\
+                 deadlocks ship unverified. Fix: add a verify scenario touching\n\
+                 it, or justify with a lint.toml allow entry."
+            }
+            Rule::L008 => {
+                "L008 — blocking primitive reachable from a spawn_light closure\n\
+                 \n\
+                 Interprocedural. A closure passed to `spawn_light` runs as a\n\
+                 poll on the kernel dispatch loop; calling a blocking primitive\n\
+                 (`Event::wait`, `Semaphore::acquire`, `Channel::recv`/`send`,\n\
+                 `Barrier::wait`, `WaitGroup::wait`, `sleep`) from inside it\n\
+                 would block the dispatcher itself — the kernel panics at\n\
+                 runtime (kernel.rs `IN_LIGHT_STEP`). This rule proves the\n\
+                 absence statically: it walks the call graph from every\n\
+                 `spawn_light` closure and reports any path to a blocking sink,\n\
+                 with the full call chain in the message.\n\
+                 \n\
+                 Fix: restructure as `LightStep` state transitions (return\n\
+                 `LightStep::Sleep(..)` instead of calling `sleep`; use\n\
+                 `try_acquire`/`try_recv` and reschedule). The parking_lot shim\n\
+                 `Mutex::lock` is NOT a blocking sink: it spins via `try_lock`\n\
+                 and never parks the dispatcher.\n\
+                 \n\
+                 False positives come from over-approximated method dispatch\n\
+                 (any `.wait(` resolves to every `wait` impl). Suppress at the\n\
+                 closure line with `// lint: allow(L008) — reason`."
+            }
+            Rule::L009 => {
+                "L009 — panic site reachable from an agent hot path\n\
+                 \n\
+                 Interprocedural L004. Roots are functions annotated\n\
+                 `// lint: entry(hot_path)` (the agent body, executor submit\n\
+                 paths, platform invoke paths). Sinks are panic sites in any\n\
+                 function transitively reachable from a root: `panic!`-family\n\
+                 macros, index expressions, and `unwrap`/`expect` in files\n\
+                 outside L004's per-line scope (inside it, L004 already reports\n\
+                 them line-by-line). `crates/sim` is excluded — kernel invariant\n\
+                 panics are the sim's documented failure mode, not an agent\n\
+                 reliability bug.\n\
+                 \n\
+                 Fix: return a typed error along the whole chain. Suppress at\n\
+                 the sink line with `// lint: allow(L009) — reason`."
+            }
+            Rule::L010 => {
+                "L010 — wall-clock API reachable from a simulated path\n\
+                 \n\
+                 Interprocedural L001. Roots are functions annotated\n\
+                 `// lint: entry(sim_path)`. Sinks are `Instant::now` /\n\
+                 `SystemTime::now` sites in files carrying an `[allow.L001]`\n\
+                 entry: the per-file exemption says the file may read wall\n\
+                 clocks for its own purposes (bench harness, verify timing);\n\
+                 reachability proves the read leaks into a simulated path,\n\
+                 which the per-file audit cannot see. Non-allowlisted files\n\
+                 need no second report — L001 already flags them per line.\n\
+                 \n\
+                 Fix: thread virtual time in from the kernel. Suppress at the\n\
+                 sink line with `// lint: allow(L010) — reason`."
+            }
+            Rule::L011 => {
+                "L011 — static lock order never dynamically exercised\n\
+                 \n\
+                 Derives lock-acquisition ordering edges from the call graph:\n\
+                 kind-level edge A→B when a function acquires B (directly or\n\
+                 via a callee) while holding A. Each static edge is checked\n\
+                 against the dynamic lock-order graph rustwren-verify exports\n\
+                 (target/verify/lock-exercise.txt `edge` lines). An order that\n\
+                 is statically possible but never exercised by any explored\n\
+                 schedule is exactly where an undetected deadlock cycle can\n\
+                 hide.\n\
+                 \n\
+                 Fix: add a verify scenario that drives the nested acquisition,\n\
+                 or — if the static edge is a heuristic artifact (uninstrumented\n\
+                 std locks, over-approximated dispatch) — suppress at the\n\
+                 holding-lock acquisition line with\n\
+                 `// lint: allow(L011) — reason`. Without a lock-exercise\n\
+                 report the rule degrades to a note, like L007."
+            }
+        }
+    }
+
+    /// Parses `"L001"` … `"L011"`.
     pub fn parse(s: &str) -> Option<Rule> {
         Rule::ALL.iter().copied().find(|r| r.as_str() == s)
     }

@@ -3,6 +3,7 @@
 //! ```text
 //! rustwren-lint [--root DIR] [--check] [--format human|json] [--out FILE]
 //!               [--baseline FILE] [--lock-report FILE] [--update-baseline]
+//!               [--graph-out FILE] [--explain Lxxx]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 new violations or suppression/baseline errors
@@ -20,6 +21,7 @@ struct Args {
     format_json: bool,
     out: Option<PathBuf>,
     update: bool,
+    graph_out: Option<PathBuf>,
 }
 
 fn usage() -> String {
@@ -31,16 +33,18 @@ fn usage() -> String {
         "rustwren-lint — workspace sim-safety & determinism linter\n\n\
          USAGE: rustwren-lint [--root DIR] [--check] [--format human|json]\n\
                 [--out FILE] [--baseline FILE] [--lock-report FILE]\n\
-                [--update-baseline]\n\n\
+                [--update-baseline] [--graph-out FILE] [--explain Lxxx]\n\n\
          --root DIR          workspace root (default: nearest dir with lint.toml\n\
                              or Cargo.toml, walking up from the cwd)\n\
          --check             exit 1 on any violation above the ratchet baseline\n\
          --format human|json stdout format (default human)\n\
          --out FILE          additionally write the JSON report to FILE\n\
          --baseline FILE     baseline path (default lint.toml)\n\
-         --lock-report FILE  L007 dynamic lock-exercise report\n\
+         --lock-report FILE  L007/L011 dynamic lock-exercise report\n\
                              (default target/verify/lock-exercise.txt)\n\
-         --update-baseline   rewrite the baseline to the current counts\n\n\
+         --update-baseline   rewrite the baseline to the current counts\n\
+         --graph-out FILE    write the workspace call graph as JSON\n\
+         --explain Lxxx      print the rule's long-form documentation and exit\n\n\
          RULES:\n{}\n",
         rules.join("\n")
     )
@@ -54,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
     let mut update = false;
     let mut baseline: Option<PathBuf> = None;
     let mut lock_report: Option<PathBuf> = None;
+    let mut graph_out: Option<PathBuf> = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -75,6 +80,22 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
             "--lock-report" => lock_report = Some(PathBuf::from(value("--lock-report")?)),
             "--update-baseline" => update = true,
+            "--graph-out" => graph_out = Some(PathBuf::from(value("--graph-out")?)),
+            "--explain" => {
+                let id = value("--explain")?;
+                let Some(rule) = Rule::parse(&id) else {
+                    return Err(format!(
+                        "unknown rule `{id}` (valid: {})",
+                        Rule::ALL
+                            .iter()
+                            .map(Rule::as_str)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                };
+                println!("{}", rule.explain());
+                std::process::exit(0);
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n\n{}", usage())),
         }
@@ -94,6 +115,7 @@ fn parse_args() -> Result<Args, String> {
         format_json,
         out,
         update,
+        graph_out,
     })
 }
 
@@ -145,6 +167,19 @@ fn main() -> ExitCode {
             let _ = std::fs::create_dir_all(parent);
         }
         if let Err(e) = std::fs::write(path, report::json(&outcome)) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &args.graph_out {
+        let Some(graph) = &outcome.graph else {
+            eprintln!("error: no call graph was built");
+            return ExitCode::from(2);
+        };
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, graph.to_json()) {
             eprintln!("error: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

@@ -48,6 +48,13 @@ pub fn rule_applies(rule: Rule, path: &str) -> bool {
         Rule::L007 => ["crates/core/src/", "crates/store/src/", "crates/faas/src/"]
             .iter()
             .any(|p| path.starts_with(p)),
+        // Interprocedural rules run on the workspace call graph
+        // ([`crate::reach`]); their roots and sinks carry their own
+        // scoping, so every scanned file feeds the symbol index.
+        Rule::L008 | Rule::L009 | Rule::L010 => true,
+        // L011 derives acquisition edges only from the instrumented-lock
+        // crates, mirroring L007's static inventory scope.
+        Rule::L011 => rule_applies(Rule::L007, path),
     }
 }
 
@@ -463,20 +470,85 @@ fn binding_name(before: &str) -> Option<String> {
 // ---------------------------------------------------------------------------
 
 fn l004_unwrap(scan: &FileScan, out: &mut Vec<Violation>) {
-    for pat in [".unwrap()", ".expect("] {
-        for (line, _) in find_all(scan, pat, false) {
+    for name in ["unwrap", "expect"] {
+        for line in method_call_lines(scan, name) {
             out.push(Violation {
                 rule: Rule::L004,
                 file: scan.path.clone(),
                 line,
                 message: format!(
-                    "`{pat}` on an agent hot path panics the simulated activation; \
-                     return a typed `PywrenError` so the failure surfaces as a task error",
-                    pat = pat.trim_end_matches('(').trim_end_matches(')')
+                    "`.{name}` on an agent hot path panics the simulated activation; \
+                     return a typed `PywrenError` so the failure surfaces as a task error"
                 ),
             });
         }
     }
+}
+
+/// Lines carrying a `.name(` method call, matched token-wise so chains
+/// split across lines (`foo.\n    unwrap()`) are found: the identifier
+/// must be word-bounded, the next significant char (same or following
+/// lines) must be `(`, and the previous significant char — scanned
+/// backwards across lines — must be `.`.
+pub fn method_call_lines(scan: &FileScan, name: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    for (line, col) in find_all(scan, name, true) {
+        let idx = line - 1;
+        let l = &scan.lines[idx];
+        let end = col + name.len();
+        if l[end..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            continue;
+        }
+        if next_sig_char(scan, idx, end) != Some('(') {
+            continue;
+        }
+        if prev_sig_char(scan, idx, col) != Some('.') {
+            continue;
+        }
+        hits.push(line);
+    }
+    hits
+}
+
+/// First non-whitespace char at or after `(line_idx, col)`, looking
+/// across up to two following lines.
+fn next_sig_char(scan: &FileScan, line_idx: usize, col: usize) -> Option<char> {
+    for (n, line) in scan.lines.iter().enumerate().skip(line_idx).take(3) {
+        let start = if n == line_idx {
+            col.min(line.len())
+        } else {
+            0
+        };
+        if let Some(c) = line[start..].chars().find(|c| !c.is_whitespace()) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Last non-whitespace char before `(line_idx, col)`, looking across up
+/// to two preceding lines.
+fn prev_sig_char(scan: &FileScan, line_idx: usize, col: usize) -> Option<char> {
+    for back in 0..3 {
+        if back > line_idx {
+            break;
+        }
+        let n = line_idx - back;
+        let line = &scan.lines[n];
+        let end = if back == 0 {
+            col.min(line.len())
+        } else {
+            line.len()
+        };
+        if let Some(c) = line[..end].chars().rev().find(|c| !c.is_whitespace()) {
+            return Some(c);
+        }
+    }
+    None
 }
 
 // ---------------------------------------------------------------------------
@@ -587,6 +659,18 @@ mod tests {
         assert!(violations("crates/analyze/src/lib.rs", src)
             .iter()
             .all(|v| v.rule != Rule::L004));
+    }
+
+    #[test]
+    fn l004_sees_chains_split_across_lines() {
+        // PR 10 regression: the per-line matcher missed wrapped chains.
+        let src = "let a = x\n    .unwrap();\nlet b = y.\n    expect(\"msg\");\n\
+                   fn unwrap(x: u32) {}\nlet c = unwrap(3);\n";
+        let v = violations("crates/core/src/job.rs", src);
+        let l004: Vec<_> = v.iter().filter(|v| v.rule == Rule::L004).collect();
+        assert_eq!(l004.len(), 2, "{l004:?}");
+        assert_eq!(l004[0].line, 2);
+        assert_eq!(l004[1].line, 4);
     }
 
     #[test]

@@ -1,14 +1,25 @@
 //! The workspace pass: walk, scan, apply suppressions/allowlist, compare
 //! against the ratchet baseline, and cross-check the L007 lock inventory
 //! against the model checker's dynamic lock-exercise report.
+//!
+//! The pass is two-phase. Phase one scans every file for the per-line
+//! rules (L001–L006) while accumulating the symbol index; phase two
+//! builds the workspace call graph from the index and runs the
+//! interprocedural rules (L008–L011) plus the L007 cross-check.
+//! Interprocedural violations go through the same suppression → allow →
+//! baseline funnel as per-line ones, keyed by the file and line each
+//! violation anchors to.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::LintConfig;
-use crate::lexer::scan_source;
+use crate::graph::{self, CallGraph};
+use crate::lexer::{scan_source, FileScan};
+use crate::reach;
 use crate::rules::{check_file, lock_sites, LockSite};
+use crate::symbols;
 use crate::{Rule, Violation};
 
 /// Directory components that are never scanned: generated output, test
@@ -84,6 +95,9 @@ pub struct Outcome {
     pub lock_sites: Vec<LockSite>,
     /// Current per-(rule, file) counts — the input to `--update-baseline`.
     pub current: BTreeMap<(Rule, String), usize>,
+    /// The workspace call graph the interprocedural rules ran on
+    /// (exported by `--graph-out`).
+    pub graph: Option<CallGraph>,
 }
 
 impl Outcome {
@@ -111,6 +125,8 @@ pub fn run(opts: &Options) -> Outcome {
     let files = collect_files(&opts.root);
     out.files_scanned = files.len();
 
+    let mut scans: Vec<FileScan> = Vec::new();
+    let mut defs: Vec<symbols::FnDef> = Vec::new();
     for rel in &files {
         let abs = opts.root.join(rel);
         let Ok(src) = fs::read_to_string(&abs) else {
@@ -120,6 +136,7 @@ pub fn run(opts: &Options) -> Outcome {
         let scan = scan_source(&rel_str, &src);
         out.errors.extend(scan.suppression_errors.iter().cloned());
         out.lock_sites.extend(lock_sites(&scan));
+        defs.extend(symbols::extract(&scan, &mut out.errors));
 
         for v in check_file(&scan) {
             if scan.is_suppressed(v.rule, v.line) {
@@ -134,14 +151,90 @@ pub fn run(opts: &Options) -> Outcome {
             *out.current.entry((v.rule, v.file.clone())).or_insert(0) += 1;
             out.new_violations.push(v);
         }
+        scans.push(scan);
     }
 
-    l007_cross_check(opts, &cfg, &mut out);
+    let graph = graph::build(defs);
+    let exercise = load_lock_exercise(opts, &mut out);
+    interprocedural(&graph, &scans, &cfg, exercise.as_ref(), &mut out);
+    l007_cross_check(&cfg, exercise.as_ref(), &mut out);
+    out.graph = Some(graph);
 
     apply_baseline(&cfg, &mut out);
     out.new_violations
         .sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
     out
+}
+
+/// Phase two: the call-graph rules, funneled through the same
+/// suppression/allow machinery as the per-line rules.
+fn interprocedural(
+    graph: &CallGraph,
+    scans: &[FileScan],
+    cfg: &LintConfig,
+    exercise: Option<&LockExercise>,
+    out: &mut Outcome,
+) {
+    let lights = graph.defs.iter().filter(|d| d.is_light_closure).count();
+    let hot = graph
+        .defs
+        .iter()
+        .filter(|d| d.entries.iter().any(|e| e == "hot_path"))
+        .count();
+    let sim = graph
+        .defs
+        .iter()
+        .filter(|d| d.entries.iter().any(|e| e == "sim_path"))
+        .count();
+    let edge_count: usize = graph.edges.iter().map(Vec::len).sum();
+    out.notes.push(format!(
+        "call graph: {} definitions, {} edges, {} unresolved call(s); roots: \
+         {lights} spawn_light closure(s), {hot} hot_path, {sim} sim_path",
+        graph.defs.len(),
+        edge_count,
+        graph.unresolved,
+    ));
+
+    let mut found: Vec<Violation> = Vec::new();
+    found.extend(reach::l008(graph));
+    found.extend(reach::l009(graph));
+    found.extend(reach::l010(graph, |f| cfg.is_allowed(Rule::L001, f)));
+
+    let static_edges = reach::static_lock_edges(graph);
+    match exercise {
+        Some(ex) if ex.edge_count.is_some() || !ex.edges.is_empty() => {
+            out.notes.push(format!(
+                "L011: {} static lock-order edge(s) vs {} dynamically exercised",
+                static_edges.len(),
+                ex.edges.len()
+            ));
+            found.extend(reach::l011(&static_edges, &ex.edges, ex.runs));
+        }
+        Some(_) => out.notes.push(
+            "L011 skipped: lock-exercise report predates edge export \
+             (regenerate: `cargo test --release --test verify lock_exercise_export`)"
+                .to_owned(),
+        ),
+        None => {} // missing-report note already emitted by the loader
+    }
+
+    let by_path: BTreeMap<&str, &FileScan> = scans.iter().map(|s| (s.path.as_str(), s)).collect();
+    for v in found {
+        if by_path
+            .get(v.file.as_str())
+            .is_some_and(|s| s.is_suppressed(v.rule, v.line))
+        {
+            out.suppressed += 1;
+            continue;
+        }
+        if cfg.is_allowed(v.rule, &v.file) {
+            out.allowed += 1;
+            continue;
+        }
+        *out.counts.entry(v.rule).or_insert(0) += 1;
+        *out.current.entry((v.rule, v.file.clone())).or_insert(0) += 1;
+        out.new_violations.push(v);
+    }
 }
 
 fn load_config(opts: &Options) -> Result<LintConfig, String> {
@@ -230,10 +323,17 @@ pub struct LockExercise {
     pub runs: usize,
     /// kind → distinct instance count.
     pub kinds: BTreeMap<String, usize>,
+    /// Kind-level lock-order edges the explored schedules exercised
+    /// (`edge mutex rwlock` lines) — L011's dynamic half.
+    pub edges: BTreeSet<(String, String)>,
+    /// The report's declared edge count (`edges N`). `None` means the
+    /// report predates edge export, and L011 degrades to a note rather
+    /// than treating every static order as untested.
+    pub edge_count: Option<usize>,
 }
 
-/// Parses the `lock-exercise.txt` format: `runs N` and `kind <name> <n>`
-/// lines, `#` comments.
+/// Parses the `lock-exercise.txt` format: `runs N`, `kind <name> <n>`,
+/// `edges N` and `edge <from> <to>` lines, `#` comments.
 pub fn parse_lock_exercise(text: &str) -> Result<LockExercise, String> {
     let mut ex = LockExercise::default();
     for (idx, raw) in text.lines().enumerate() {
@@ -259,11 +359,52 @@ pub fn parse_lock_exercise(text: &str) -> Result<LockExercise, String> {
                     .ok_or_else(|| format!("lock-exercise:{}: bad count", idx + 1))?;
                 *ex.kinds.entry(name.to_owned()).or_insert(0) += count;
             }
+            Some("edges") => {
+                ex.edge_count = Some(
+                    parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("lock-exercise:{}: bad edges line", idx + 1))?,
+                );
+            }
+            Some("edge") => {
+                let from = parts
+                    .next()
+                    .ok_or_else(|| format!("lock-exercise:{}: missing edge source", idx + 1))?;
+                let to = parts
+                    .next()
+                    .ok_or_else(|| format!("lock-exercise:{}: missing edge target", idx + 1))?;
+                ex.edges.insert((from.to_owned(), to.to_owned()));
+            }
             Some("key") => {} // per-instance detail, informational
             _ => return Err(format!("lock-exercise:{}: unknown line `{line}`", idx + 1)),
         }
     }
     Ok(ex)
+}
+
+/// Reads and parses the lock-exercise report; a missing file degrades to
+/// a note (L007 and L011 are skipped), a malformed one is a hard error.
+fn load_lock_exercise(opts: &Options, out: &mut Outcome) -> Option<LockExercise> {
+    let path = opts.resolve(&opts.lock_report_path);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => {
+            out.notes.push(format!(
+                "L007/L011 skipped: no lock-exercise report at {} (run the model-checker \
+                 sweep first: `cargo test --release --test verify lock_exercise_export`)",
+                path.display()
+            ));
+            return None;
+        }
+    };
+    match parse_lock_exercise(&text) {
+        Ok(e) => Some(e),
+        Err(e) => {
+            out.errors.push(e);
+            None
+        }
+    }
 }
 
 /// The cross-check proper, shared with the fixture tests: static lock
@@ -305,32 +446,16 @@ pub fn check_lock_exercise(sites: &[LockSite], exercise: &LockExercise) -> Vec<V
     out
 }
 
-fn l007_cross_check(opts: &Options, cfg: &LintConfig, out: &mut Outcome) {
-    let path = opts.resolve(&opts.lock_report_path);
-    let text = match fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(_) => {
-            out.notes.push(format!(
-                "L007 skipped: no lock-exercise report at {} (run the model-checker \
-                 sweep first: `cargo test --release --test verify -- lock_exercise`)",
-                path.display()
-            ));
-            return;
-        }
-    };
-    let exercise = match parse_lock_exercise(&text) {
-        Ok(e) => e,
-        Err(e) => {
-            out.errors.push(e);
-            return;
-        }
+fn l007_cross_check(cfg: &LintConfig, exercise: Option<&LockExercise>, out: &mut Outcome) {
+    let Some(exercise) = exercise else {
+        return; // missing/malformed report: note or error already recorded
     };
     out.notes.push(format!(
         "L007: cross-checked {} static lock site(s) against {} explored schedule(s)",
         out.lock_sites.len(),
         exercise.runs
     ));
-    for v in check_lock_exercise(&out.lock_sites, &exercise) {
+    for v in check_lock_exercise(&out.lock_sites, exercise) {
         if cfg.is_allowed(v.rule, &v.file) {
             out.allowed += 1;
             continue;

@@ -258,6 +258,8 @@ impl CosClient {
     /// out-of-range failure rate, zero bandwidth).
     pub fn new(store: &ObjectStore, net: NetworkProfile, seed: u64) -> CosClient {
         if let Err(e) = net.validate() {
+            // lint: allow(L009) — constructor contract (documented # Panics);
+            // agents only receive profiles the platform already validated
             panic!("CosClient::new: invalid network profile: {e}");
         }
         CosClient {

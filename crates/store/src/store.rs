@@ -63,6 +63,7 @@ impl Bucket {
     }
 
     fn shard(&self, key: &str) -> &StdRwLock<BTreeMap<String, StoredObject>> {
+        // lint: allow(L009) — shard_of is `% SHARD_COUNT`, always in bounds
         &self.shards[shard_of(key)]
     }
 }

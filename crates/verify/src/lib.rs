@@ -191,19 +191,27 @@ impl fmt::Display for Report {
 }
 
 /// Renders the dynamic lock-exercise inventory consumed by rustwren-lint's
-/// L007 cross-check: `runs N`, one `kind <name> <count>` line per sync-object
-/// class (count = distinct instances exercised), and informational `key`
-/// lines listing each instance's stable merge key.
+/// L007 and L011 cross-checks: `runs N`, one `kind <name> <count>` line per
+/// sync-object class (count = distinct instances exercised), an `edges N`
+/// count followed by one `edge <held> <acquired>` line per kind-level
+/// lock-order edge the schedules drove, and informational `key` lines
+/// listing each instance's stable merge key.
 pub fn lock_exercise_text(report: &Report) -> String {
     let mut kinds: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
     for inst in &report.lock_orders.instances {
         *kinds.entry(inst.kind.to_string()).or_insert(0) += 1;
     }
     let mut out = String::new();
-    out.push_str("# rustwren-verify lock-exercise inventory (consumed by rustwren-lint L007)\n");
+    out.push_str(
+        "# rustwren-verify lock-exercise inventory (consumed by rustwren-lint L007/L011)\n",
+    );
     out.push_str(&format!("runs {}\n", report.lock_orders.runs));
     for (kind, count) in &kinds {
         out.push_str(&format!("kind {kind} {count}\n"));
+    }
+    out.push_str(&format!("edges {}\n", report.lock_orders.kind_edges.len()));
+    for (held, acquired) in &report.lock_orders.kind_edges {
+        out.push_str(&format!("edge {held} {acquired}\n"));
     }
     for inst in &report.lock_orders.instances {
         out.push_str(&format!("key {}\n", inst.key));

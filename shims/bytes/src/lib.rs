@@ -92,6 +92,8 @@ impl Bytes {
     }
 
     fn as_slice(&self) -> &[u8] {
+        // lint: allow(L009) — start <= end <= data.len() is a constructor
+        // invariant (slices only narrow)
         &self.data[self.start..self.end]
     }
 }

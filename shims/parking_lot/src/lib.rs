@@ -92,6 +92,21 @@ impl<T: ?Sized> Mutex<T> {
             inner: Some(lock_instrumented(addr_of(self), &self.inner)),
         }
     }
+
+    /// Attempts to acquire the mutex without blocking, in either real or
+    /// virtual time. Returns `None` if it is held. This is the only safe
+    /// acquisition inside a `spawn_light` poll, which runs on a borrowed
+    /// stack and must never park.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let g = try_lock_std(&self.inner)?;
+        if let Some(h) = hooks::get() {
+            h.lock_acquired(addr_of(self), LockOp::Mutex);
+        }
+        Some(MutexGuard {
+            lock: self,
+            inner: Some(g),
+        })
+    }
 }
 
 impl<T: ?Sized> Drop for Mutex<T> {
@@ -195,6 +210,8 @@ impl Condvar {
                 return;
             }
         }
+        // lint: allow(L009) — guard invariant: `inner` is only vacated inside
+        // this function and restored before it returns
         let std_guard = guard.inner.take().expect("guard present");
         let std_guard = self
             .inner
@@ -300,6 +317,25 @@ impl<T: ?Sized> RwLock<T> {
                 }
             }
         }
+    }
+
+    /// Attempts to acquire shared read access without blocking, in either
+    /// real or virtual time. Returns `None` if a writer holds the lock.
+    /// Like [`Mutex::try_lock`], this is the only safe acquisition inside
+    /// a `spawn_light` poll.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let g = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        if let Some(h) = hooks::get() {
+            h.lock_acquired(addr_of(self), LockOp::RwRead);
+        }
+        Some(RwLockReadGuard {
+            lock: self,
+            inner: Some(g),
+        })
     }
 
     /// Acquires exclusive write access; contended acquisitions on simulated
@@ -443,6 +479,29 @@ mod tests {
         let r1 = l.read();
         let r2 = l.read();
         assert_eq!(*r1 + *r2, 10);
+    }
+
+    #[test]
+    fn try_lock_fails_cleanly_under_contention() {
+        let m = Mutex::new(7);
+        {
+            let g = m.try_lock().expect("uncontended try_lock wins");
+            assert_eq!(*g, 7);
+            assert!(m.try_lock().is_none(), "held mutex must not re-lock");
+        }
+        assert!(m.try_lock().is_some(), "released mutex is available");
+    }
+
+    #[test]
+    fn try_read_fails_cleanly_under_a_writer() {
+        let l = RwLock::new(3);
+        let r = l.try_read().expect("uncontended try_read wins");
+        assert_eq!(*r, 3);
+        drop(r);
+        let w = l.write();
+        assert!(l.try_read().is_none(), "writer blocks try_read");
+        drop(w);
+        assert!(l.try_read().is_some());
     }
 
     #[test]

@@ -73,6 +73,9 @@ macro_rules! __proptest_impl {
                         ::std::result::Result::Ok(())
                     })();
                     if let ::std::result::Result::Err(e) = outcome {
+                        // lint: allow(L009) — the proptest harness reports a
+                        // failed case by panicking; only expanded inside #[test]
+                        // fns (the hot-path edge is a free-fn over-approximation)
                         ::std::panic!(
                             "proptest `{}` failed at case {}/{}: {}",
                             stringify!($name),

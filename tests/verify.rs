@@ -323,3 +323,55 @@ fn lock_exercise_export() {
         .join("lock-exercise.txt");
     rustwren::verify::write_lock_exercise(&report, &path).expect("write lock-exercise report");
 }
+
+/// L011 soundness cross-check: the linter's *static* lock-order edge set
+/// must be a superset of the *dynamic* kind-level edges the explored
+/// schedules actually drove. A dynamic edge with no static counterpart
+/// would mean the call-graph heuristics missed a real nesting order —
+/// exactly the blind spot L011 exists to rule out — so this test pins the
+/// containment direction on the same queued-map scenario that feeds the
+/// exported report.
+#[test]
+fn static_lock_orders_cover_dynamic_graph() {
+    let report = explore(
+        queued_map_job,
+        &Budget {
+            schedules: 8,
+            strategy: Strategy::Random {
+                seed: 11,
+                preempt_probability: 0.05,
+            },
+            label: "lock-superset".to_string(),
+        },
+    );
+    assert!(report.ok(), "{report}");
+    assert!(
+        !report.lock_orders.kind_edges.is_empty(),
+        "queued-map scenario exercised no lock-order edges; the cross-check is vacuous"
+    );
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let outcome = rustwren_lint::runner::run(&rustwren_lint::runner::Options::new(root));
+    let graph = outcome
+        .graph
+        .expect("interprocedural pass built a call graph");
+    let static_edges = rustwren_lint::reach::static_lock_edges(&graph);
+
+    // The static analysis models the lock kinds the instrumented crates
+    // acquire through guard methods; condvar/event/channel orders are
+    // dynamic-only and outside L011's scope.
+    const STATIC_KINDS: [&str; 3] = ["mutex", "rwlock", "semaphore"];
+    for (held, acquired) in &report.lock_orders.kind_edges {
+        let (held, acquired) = (held.to_string(), acquired.to_string());
+        if !STATIC_KINDS.contains(&held.as_str()) || !STATIC_KINDS.contains(&acquired.as_str()) {
+            continue;
+        }
+        assert!(
+            static_edges
+                .keys()
+                .any(|&(h, a)| h == held && a == acquired),
+            "dynamic lock order {held}\u{2192}{acquired} has no static counterpart: \
+             the call-graph heuristics under-approximate real nesting orders"
+        );
+    }
+}
